@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: BLAST design choices — the two-hit heuristic and the
+ * neighborhood threshold T — and their effect on work done and on
+ * the memory behavior DESIGN.md calls out (the lookup structures
+ * are what make BLAST memory-bound).
+ */
+
+#include "bench_common.hh"
+
+#include "align/blast.hh"
+#include "bio/scoring.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    bench::banner(
+        "Ablation - BLAST two-hit heuristic and threshold T",
+        "two-hit suppresses most ungapped extensions; lowering T "
+        "grows the neighborhood table (more selectivity, more "
+        "memory pressure)");
+
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    const kernels::TraceInput &input = bench::suite().input();
+
+    core::Table t({"T", "two-hit", "table entries", "word hits",
+                   "extensions", "gapped", "cells"});
+    for (const int threshold : {13, 12, 11, 10}) {
+        for (const bool two_hit : {true, false}) {
+            align::BlastParams params;
+            params.neighborThreshold = threshold;
+            params.twoHit = two_hit;
+            const align::NeighborhoodIndex index(input.query, mat,
+                                                 params);
+            std::uint64_t cells = 0;
+            std::uint64_t hits = 0;
+            std::uint64_t exts = 0;
+            std::uint64_t gapped = 0;
+            for (const bio::Sequence &s : input.db) {
+                const align::BlastScores bs = align::blastScan(
+                    index, input.query, s, mat, gaps, params,
+                    &cells);
+                hits += static_cast<std::uint64_t>(bs.wordHits);
+                exts += static_cast<std::uint64_t>(
+                    bs.extensionsTried);
+                gapped += static_cast<std::uint64_t>(
+                    bs.gappedExtensions);
+            }
+            t.row()
+                .add(threshold)
+                .add(two_hit ? "yes" : "no")
+                .add(static_cast<std::uint64_t>(
+                    index.numEntries()))
+                .add(hits)
+                .add(exts)
+                .add(gapped)
+                .add(cells);
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

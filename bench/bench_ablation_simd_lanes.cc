@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: lane-count scaling of the SIMD Smith-Waterman kernel
+ * (4/8/16/32 lanes). Extends Fig. 8's 128-vs-256 comparison: trace
+ * size shrinks sub-linearly with lanes while the dependency-chain
+ * and permute overheads grow, so simulated speedup saturates.
+ */
+
+#include "bench_common.hh"
+#include "kernels/sw_vmx_traced.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    bench::banner(
+        "Ablation - SIMD lane scaling (4/8/16/32 lanes)",
+        "extends Fig. 8: doubling register width never doubles "
+        "performance; the dependency chains and per-granule "
+        "permute work eat the gains");
+
+    const kernels::TraceInput &input = bench::suite().input();
+    const sim::SimConfig cfg; // 4-way, me1
+
+    struct Row
+    {
+        int lanes;
+        kernels::TracedRun run;
+    };
+    std::vector<Row> rows;
+    rows.push_back({4, kernels::traceSwVmx<4>(input)});
+    rows.push_back({8, kernels::traceSwVmx<8>(input)});
+    rows.push_back({16, kernels::traceSwVmx<16>(input)});
+    rows.push_back({32, kernels::traceSwVmx<32>(input)});
+
+    const double base_cycles = static_cast<double>(
+        core::simulate(rows[1].run.trace, cfg).cycles);
+
+    core::Table t({"lanes", "bits", "instructions", "vs 8 lanes",
+                   "cycles", "speedup vs 8 lanes", "IPC"});
+    for (const Row &row : rows) {
+        const sim::SimStats stats =
+            core::simulate(row.run.trace, cfg);
+        t.row()
+            .add(row.lanes)
+            .add(row.lanes * 16)
+            .add(static_cast<std::uint64_t>(row.run.trace.size()))
+            .add(static_cast<double>(row.run.trace.size())
+                     / static_cast<double>(rows[1].run.trace.size()),
+                 3)
+            .add(stats.cycles)
+            .add(base_cycles / static_cast<double>(stats.cycles), 3)
+            .add(stats.ipc(), 2);
+    }
+    t.print(std::cout);
+    return 0;
+}

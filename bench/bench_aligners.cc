@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Native-speed microbenchmarks of the aligners (google-benchmark):
+ * the Section-I claim that the heuristics are an order of
+ * magnitude faster than rigorous Smith-Waterman, measured on real
+ * wall-clock rather than in simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "align/blast.hh"
+#include "align/fasta.hh"
+#include "align/smith_waterman.hh"
+#include "align/ssearch.hh"
+#include "align/sw_simd.hh"
+#include "align/sw_striped.hh"
+#include "bio/scoring.hh"
+#include "bio/synthetic.hh"
+
+namespace
+{
+
+using namespace bioarch;
+
+const bio::ScoringMatrix &kMat = bio::blosum62();
+const bio::GapPenalties kGaps{};
+
+const bio::Sequence &
+query()
+{
+    static const bio::Sequence q = bio::makeDefaultQuery();
+    return q;
+}
+
+const bio::SequenceDatabase &
+database()
+{
+    static const bio::SequenceDatabase db =
+        bio::makeDefaultDatabase(60);
+    return db;
+}
+
+void
+BM_SmithWatermanScan(benchmark::State &state)
+{
+    std::uint64_t residues = 0;
+    for (auto _ : state) {
+        int best = 0;
+        for (const bio::Sequence &s : database()) {
+            best = std::max(
+                best,
+                align::smithWatermanScore(query(), s, kMat, kGaps)
+                    .score);
+            residues += s.length();
+        }
+        benchmark::DoNotOptimize(best);
+    }
+    state.counters["Mcells/s"] = benchmark::Counter(
+        static_cast<double>(residues * query().length()) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SmithWatermanScan)->Unit(benchmark::kMillisecond);
+
+void
+BM_SsearchScan(benchmark::State &state)
+{
+    const align::QueryProfile profile(query(), kMat);
+    std::uint64_t residues = 0;
+    for (auto _ : state) {
+        int best = 0;
+        for (const bio::Sequence &s : database()) {
+            best = std::max(
+                best, align::ssearchScan(profile, s, kGaps).score);
+            residues += s.length();
+        }
+        benchmark::DoNotOptimize(best);
+    }
+    state.counters["Mcells/s"] = benchmark::Counter(
+        static_cast<double>(residues * query().length()) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SsearchScan)->Unit(benchmark::kMillisecond);
+
+template <int N>
+void
+BM_SwSimdScan(benchmark::State &state)
+{
+    const align::VectorProfile<N> profile(query(), kMat);
+    std::uint64_t residues = 0;
+    for (auto _ : state) {
+        int best = 0;
+        for (const bio::Sequence &s : database()) {
+            best = std::max(
+                best,
+                align::swSimdScan<N>(profile, s, kGaps).score);
+            residues += s.length();
+        }
+        benchmark::DoNotOptimize(best);
+    }
+    state.counters["Mcells/s"] = benchmark::Counter(
+        static_cast<double>(residues * query().length()) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SwSimdScan<8>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SwSimdScan<16>)->Unit(benchmark::kMillisecond);
+
+template <int N>
+void
+BM_SwStripedScan(benchmark::State &state)
+{
+    const align::StripedProfile<N> profile(query(), kMat);
+    std::uint64_t residues = 0;
+    for (auto _ : state) {
+        int best = 0;
+        for (const bio::Sequence &s : database()) {
+            best = std::max(
+                best,
+                align::swStripedScan<N>(profile, s, kGaps).score);
+            residues += s.length();
+        }
+        benchmark::DoNotOptimize(best);
+    }
+    state.counters["Mcells/s"] = benchmark::Counter(
+        static_cast<double>(residues * query().length()) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SwStripedScan<8>)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SwStripedScan<16>)->Unit(benchmark::kMillisecond);
+
+void
+BM_FastaSearch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const align::SearchResults res =
+            align::fastaSearch(query(), database(), kMat, kGaps);
+        benchmark::DoNotOptimize(res.hits.size());
+    }
+}
+BENCHMARK(BM_FastaSearch)->Unit(benchmark::kMillisecond);
+
+void
+BM_BlastSearch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const align::SearchResults res =
+            align::blastSearch(query(), database(), kMat, kGaps);
+        benchmark::DoNotOptimize(res.hits.size());
+    }
+}
+BENCHMARK(BM_BlastSearch)->Unit(benchmark::kMillisecond);
+
+void
+BM_BlastNeighborhoodBuild(benchmark::State &state)
+{
+    const align::BlastParams params;
+    for (auto _ : state) {
+        const align::NeighborhoodIndex index(query(), kMat, params);
+        benchmark::DoNotOptimize(index.numEntries());
+    }
+}
+BENCHMARK(BM_BlastNeighborhoodBuild)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

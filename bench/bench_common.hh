@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table regeneration harnesses.
+ *
+ * Every harness prints the rows/series of one table or figure from
+ * the paper's evaluation section, computed from freshly generated
+ * traces on the synthetic working set (see DESIGN.md for the
+ * scaling notes; set BIOARCH_DB_SEQS to enlarge the database).
+ */
+
+#ifndef BIOARCH_BENCH_COMMON_HH
+#define BIOARCH_BENCH_COMMON_HH
+
+#include <iostream>
+
+#include "core/report.hh"
+#include "core/suite.hh"
+
+namespace bioarch::bench
+{
+
+/** The per-process workload suite (traces generated lazily). */
+inline core::WorkloadSuite &
+suite()
+{
+    static core::WorkloadSuite s;
+    return s;
+}
+
+/** Banner printed by every harness. */
+inline void
+banner(const std::string &experiment, const std::string &paper_says)
+{
+    std::cout << "# " << experiment << "\n"
+              << "# paper: " << paper_says << "\n"
+              << "# working set: query "
+              << suite().input().query.id() << " ("
+              << suite().input().query.length() << " aa) vs "
+              << suite().input().db.size() << " sequences / "
+              << suite().input().db.totalResidues()
+              << " residues (BIOARCH_DB_SEQS to scale)\n";
+}
+
+} // namespace bioarch::bench
+
+#endif // BIOARCH_BENCH_COMMON_HH

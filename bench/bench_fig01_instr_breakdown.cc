@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 1: instruction breakdown per workload (dynamic counts and
+ * percentages per op class).
+ */
+
+#include "bench_common.hh"
+#include "isa/opclass.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 1 - instruction breakdown",
+        "ctrl: 25% SSEARCH / 18% FASTA / 16% BLAST vs ~2% SIMD; "
+        "ialu: 44-54% scalar apps; vi 21% vmx128 -> 14% vmx256");
+
+    // Category order of the paper's Fig. 1 legend.
+    const isa::OpClass classes[] = {
+        isa::OpClass::Other,     isa::OpClass::Branch,
+        isa::OpClass::VecPerm,   isa::OpClass::VecSimple,
+        isa::OpClass::VecLoad,   isa::OpClass::VecStore,
+        isa::OpClass::IntLoad,   isa::OpClass::IntStore,
+        isa::OpClass::IntAlu,
+    };
+
+    core::Table counts({"Class", "SSEARCH34", "SW_vmx128",
+                        "SW_vmx256", "FASTA34", "BLAST"});
+    core::Table pct = counts;
+
+    std::array<trace::InstructionMix, kernels::numWorkloads> mixes;
+    for (const kernels::Workload w : kernels::allWorkloads)
+        mixes[static_cast<std::size_t>(w)] =
+            bench::suite().trace(w).mix();
+
+    for (const isa::OpClass cls : classes) {
+        auto &rc = counts.row().add(std::string(opClassName(cls)));
+        auto &rp = pct.row().add(std::string(opClassName(cls)));
+        for (const kernels::Workload w : kernels::allWorkloads) {
+            const auto &mix = mixes[static_cast<std::size_t>(w)];
+            rc.add(mix.count(cls));
+            rp.add(100.0 * mix.fraction(cls), 1);
+        }
+    }
+
+    core::printHeading(std::cout, "dynamic instruction counts");
+    counts.print(std::cout);
+    core::printHeading(std::cout, "percent of trace");
+    pct.print(std::cout);
+
+    core::Table totals({"Application", "Total instructions"});
+    for (const kernels::Workload w : kernels::allWorkloads)
+        totals.row()
+            .add(std::string(kernels::workloadName(w)))
+            .add(static_cast<std::uint64_t>(
+                mixes[static_cast<std::size_t>(w)].total));
+    core::printHeading(std::cout, "totals");
+    totals.print(std::cout);
+    return 0;
+}

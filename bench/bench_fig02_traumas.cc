@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 2: stall-cycle (trauma) histograms on the 4-way, 32K/32K/1M
+ * configuration with the real branch predictor.
+ */
+
+#include "bench_common.hh"
+#include "sim/trauma.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 2 - trauma histograms (4-way, me1, real BP)",
+        "BLAST: rg_fix > mm_dl2 > if_pred > mm_dl1; FASTA similar; "
+        "SSEARCH: if_pred dominant; SIMD: rg_vi and rg_vper");
+
+    sim::SimConfig cfg; // 4-way, me1, combined predictor
+
+    for (const kernels::Workload w : kernels::allWorkloads) {
+        const sim::SimStats stats =
+            core::simulate(bench::suite().trace(w), cfg);
+
+        core::printHeading(
+            std::cout,
+            "STALL CYCLES in "
+                + std::string(kernels::workloadName(w))
+                + "  (cycles " + std::to_string(stats.cycles)
+                + ", IPC "
+                + std::to_string(stats.ipc()).substr(0, 4) + ")");
+
+        core::Table t({"trauma", "cycles", "% of trauma"});
+        const std::uint64_t total = stats.traumas.total();
+        for (int i = 0; i < sim::numTraumas; ++i) {
+            const auto tr = static_cast<sim::Trauma>(i);
+            const std::uint64_t c = stats.traumas.get(tr);
+            if (c == 0)
+                continue; // the paper's histograms are sparse too
+            t.row()
+                .add(std::string(sim::traumaName(tr)))
+                .add(c)
+                .add(total ? 100.0 * static_cast<double>(c)
+                               / static_cast<double>(total)
+                           : 0.0,
+                     1);
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

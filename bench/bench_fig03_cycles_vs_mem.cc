@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fig. 3: execution time (CPU cycles) per application across the
+ * memory configurations (Table V) and core widths (Table IV).
+ */
+
+#include "bench_common.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 3 - cycles vs memory configuration x core width",
+        "only BLAST (and mildly the SIMD codes) improves with "
+        "bigger memories; ~8% speedup from 4-way to 8-way; "
+        "SSEARCH/BLAST flat beyond 8-way");
+
+    for (const kernels::Workload w : kernels::allWorkloads) {
+        core::printHeading(
+            std::cout, std::string(kernels::workloadName(w)));
+        core::Table t({"memory", "4-way", "8-way", "16-way"});
+        for (const sim::MemoryConfig &mem : core::memorySweep()) {
+            auto &row = t.row().add(mem.name);
+            for (const sim::CoreConfig &core_cfg :
+                 core::coreSweep()) {
+                sim::SimConfig cfg;
+                cfg.core = core_cfg;
+                cfg.memory = mem;
+                const sim::SimStats stats =
+                    core::simulate(bench::suite().trace(w), cfg);
+                row.add(stats.cycles);
+            }
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 4: IPC per application across memory configurations and
+ * core widths.
+ */
+
+#include "bench_common.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 4 - IPC vs memory configuration x core width",
+        "only the SIMD codes exceed 2 IPC; FASTA/SSEARCH IPC flat "
+        "vs memory; BLAST ~52% slower with 32K L1s than with ideal "
+        "memory");
+
+    for (const kernels::Workload w : kernels::allWorkloads) {
+        core::printHeading(
+            std::cout, std::string(kernels::workloadName(w)));
+        core::Table t({"memory", "4-way", "8-way", "16-way"});
+        for (const sim::MemoryConfig &mem : core::memorySweep()) {
+            auto &row = t.row().add(mem.name);
+            for (const sim::CoreConfig &core_cfg :
+                 core::coreSweep()) {
+                sim::SimConfig cfg;
+                cfg.core = core_cfg;
+                cfg.memory = mem;
+                const sim::SimStats stats =
+                    core::simulate(bench::suite().trace(w), cfg);
+                row.add(stats.ipc(), 3);
+            }
+        }
+        t.print(std::cout);
+    }
+
+    // The headline BLAST number: slowdown from ideal memory to me1
+    // on the 4-way core.
+    sim::SimConfig small;
+    sim::SimConfig ideal;
+    ideal.memory = sim::memoryInf();
+    const auto &blast =
+        bench::suite().trace(kernels::Workload::Blast);
+    const double ipc_small = core::simulate(blast, small).ipc();
+    const double ipc_ideal = core::simulate(blast, ideal).ipc();
+    std::cout << "\nBLAST slowdown, ideal -> 32K/32K/1M: "
+              << static_cast<int>(100.0
+                                  * (1.0 - ipc_small / ipc_ideal))
+              << "% (paper: 52%)\n";
+    return 0;
+}

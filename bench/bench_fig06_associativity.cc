@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 6: DL1 miss rate and IPC versus cache associativity
+ * (1/2/4/8-way at 32K, 4-way core).
+ */
+
+#include "bench_common.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 6 - DL1 miss rate and IPC vs associativity (32K)",
+        "only BLAST's misses drop with associativity, and even "
+        "there IPC barely moves: 32K is simply too small for "
+        "BLAST");
+
+    const int assocs[] = {1, 2, 4, 8};
+
+    core::Table miss({"assoc", "SSEARCH34", "SW_vmx128",
+                      "SW_vmx256", "FASTA34", "BLAST"});
+    core::Table ipc = miss;
+
+    for (const int assoc : assocs) {
+        auto &rm = miss.row().add(assoc);
+        auto &ri = ipc.row().add(assoc);
+        for (const kernels::Workload w : kernels::allWorkloads) {
+            sim::SimConfig cfg; // 4-way, me1 (32K/32K/1M)
+            cfg.memory.dl1.associativity = assoc;
+            const sim::SimStats stats =
+                core::simulate(bench::suite().trace(w), cfg);
+            rm.add(100.0 * stats.dl1MissRate(), 2);
+            ri.add(stats.ipc(), 3);
+        }
+    }
+
+    core::printHeading(std::cout, "(a) DL1 miss rate [%]");
+    miss.print(std::cout);
+    core::printHeading(std::cout, "(b) IPC");
+    ipc.print(std::cout);
+    return 0;
+}

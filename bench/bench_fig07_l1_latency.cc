@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 7: IPC versus L1 hit latency (1-10 cycles; 32K/32K/1M,
+ * 4-way core).
+ */
+
+#include "bench_common.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 7 - IPC vs L1 hit latency",
+        "the SIMD codes are the most latency-sensitive (compute "
+        "bound: every load feeds the dependency chain)");
+
+    const int lats[] = {1, 2, 4, 6, 8, 10};
+
+    core::Table ipc({"L1 latency", "SSEARCH34", "SW_vmx128",
+                     "SW_vmx256", "FASTA34", "BLAST"});
+    std::array<double, kernels::numWorkloads> first{};
+    std::array<double, kernels::numWorkloads> last{};
+
+    for (const int lat : lats) {
+        auto &row = ipc.row().add(lat);
+        for (const kernels::Workload w : kernels::allWorkloads) {
+            sim::SimConfig cfg;
+            cfg.memory.dl1.latency = lat;
+            cfg.memory.il1.latency = 1; // data-side experiment
+            const sim::SimStats stats =
+                core::simulate(bench::suite().trace(w), cfg);
+            row.add(stats.ipc(), 3);
+            if (lat == lats[0])
+                first[static_cast<std::size_t>(w)] = stats.ipc();
+            last[static_cast<std::size_t>(w)] = stats.ipc();
+        }
+    }
+    ipc.print(std::cout);
+
+    std::cout << "\nIPC loss from latency 1 to 10:\n";
+    for (const kernels::Workload w : kernels::allWorkloads) {
+        const std::size_t i = static_cast<std::size_t>(w);
+        std::cout << "  " << kernels::workloadName(w) << ": "
+                  << static_cast<int>(
+                         100.0 * (1.0 - last[i] / first[i]))
+                  << "%\n";
+    }
+    return 0;
+}

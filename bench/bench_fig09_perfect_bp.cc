@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 9: IPC with the real (combined) branch predictor versus a
+ * perfect predictor, across core widths.
+ */
+
+#include "bench_common.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 9 - perfect vs real branch predictor",
+        "negligible for the SIMD codes; critical for SSEARCH34, "
+        "FASTA and BLAST");
+
+    for (const kernels::Workload w : kernels::allWorkloads) {
+        core::printHeading(
+            std::cout, std::string(kernels::workloadName(w)));
+        core::Table t({"predictor", "4-way", "8-way", "16-way"});
+        for (const sim::PredictorKind kind :
+             {sim::PredictorKind::Perfect,
+              sim::PredictorKind::Combined}) {
+            auto &row = t.row().add(
+                kind == sim::PredictorKind::Perfect
+                    ? "Perfect-BP"
+                    : "Real-BP");
+            for (const sim::CoreConfig &core_cfg :
+                 core::coreSweep()) {
+                sim::SimConfig cfg;
+                cfg.core = core_cfg;
+                cfg.bpred.kind = kind;
+                const sim::SimStats stats =
+                    core::simulate(bench::suite().trace(w), cfg);
+                row.add(stats.ipc(), 3);
+            }
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

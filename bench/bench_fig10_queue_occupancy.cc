@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 10: issue-queue utilization and in-flight instruction
+ * histograms for FASTA34 and SW_vmx128 (4-way, me1).
+ */
+
+#include "bench_common.hh"
+
+using namespace bioarch;
+
+namespace
+{
+
+/** Print an occupancy histogram, bucketing the tail. */
+void
+printHistogram(const std::vector<std::uint64_t> &h,
+               const std::string &name, int step)
+{
+    core::Table t({"entries in " + name, "cycles"});
+    for (std::size_t lo = 0; lo < h.size();
+         lo += static_cast<std::size_t>(step)) {
+        std::uint64_t cycles = 0;
+        const std::size_t hi = std::min(
+            lo + static_cast<std::size_t>(step), h.size());
+        for (std::size_t n = lo; n < hi; ++n)
+            cycles += h[n];
+        if (cycles == 0)
+            continue;
+        t.row()
+            .add(step == 1 ? std::to_string(lo)
+                           : std::to_string(lo) + "-"
+                                 + std::to_string(hi - 1))
+            .add(cycles);
+    }
+    t.print(std::cout);
+    std::cout << "mean occupancy: "
+              << sim::SimStats::meanOccupancy(h) << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 10 - issue queue / in-flight utilization "
+        "(4-way, me1)",
+        "FASTA's queues are mostly empty (flush-limited ILP); "
+        "SW_vmx128 keeps the VI queue busy and many instructions "
+        "in flight");
+
+    const sim::SimConfig cfg; // 4-way, me1
+    for (const kernels::Workload w :
+         {kernels::Workload::Fasta34, kernels::Workload::SwVmx128}) {
+        const sim::SimStats stats =
+            core::simulate(bench::suite().trace(w), cfg);
+
+        core::printHeading(
+            std::cout,
+            "ISSUE QUEUES - "
+                + std::string(kernels::workloadName(w)));
+        for (const sim::FuClass cls :
+             {sim::FuClass::Fix, sim::FuClass::LdSt,
+              sim::FuClass::Br, sim::FuClass::Vi,
+              sim::FuClass::VPer}) {
+            std::cout << "\n[" << sim::fuClassName(cls)
+                      << " queue]\n";
+            printHistogram(
+                stats.queueOccupancy[static_cast<std::size_t>(
+                    cls)],
+                std::string(sim::fuClassName(cls)) + "-Q", 2);
+        }
+
+        core::printHeading(
+            std::cout,
+            "IN-FLIGHT / RETIRE QUEUE - "
+                + std::string(kernels::workloadName(w)));
+        std::cout << "[in-flight instructions]\n";
+        printHistogram(stats.inflightOccupancy, "in-flight", 16);
+        std::cout << "\n[retire queue]\n";
+        printHistogram(stats.retireQueueOccupancy, "retire-Q", 16);
+    }
+    return 0;
+}

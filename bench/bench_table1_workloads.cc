@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table I: the selected workloads and their input parameters.
+ */
+
+#include "bench_common.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    bench::banner("Table I - selected workload description",
+                  "five applications: SSEARCH34, SW_vmx128, "
+                  "SW_vmx256, FASTA34, NCBI BLAST");
+
+    core::Table t({"Application", "Description", "Parameters"});
+    t.row()
+        .add("SSEARCH34")
+        .add("best-known scalar Smith-Waterman (Gotoh, "
+             "computation avoidance)")
+        .add("-q -H -p -b 500 -d 0 -s BL62 -f 11 -g 1");
+    t.row()
+        .add("SW_vmx128")
+        .add("data-parallel SW, Altivec 128-bit registers "
+             "(8 x int16 lanes)")
+        .add("-q -H -p -b 500 -d 0 -s BL62 -f 11 -g 1");
+    t.row()
+        .add("SW_vmx256")
+        .add("futuristic SW, 256-bit registers (16 x int16 lanes)")
+        .add("-q -H -p -b 500 -d 0 -s BL62 -f 11 -g 1");
+    t.row()
+        .add("FASTA34")
+        .add("heuristic: ktup=2 diagonal prescreen + banded opt")
+        .add("-q -H -p -b 500 -d 0 -s BL62 -f 11 -g 1");
+    t.row()
+        .add("NCBI BLAST")
+        .add("heuristic: w=3 T=11 neighborhood words, two-hit, "
+             "X-drop extension")
+        .add("blastp -G 10 -E 1 -b 0");
+    t.print(std::cout);
+
+    std::cout << "\nScoring: BLOSUM62, gap open 10, gap extend 1 "
+                 "(Section IV-A).\n";
+    return 0;
+}

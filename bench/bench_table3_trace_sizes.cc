@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table III: trace sizes (dynamic instruction counts) per
+ * application, with the inter-application ratios the paper's
+ * numbers imply.
+ */
+
+#include "bench_common.hh"
+
+using namespace bioarch;
+
+namespace
+{
+
+/** Paper Table III instruction counts. */
+constexpr double paperCounts[] = {
+    319808539.0, // SSEARCH
+    78993134.0,  // SSEARCHVMX128
+    65570645.0,  // SSEARCHVMX256
+    27469429.0,  // FASTA
+    7749725.0,   // BLAST
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table III - trace size (instruction count)",
+                  "SSEARCH 319.8M, vmx128 79.0M, vmx256 65.6M, "
+                  "FASTA 27.5M, BLAST 7.7M "
+                  "(ratios vs SSEARCH: 1 / .247 / .205 / .086 / "
+                  ".024)");
+
+    const std::size_t ssearch = bench::suite()
+        .trace(kernels::Workload::Ssearch34)
+        .size();
+
+    core::Table t({"Application", "Instructions", "vs SSEARCH",
+                   "paper ratio"});
+    int row = 0;
+    for (const kernels::Workload w : kernels::allWorkloads) {
+        const std::size_t n = bench::suite().trace(w).size();
+        t.row()
+            .add(std::string(kernels::workloadName(w)))
+            .add(static_cast<std::uint64_t>(n))
+            .add(static_cast<double>(n)
+                     / static_cast<double>(ssearch),
+                 3)
+            .add(paperCounts[row] / paperCounts[0], 3);
+        ++row;
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tables IV, V, VI and VII: the evaluated processor, memory, and
+ * branch-predictor configurations, and the trauma taxonomy.
+ */
+
+#include "sim/trauma.hh"
+
+#include "bench_common.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    bench::banner("Tables IV-VII - simulated machine configurations",
+                  "4/8/16-way cores, me1-meinf memories, combined "
+                  "GP predictor, 56 trauma classes");
+
+    core::printHeading(std::cout,
+                       "Table IV - processor configurations");
+    core::Table t4({"Parameter", "4-way", "8-way", "16-way"});
+    const auto &cores = core::coreSweep();
+    auto row4 = [&](const char *name, auto get) {
+        auto &r = t4.row().add(name);
+        for (const sim::CoreConfig &c : cores)
+            r.add(get(c));
+    };
+    row4("Fetch", [](const auto &c) { return c.fetchWidth; });
+    row4("Rename", [](const auto &c) { return c.renameWidth; });
+    row4("Dispatch", [](const auto &c) { return c.dispatchWidth; });
+    row4("Retire", [](const auto &c) { return c.retireWidth; });
+    row4("Inflight instrs",
+         [](const auto &c) { return c.inflightLimit; });
+    row4("GPR", [](const auto &c) { return c.gprRegs; });
+    row4("VPR", [](const auto &c) { return c.vprRegs; });
+    row4("FPR", [](const auto &c) { return c.fprRegs; });
+    for (int f = 0; f < sim::numFuClasses; ++f) {
+        const auto cls = static_cast<sim::FuClass>(f);
+        row4((std::string("Units ")
+              + std::string(sim::fuClassName(cls)))
+                 .c_str(),
+             [f](const auto &c) {
+                 return c.units[static_cast<std::size_t>(f)];
+             });
+    }
+    row4("Issue queue (each)", [](const auto &c) {
+        return c.issueQueue[0];
+    });
+    row4("Ibuffer", [](const auto &c) { return c.ibuffer; });
+    row4("Retire queue", [](const auto &c) { return c.retireQueue; });
+    row4("DCache read ports",
+         [](const auto &c) { return c.dcachePorts; });
+    row4("DCache write ports",
+         [](const auto &c) { return c.dcacheWritePorts; });
+    row4("Max outstanding misses",
+         [](const auto &c) { return c.maxOutstandingMisses; });
+    t4.print(std::cout);
+
+    core::printHeading(std::cout,
+                       "Table V - memory configurations");
+    core::Table t5({"Parameter", "me1", "me2", "me3", "me4",
+                    "meinf"});
+    const auto &mems = core::memorySweep();
+    auto cache_row = [&](const char *name, auto get) {
+        auto &r = t5.row().add(name);
+        for (const sim::MemoryConfig &m : mems) {
+            const sim::CacheConfig cc = get(m);
+            r.add(cc.infinite()
+                      ? std::string("Inf")
+                      : std::to_string(cc.sizeBytes / 1024) + "K");
+        }
+    };
+    cache_row("I-L1 size", [](const auto &m) { return m.il1; });
+    cache_row("D-L1 size", [](const auto &m) { return m.dl1; });
+    cache_row("L2 size", [](const auto &m) { return m.l2; });
+    {
+        auto &r = t5.row().add("D-L1 assoc / line / lat");
+        for (const sim::MemoryConfig &m : mems)
+            r.add(std::to_string(m.dl1.associativity) + "/"
+                  + std::to_string(m.dl1.lineBytes) + "/"
+                  + std::to_string(m.dl1.latency));
+        auto &r2 = t5.row().add("L2 assoc / line / lat");
+        for (const sim::MemoryConfig &m : mems)
+            r2.add(std::to_string(m.l2.associativity) + "/"
+                   + std::to_string(m.l2.lineBytes) + "/"
+                   + std::to_string(m.l2.latency));
+        auto &r3 = t5.row().add("Main memory latency");
+        for (const sim::MemoryConfig &m : mems)
+            r3.add(m.memLatency);
+    }
+    t5.print(std::cout);
+
+    core::printHeading(std::cout,
+                       "Table VI - branch predictor configuration");
+    const sim::BranchPredictorConfig bp;
+    core::Table t6({"Parameter", "Value"});
+    t6.row().add("Predictor").add("combined (gshare + bimodal)");
+    t6.row().add("Table size").add(bp.tableEntries);
+    t6.row().add("NFA/BTB entries").add(bp.btbEntries);
+    t6.row().add("NFA associativity").add(bp.btbAssociativity);
+    t6.row().add("NFA miss latency").add(bp.nfaMissPenalty);
+    t6.row()
+        .add("Max predicted conditional branches")
+        .add(bp.maxPredictedBranches);
+    t6.row().add("Mispredict recovery cycles").add(bp.recoveryCycles);
+    t6.print(std::cout);
+
+    core::printHeading(std::cout,
+                       "Table VII - trauma classes (Fig. 2 x-axis)");
+    for (int i = 0; i < sim::numTraumas; ++i) {
+        std::cout << sim::traumaName(static_cast<sim::Trauma>(i));
+        std::cout << ((i + 1) % 8 == 0 ? '\n' : '\t');
+    }
+    std::cout << '\n';
+    return 0;
+}

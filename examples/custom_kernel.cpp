@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Scenario: characterizing your own kernel.
+ *
+ * The Tracer API is not limited to the five built-in workloads:
+ * any loop you can mirror with emission calls becomes a trace the
+ * simulator will characterize. Here we write a tiny histogram
+ * kernel (a common bioinformatics primitive: residue composition
+ * counting) twice — a branchy variant and a branchless variant —
+ * and let the simulator show why the branchless one wins on a
+ * wide machine.
+ */
+
+#include <cstdio>
+
+#include "bio/random.hh"
+#include "bio/synthetic.hh"
+#include "core/suite.hh"
+#include "trace/tracer.hh"
+
+using namespace bioarch;
+using trace::Reg;
+using trace::Tracer;
+
+namespace
+{
+
+/** Count residues above a threshold with a data-dependent branch. */
+trace::Trace
+branchyCount(const bio::Sequence &seq)
+{
+    Tracer t("branchy-count");
+    const isa::Addr data = t.alloc(seq.length(), "residues");
+    Reg r_ptr = t.alu();
+    Reg r_count = t.alu();
+    for (std::size_t i = 0; i < seq.length(); ++i) {
+        Reg r_v = t.load(data + static_cast<isa::Addr>(i), 1,
+                         {r_ptr});
+        t.alu({r_v}); // cmpwi
+        t.branch(seq[i] >= 10, {r_v});
+        if (seq[i] >= 10)
+            r_count = t.alu({r_count}); // addi count, 1
+        r_ptr = t.alu({r_ptr});
+        t.branch(i + 1 < seq.length(), {r_ptr});
+    }
+    return t.take();
+}
+
+/** The same count, branchless (compare + add the flag). */
+trace::Trace
+branchlessCount(const bio::Sequence &seq)
+{
+    Tracer t("branchless-count");
+    const isa::Addr data = t.alloc(seq.length(), "residues");
+    Reg r_ptr = t.alu();
+    Reg r_count = t.alu();
+    for (std::size_t i = 0; i < seq.length(); ++i) {
+        Reg r_v = t.load(data + static_cast<isa::Addr>(i), 1,
+                         {r_ptr});
+        Reg r_flag = t.alu({r_v});          // sltiu-style flag
+        r_count = t.alu({r_count, r_flag}); // count += flag
+        r_ptr = t.alu({r_ptr});
+        t.branch(i + 1 < seq.length(), {r_ptr});
+    }
+    return t.take();
+}
+
+} // namespace
+
+int
+main()
+{
+    bio::Rng rng(2006);
+    const bio::Sequence seq =
+        bio::makeRandomSequence(rng, 50000, "DATA");
+
+    const trace::Trace branchy = branchyCount(seq);
+    const trace::Trace branchless = branchlessCount(seq);
+
+    std::printf("kernel       instrs   ctrl%%   cycles   IPC   "
+                "BP-acc   dominant stall\n");
+    for (const trace::Trace *tr : {&branchy, &branchless}) {
+        sim::SimConfig cfg;
+        cfg.core = sim::core8Way();
+        const sim::SimStats stats = core::simulate(*tr, cfg);
+        const trace::InstructionMix mix = tr->mix();
+        std::printf("%-11s %7zu   %4.0f%%  %7llu  %.2f   %5.1f%%   %s\n",
+                    tr->name().c_str(), tr->size(),
+                    100 * mix.ctrlFraction(),
+                    static_cast<unsigned long long>(stats.cycles),
+                    stats.ipc(),
+                    100 * stats.predictionAccuracy(),
+                    std::string(
+                        sim::traumaName(stats.traumas.dominant()))
+                        .c_str());
+    }
+
+    std::printf("\nThe branchy variant's data-dependent branch "
+                "(~50%% taken) caps it\nat the flush rate; the "
+                "branchless variant trades it for a 2-op\n"
+                "dependency and runs near the machine's width.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scenario: a micro-architect's design-space probe — the question
+ * the paper's conclusions raise: what should a processor aimed at
+ * sequence alignment invest in?
+ *
+ * For each application we vary one resource at a time around the
+ * 4-way baseline (vector-integer units, L1 size, branch predictor
+ * quality) and report the IPC delta, showing that each application
+ * class wants a different machine:
+ *
+ *   - SW_vmx128 responds to VI units (compute bound),
+ *   - BLAST responds to cache (memory bound),
+ *   - SSEARCH responds to branch prediction (flush bound).
+ */
+
+#include <cstdio>
+
+#include "core/suite.hh"
+
+using namespace bioarch;
+
+int
+main()
+{
+    kernels::TraceSpec spec;
+    spec.dbSequences = 8;
+    core::WorkloadSuite suite(spec);
+
+    const kernels::Workload apps[] = {
+        kernels::Workload::Ssearch34,
+        kernels::Workload::SwVmx128,
+        kernels::Workload::Blast,
+    };
+
+    sim::SimConfig base; // 4-way, me1, combined predictor
+
+    std::printf("IPC deltas vs the 4-way baseline "
+                "(one resource doubled at a time)\n\n");
+    std::printf("%-11s %8s %9s %9s %9s\n", "app", "baseline",
+                "+VI unit", "4x L1", "perfectBP");
+
+    for (const kernels::Workload w : apps) {
+        const trace::Trace &tr = suite.trace(w);
+        const double ipc0 = core::simulate(tr, base).ipc();
+
+        sim::SimConfig more_vi = base;
+        more_vi.core.units[static_cast<int>(sim::FuClass::Vi)] += 1;
+        more_vi.core.units[static_cast<int>(sim::FuClass::VPer)] +=
+            1;
+
+        sim::SimConfig more_cache = base;
+        more_cache.memory.dl1.sizeBytes *= 4;
+
+        sim::SimConfig perfect = base;
+        perfect.bpred.kind = sim::PredictorKind::Perfect;
+
+        auto delta = [&](const sim::SimConfig &cfg) {
+            return 100.0 * (core::simulate(tr, cfg).ipc() / ipc0
+                            - 1.0);
+        };
+        std::printf("%-11s %8.2f %+8.1f%% %+8.1f%% %+8.1f%%\n",
+                    std::string(kernels::workloadName(w)).c_str(),
+                    ipc0, delta(more_vi), delta(more_cache),
+                    delta(perfect));
+    }
+
+    std::printf("\nReading: each application class rewards a "
+                "different investment —\n"
+                "vector units for the SIMD kernels, cache for "
+                "BLAST, and branch\nprediction for the scalar "
+                "dynamic-programming codes.\n");
+    return 0;
+}

@@ -1,0 +1,20 @@
+#include "banded.hh"
+
+#include "banded_impl.hh"
+
+namespace bioarch::align
+{
+
+LocalScore
+bandedSmithWaterman(const bio::Sequence &query,
+                    const bio::Sequence &subject,
+                    const bio::ScoringMatrix &matrix,
+                    const bio::GapPenalties &gaps,
+                    int center_diagonal, int half_width)
+{
+    return bandedSmithWatermanScan(
+        query, subject, matrix, gaps, center_diagonal, half_width,
+        [](int, int, int, int, int) {});
+}
+
+} // namespace bioarch::align

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Banded local alignment around a diagonal, the workhorse of the
+ * FASTA "opt" stage and of BLAST's gapped extension.
+ */
+
+#ifndef BIOARCH_ALIGN_BANDED_HH
+#define BIOARCH_ALIGN_BANDED_HH
+
+#include "bio/scoring.hh"
+#include "bio/sequence.hh"
+#include "types.hh"
+
+namespace bioarch::align
+{
+
+/**
+ * Smith-Waterman restricted to cells with
+ * |(j - i) - center_diagonal| <= half_width.
+ *
+ * Equivalent to full SW when the band covers the whole matrix, which
+ * the tests exploit. Cells outside the band are treated as
+ * unreachable.
+ *
+ * @param center_diagonal diagonal d = j - i at the band center
+ * @param half_width band half width in diagonals (>= 0)
+ */
+LocalScore bandedSmithWaterman(const bio::Sequence &query,
+                               const bio::Sequence &subject,
+                               const bio::ScoringMatrix &matrix,
+                               const bio::GapPenalties &gaps,
+                               int center_diagonal, int half_width);
+
+} // namespace bioarch::align
+
+#endif // BIOARCH_ALIGN_BANDED_HH

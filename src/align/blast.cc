@@ -1,0 +1,348 @@
+#include "blast.hh"
+
+#include <algorithm>
+
+#include "banded.hh"
+#include "karlin.hh"
+
+namespace bioarch::align
+{
+
+namespace
+{
+
+std::size_t
+wordSpace(int word_size)
+{
+    std::size_t space = 1;
+    for (int k = 0; k < word_size; ++k)
+        space *= bio::Alphabet::numSymbols;
+    return space;
+}
+
+} // namespace
+
+NeighborhoodIndex::NeighborhoodIndex(const bio::Sequence &query,
+                                     const bio::ScoringMatrix &matrix,
+                                     const BlastParams &params)
+    : _wordSize(params.wordSize),
+      _queryLength(static_cast<int>(query.length())),
+      _heads(wordSpace(params.wordSize) + 1, 0)
+{
+    const int num_words = _queryLength - _wordSize + 1;
+    if (num_words <= 0)
+        return;
+
+    // Enumerate, for every query word, all words over the 20 real
+    // residues whose pairwise score reaches the threshold T. The
+    // candidate space is pruned with per-position "best remaining"
+    // bounds so the recursion only explores viable prefixes.
+    struct Entry
+    {
+        std::uint32_t word;
+        std::int32_t qpos;
+    };
+    std::vector<Entry> entries;
+
+    // bestTail[k] = max over residues of matrix row max, for the
+    // remaining word positions k..w-1, given the query word.
+    std::vector<int> row_max(
+        static_cast<std::size_t>(bio::Alphabet::numSymbols), 0);
+    for (int a = 0; a < bio::Alphabet::numSymbols; ++a) {
+        int best = -1000;
+        for (int b = 0; b < bio::Alphabet::numRealResidues; ++b)
+            best = std::max(
+                best, matrix.score(static_cast<bio::Residue>(a),
+                                   static_cast<bio::Residue>(b)));
+        row_max[static_cast<std::size_t>(a)] = best;
+    }
+
+    for (int i = 0; i < num_words; ++i) {
+        const bio::Residue *qw = query.residues().data() + i;
+        std::vector<int> tail(static_cast<std::size_t>(_wordSize) + 1,
+                              0);
+        for (int k = _wordSize - 1; k >= 0; --k)
+            tail[static_cast<std::size_t>(k)] =
+                tail[static_cast<std::size_t>(k) + 1]
+                + row_max[qw[k]];
+
+        // Iterative DFS over word prefixes.
+        struct Frame { int residue; int score; };
+        std::vector<Frame> stack(static_cast<std::size_t>(_wordSize),
+                                 Frame{0, 0});
+        int depth = 0;
+        while (depth >= 0) {
+            Frame &f = stack[static_cast<std::size_t>(depth)];
+            if (f.residue >= bio::Alphabet::numRealResidues) {
+                --depth;
+                if (depth >= 0)
+                    ++stack[static_cast<std::size_t>(depth)].residue;
+                continue;
+            }
+            const int s = f.score
+                + matrix.score(qw[depth],
+                               static_cast<bio::Residue>(f.residue));
+            // Prune: even perfect remaining residues cannot reach T.
+            if (s + tail[static_cast<std::size_t>(depth) + 1]
+                < params.neighborThreshold) {
+                ++f.residue;
+                continue;
+            }
+            if (depth == _wordSize - 1) {
+                if (s >= params.neighborThreshold) {
+                    std::uint32_t w = 0;
+                    for (int k = 0; k < _wordSize; ++k) {
+                        const int r =
+                            k == depth
+                                ? f.residue
+                                : stack[static_cast<std::size_t>(k)]
+                                      .residue;
+                        w = w * bio::Alphabet::numSymbols
+                            + static_cast<std::uint32_t>(r);
+                    }
+                    entries.push_back(
+                        Entry{w, static_cast<std::int32_t>(i)});
+                }
+                ++f.residue;
+            } else {
+                ++depth;
+                stack[static_cast<std::size_t>(depth)] =
+                    Frame{0, s};
+            }
+        }
+    }
+
+    // CSR construction.
+    for (const Entry &e : entries)
+        ++_heads[e.word + 1];
+    for (std::size_t w = 1; w < _heads.size(); ++w)
+        _heads[w] += _heads[w - 1];
+    _positions.resize(entries.size());
+    std::vector<std::int32_t> cursor(_heads.begin(), _heads.end() - 1);
+    for (const Entry &e : entries)
+        _positions[static_cast<std::size_t>(cursor[e.word]++)] =
+            e.qpos;
+}
+
+UngappedExtension
+ungappedExtend(const bio::Sequence &query, const bio::Sequence &subject,
+               const bio::ScoringMatrix &matrix, int qpos, int spos,
+               int seed_len, int x_drop)
+{
+    UngappedExtension out;
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject.length());
+
+    int seed = 0;
+    for (int k = 0; k < seed_len; ++k)
+        seed += matrix.score(query[qpos + k], subject[spos + k]);
+
+    // Right extension from the end of the seed.
+    int best_right = 0;
+    int right_len = 0;
+    int run = 0;
+    for (int k = seed_len;
+         qpos + k < m && spos + k < n; ++k) {
+        run += matrix.score(query[qpos + k], subject[spos + k]);
+        if (run > best_right) {
+            best_right = run;
+            right_len = k - seed_len + 1;
+        }
+        if (run < best_right - x_drop)
+            break;
+    }
+
+    // Left extension from the start of the seed.
+    int best_left = 0;
+    int left_len = 0;
+    run = 0;
+    for (int k = 1; qpos - k >= 0 && spos - k >= 0; ++k) {
+        run += matrix.score(query[qpos - k], subject[spos - k]);
+        if (run > best_left) {
+            best_left = run;
+            left_len = k;
+        }
+        if (run < best_left - x_drop)
+            break;
+    }
+
+    out.score = seed + best_right + best_left;
+    out.queryStart = qpos - left_len;
+    out.queryEnd = qpos + seed_len - 1 + right_len;
+    return out;
+}
+
+GappedWindow
+gappedWindow(const UngappedExtension &ext, int diag, int query_len,
+             int subject_len, int margin)
+{
+    GappedWindow w;
+    w.queryLo = std::max(0, ext.queryStart - margin);
+    w.queryHi = std::min(query_len - 1, ext.queryEnd + margin);
+    w.subjectLo = std::max(0, ext.queryStart + diag - margin);
+    w.subjectHi =
+        std::min(subject_len - 1, ext.queryEnd + diag + margin);
+    w.center = diag - (w.subjectLo - w.queryLo);
+    return w;
+}
+
+namespace
+{
+
+/** Extract [lo, hi] of a sequence (for windowed gapped extension). */
+bio::Sequence
+window(const bio::Sequence &seq, int lo, int hi)
+{
+    const auto &res = seq.residues();
+    return bio::Sequence(
+        seq.id(), "window",
+        std::vector<bio::Residue>(
+            res.begin() + lo, res.begin() + hi + 1));
+}
+
+} // namespace
+
+BlastScores
+blastScan(const NeighborhoodIndex &index, const bio::Sequence &query,
+          const bio::Sequence &subject, const bio::ScoringMatrix &matrix,
+          const bio::GapPenalties &gaps, const BlastParams &params,
+          std::uint64_t *cells)
+{
+    BlastScores out;
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject.length());
+    const int w = index.wordSize();
+    if (m < w || n < w)
+        return out;
+
+    // Per-diagonal state: subject position of the last unextended
+    // hit, and the subject position up to which the diagonal has
+    // already been covered by an extension (suppresses re-triggering
+    // inside an extended region, as NCBI BLAST's diag array does).
+    const int num_diags = m + n - 1;
+    const int diag_offset = m - 1;
+    struct DiagState
+    {
+        std::int32_t lastHit = -1000000;
+        std::int32_t extendedTo = -1;
+    };
+    std::vector<DiagState> diag(static_cast<std::size_t>(num_diags));
+
+    // Best ungapped HSP seen during the scan; the (single) gapped
+    // extension runs around its diagonal after the scan, mirroring
+    // how NCBI BLAST gap-extends the preliminary HSP list rather
+    // than every triggering seed.
+    int best_diag = 0;
+    UngappedExtension best_ext;
+    const auto *sres = subject.residues().data();
+
+    for (int j = 0; j + w <= n; ++j) {
+        const std::uint32_t word = index.encode(sres + j);
+        const auto [begin, end] = index.positions(word);
+        if (cells)
+            *cells += 1;
+        for (const std::int32_t *p = begin; p != end; ++p) {
+            const int i = *p;
+            const int d = j - i + diag_offset;
+            DiagState &ds = diag[static_cast<std::size_t>(d)];
+            ++out.wordHits;
+            if (j <= ds.extendedTo)
+                continue; // inside an already-extended region
+
+            bool trigger;
+            if (params.twoHit) {
+                const int dist = j - ds.lastHit;
+                if (dist < w) {
+                    // Overlapping the previous hit: neither triggers
+                    // nor replaces it (otherwise runs of consecutive
+                    // hits — e.g. a perfect match — would never put
+                    // two non-overlapping hits in the window).
+                    continue;
+                }
+                trigger = dist <= params.twoHitWindow;
+            } else {
+                trigger = true;
+            }
+            ds.lastHit = j;
+            if (!trigger)
+                continue;
+
+            ++out.extensionsTried;
+            const UngappedExtension ext =
+                ungappedExtend(query, subject, matrix, i, j, w,
+                               params.xDropUngapped);
+            if (cells)
+                *cells += static_cast<std::uint64_t>(
+                    ext.queryEnd - ext.queryStart + 1);
+            ds.extendedTo = ext.queryEnd + (j - i);
+            if (ext.score > out.bestUngapped) {
+                out.bestUngapped = ext.score;
+                best_diag = j - i;
+                best_ext = ext;
+            }
+        }
+    }
+
+    if (out.bestUngapped >= params.gapTrigger) {
+        ++out.gappedExtensions;
+        // The gapped stage explores a window around the HSP, not
+        // the whole subject (the real gapped extension's X-drop
+        // keeps it local).
+        const GappedWindow win =
+            gappedWindow(best_ext, best_diag, m, n,
+                         params.gappedWindowMargin);
+        const bio::Sequence qw =
+            window(query, win.queryLo, win.queryHi);
+        const bio::Sequence sw =
+            window(subject, win.subjectLo, win.subjectHi);
+        const LocalScore gapped =
+            bandedSmithWaterman(qw, sw, matrix, gaps, win.center,
+                                params.bandHalfWidth);
+        if (cells) {
+            *cells += static_cast<std::uint64_t>(
+                          2 * params.bandHalfWidth + 1)
+                * static_cast<std::uint64_t>(
+                          win.subjectHi - win.subjectLo + 1);
+        }
+        out.score = std::max(gapped.score, 0);
+    }
+    return out;
+}
+
+SearchResults
+blastSearch(const bio::Sequence &query, const bio::SequenceDatabase &db,
+            const bio::ScoringMatrix &matrix,
+            const bio::GapPenalties &gaps, const BlastParams &params,
+            std::size_t max_hits)
+{
+    SearchResults out;
+    const NeighborhoodIndex index(query, matrix, params);
+    const KarlinParams &ka = blosum62Karlin();
+    const double total = static_cast<double>(db.totalResidues());
+
+    for (std::size_t idx = 0; idx < db.size(); ++idx) {
+        const BlastScores bs =
+            blastScan(index, query, db[idx], matrix, gaps, params,
+                      &out.cellsComputed);
+        ++out.sequencesSearched;
+        const int score = std::max(bs.score, 0);
+        if (score <= 0)
+            continue;
+        SearchHit hit;
+        hit.dbIndex = idx;
+        hit.score = score;
+        hit.bitScore = ka.bitScore(score);
+        hit.evalue = ka.evalue(
+            score, static_cast<double>(query.length()), total);
+        out.hits.push_back(hit);
+    }
+    std::sort(out.hits.begin(), out.hits.end(),
+              [](const SearchHit &a, const SearchHit &b) {
+                  return a.score > b.score;
+              });
+    if (out.hits.size() > max_hits)
+        out.hits.resize(max_hits);
+    return out;
+}
+
+} // namespace bioarch::align

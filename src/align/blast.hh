@@ -1,0 +1,202 @@
+/**
+ * @file
+ * BLASTP-style heuristic database search (the paper's NCBI BLAST
+ * workload).
+ *
+ * Stages follow Altschul et al. (1990, 1997):
+ *
+ *   1. build the query's *neighborhood word index*: for every
+ *      length-w query word, all words scoring >= T against it are
+ *      entered into a direct-address lookup table over the full word
+ *      space (alphabet^w entries). This table is the large, randomly
+ *      indexed data structure that makes BLAST memory-bound in the
+ *      paper;
+ *   2. scan each database sequence word by word (the
+ *      BlastWordFinder of Listing 1); on a table hit, apply the
+ *      *two-hit* heuristic: two non-overlapping hits on the same
+ *      diagonal within a window trigger an ungapped extension;
+ *   3. ungapped X-drop extension along the diagonal;
+ *   4. if the ungapped score passes the gap trigger, run a gapped
+ *      (banded Smith-Waterman) extension and report the best score.
+ */
+
+#ifndef BIOARCH_ALIGN_BLAST_HH
+#define BIOARCH_ALIGN_BLAST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/database.hh"
+#include "bio/scoring.hh"
+#include "bio/sequence.hh"
+#include "types.hh"
+
+namespace bioarch::align
+{
+
+/** Tunables of the BLASTP pipeline (defaults match blastp). */
+struct BlastParams
+{
+    int wordSize = 3;        ///< w: word length
+    int neighborThreshold = 11; ///< T: neighborhood word score
+    int twoHitWindow = 40;   ///< A: max diagonal distance of hit pair
+    int xDropUngapped = 16;  ///< X: ungapped extension drop-off
+    /** Ungapped score that starts a gapped extension. 38 raw is the
+     * BLOSUM62 equivalent of NCBI's 22-bit gap trigger. */
+    int gapTrigger = 38;
+    int bandHalfWidth = 24;  ///< band half-width of gapped extension
+    /** Residues of slack around the HSP explored by the gapped
+     * extension (models the X-drop locality of the real gapped
+     * stage — the band does not sweep the whole subject). */
+    int gappedWindowMargin = 32;
+    bool twoHit = true;      ///< use the two-hit heuristic
+};
+
+/**
+ * Neighborhood word index over the full word space.
+ *
+ * The table is direct-addressed: word -> CSR range of query
+ * positions whose neighborhood contains that word. For w = 3 over a
+ * 23-symbol alphabet the head array alone is ~48 KB and the accesses
+ * during the scan are data-dependent (indexed by database content),
+ * which reproduces BLAST's large irregular working set.
+ */
+class NeighborhoodIndex
+{
+  public:
+    NeighborhoodIndex(const bio::Sequence &query,
+                      const bio::ScoringMatrix &matrix,
+                      const BlastParams &params);
+
+    int wordSize() const { return _wordSize; }
+    int queryLength() const { return _queryLength; }
+
+    /** Total (word, query position) pairs stored. */
+    std::size_t numEntries() const { return _positions.size(); }
+
+    /** Number of direct-address table slots (alphabet^w). */
+    std::size_t tableSize() const { return _heads.size() - 1; }
+
+    /** Encode the word starting at @p residues. */
+    std::uint32_t
+    encode(const bio::Residue *residues) const
+    {
+        std::uint32_t w = 0;
+        for (int k = 0; k < _wordSize; ++k)
+            w = w * bio::Alphabet::numSymbols + residues[k];
+        return w;
+    }
+
+    /** Query positions whose neighborhood contains word @p w. */
+    std::pair<const std::int32_t *, const std::int32_t *>
+    positions(std::uint32_t w) const
+    {
+        const std::int32_t head = _heads[w];
+        const std::int32_t tail = _heads[w + 1];
+        return {_positions.data() + head, _positions.data() + tail};
+    }
+
+  private:
+    int _wordSize;
+    int _queryLength;
+    std::vector<std::int32_t> _heads;     ///< CSR heads, size^w + 1
+    std::vector<std::int32_t> _positions; ///< query positions
+};
+
+/** Result of one ungapped extension. */
+struct UngappedExtension
+{
+    int score = 0;
+    int queryStart = 0;
+    int queryEnd = 0; ///< inclusive
+
+    bool operator==(const UngappedExtension &other) const = default;
+};
+
+/**
+ * Ungapped X-drop extension of a seed hit along its diagonal.
+ *
+ * @param query query sequence
+ * @param subject subject sequence
+ * @param matrix substitution matrix
+ * @param qpos query position of the seed's first residue
+ * @param spos subject position of the seed's first residue
+ * @param seed_len residues of the seed (scored as part of the hit)
+ * @param x_drop stop when the running score drops this far below
+ *        the best seen
+ */
+UngappedExtension ungappedExtend(const bio::Sequence &query,
+                                 const bio::Sequence &subject,
+                                 const bio::ScoringMatrix &matrix,
+                                 int qpos, int spos, int seed_len,
+                                 int x_drop);
+
+/**
+ * The sub-matrix a gapped extension explores: the HSP extent plus
+ * margin, clipped to the sequences. Shared between the library scan
+ * and the instrumented kernel twin so both run the identical gapped
+ * stage.
+ */
+struct GappedWindow
+{
+    int queryLo = 0;   ///< first query row, inclusive
+    int queryHi = -1;  ///< last query row, inclusive
+    int subjectLo = 0; ///< first subject column, inclusive
+    int subjectHi = -1;///< last subject column, inclusive
+    int center = 0;    ///< band center diagonal in window coordinates
+
+    bool empty() const { return queryHi < queryLo; }
+};
+
+/**
+ * Compute the gapped-extension window for an HSP.
+ *
+ * @param ext the ungapped HSP
+ * @param diag its diagonal (subject - query)
+ * @param query_len length of the query
+ * @param subject_len length of the subject
+ * @param margin extra residues explored on each side
+ */
+GappedWindow gappedWindow(const UngappedExtension &ext, int diag,
+                          int query_len, int subject_len, int margin);
+
+/** Per-subject outcome of the BLAST stages. */
+struct BlastScores
+{
+    int wordHits = 0;          ///< lookup-table hits during the scan
+    int extensionsTried = 0;   ///< ungapped extensions started
+    int bestUngapped = 0;      ///< best ungapped extension score
+    int gappedExtensions = 0;  ///< gapped extensions started
+    int score = 0;             ///< final (gapped) score; 0 if none
+};
+
+/**
+ * Run the BLAST word scan + extensions for one subject.
+ *
+ * @param index prebuilt neighborhood index
+ * @param query query sequence
+ * @param subject subject sequence
+ * @param matrix substitution matrix
+ * @param gaps gap penalties for the gapped stage
+ * @param params pipeline tunables
+ * @param[out] cells optional work counter
+ */
+BlastScores blastScan(const NeighborhoodIndex &index,
+                      const bio::Sequence &query,
+                      const bio::Sequence &subject,
+                      const bio::ScoringMatrix &matrix,
+                      const bio::GapPenalties &gaps,
+                      const BlastParams &params,
+                      std::uint64_t *cells = nullptr);
+
+/** Full database search ranked by score / E-value. */
+SearchResults blastSearch(const bio::Sequence &query,
+                          const bio::SequenceDatabase &db,
+                          const bio::ScoringMatrix &matrix,
+                          const bio::GapPenalties &gaps,
+                          const BlastParams &params = {},
+                          std::size_t max_hits = 500);
+
+} // namespace bioarch::align
+
+#endif // BIOARCH_ALIGN_BLAST_HH

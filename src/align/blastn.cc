@@ -1,0 +1,253 @@
+#include "blastn.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "banded_impl.hh"
+#include "bio/scoring.hh"
+#include "blast.hh"
+
+namespace bioarch::align
+{
+
+namespace
+{
+
+/** 4^w. */
+std::size_t
+dnaWordSpace(int w)
+{
+    return std::size_t{1} << (2 * w);
+}
+
+/**
+ * Karlin lambda for uniform-composition match/mismatch scoring:
+ * the root of (1/4) e^{lambda*match} + (3/4) e^{lambda*mismatch} = 1.
+ */
+double
+dnaLambda(int match, int mismatch)
+{
+    if (match <= 0)
+        return 0.0;
+    auto f = [&](double lambda) {
+        return 0.25 * std::exp(lambda * match)
+            + 0.75 * std::exp(lambda * mismatch) - 1.0;
+    };
+    double hi = 1.0;
+    while (f(hi) < 0.0)
+        hi *= 2.0;
+    double lo = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        (f(mid) < 0.0 ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+/** Decode packed DNA into a Sequence over residues 0..3 (for the
+ * banded gapped stage, which is alphabet-agnostic). */
+bio::Sequence
+decode(const bio::PackedDna &dna, std::size_t lo, std::size_t hi)
+{
+    std::vector<bio::Residue> out;
+    out.reserve(hi - lo + 1);
+    for (std::size_t i = lo; i <= hi; ++i)
+        out.push_back(static_cast<bio::Residue>(dna[i]));
+    return bio::Sequence(dna.id(), "window", std::move(out));
+}
+
+} // namespace
+
+DnaWordIndex::DnaWordIndex(const bio::PackedDna &query, int word_size)
+    : _wordSize(word_size), _heads(dnaWordSpace(word_size) + 1, 0)
+{
+    const std::size_t m = query.length();
+    if (m < static_cast<std::size_t>(word_size))
+        return;
+    const std::size_t num = m - static_cast<std::size_t>(word_size)
+        + 1;
+    const std::uint32_t mask = static_cast<std::uint32_t>(
+        dnaWordSpace(word_size) - 1);
+
+    std::vector<std::uint32_t> words(num);
+    std::uint32_t w = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+        w = ((w << 2) | query[i]) & mask;
+        if (i + 1 >= static_cast<std::size_t>(word_size)) {
+            const std::size_t start =
+                i + 1 - static_cast<std::size_t>(word_size);
+            words[start] = w;
+            ++_heads[w + 1];
+        }
+    }
+    for (std::size_t k = 1; k < _heads.size(); ++k)
+        _heads[k] += _heads[k - 1];
+    _positions.resize(num);
+    std::vector<std::int32_t> cursor(_heads.begin(),
+                                     _heads.end() - 1);
+    for (std::size_t i = 0; i < num; ++i)
+        _positions[static_cast<std::size_t>(
+            cursor[words[i]]++)] = static_cast<std::int32_t>(i);
+}
+
+BlastnScores
+blastnScan(const DnaWordIndex &index, const bio::PackedDna &query,
+           const bio::PackedDna &subject, const BlastnParams &params,
+           std::uint64_t *cells)
+{
+    BlastnScores out;
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject.length());
+    const int w = index.wordSize();
+    if (m < w || n < w)
+        return out;
+
+    const int num_diags = m + n - 1;
+    const int diag_offset = m - 1;
+    std::vector<std::int32_t> extended_to(
+        static_cast<std::size_t>(num_diags), -1);
+
+    int best_diag = 0;
+    UngappedExtension best_ext;
+
+    const std::uint32_t mask = static_cast<std::uint32_t>(
+        (std::size_t{1} << (2 * w)) - 1);
+    std::uint32_t word = 0;
+    for (int j = 0; j < n; ++j) {
+        word = ((word << 2) | subject[static_cast<std::size_t>(j)])
+            & mask;
+        if (j + 1 < w)
+            continue;
+        const int start = j + 1 - w;
+        const auto [begin, end] = index.positions(word);
+        if (cells)
+            ++*cells;
+        for (const std::int32_t *p = begin; p != end; ++p) {
+            const int i = *p;
+            const int d = start - i + diag_offset;
+            ++out.wordHits;
+            if (start <= extended_to[static_cast<std::size_t>(d)])
+                continue;
+
+            // One-hit seeding: extend immediately (classic blastn).
+            ++out.extensionsTried;
+            int seed = params.matchScore * w;
+
+            // Right extension, unpacking base by base (the
+            // READDB_UNPACK_BASE pattern).
+            int best_right = 0;
+            int right_len = 0;
+            int run = 0;
+            for (int k = w; i + k < m && start + k < n; ++k) {
+                run += query[static_cast<std::size_t>(i + k)]
+                        == subject[static_cast<std::size_t>(
+                            start + k)]
+                    ? params.matchScore
+                    : params.mismatchScore;
+                if (run > best_right) {
+                    best_right = run;
+                    right_len = k - w + 1;
+                }
+                if (run < best_right - params.xDropUngapped)
+                    break;
+                if (cells)
+                    ++*cells;
+            }
+            // Left extension.
+            int best_left = 0;
+            int left_len = 0;
+            run = 0;
+            for (int k = 1; i - k >= 0 && start - k >= 0; ++k) {
+                run += query[static_cast<std::size_t>(i - k)]
+                        == subject[static_cast<std::size_t>(
+                            start - k)]
+                    ? params.matchScore
+                    : params.mismatchScore;
+                if (run > best_left) {
+                    best_left = run;
+                    left_len = k;
+                }
+                if (run < best_left - params.xDropUngapped)
+                    break;
+                if (cells)
+                    ++*cells;
+            }
+
+            const int score = seed + best_right + best_left;
+            extended_to[static_cast<std::size_t>(d)] =
+                start + w - 1 + right_len;
+            if (score > out.bestUngapped) {
+                out.bestUngapped = score;
+                best_diag = start - i;
+                best_ext.score = score;
+                best_ext.queryStart = i - left_len;
+                best_ext.queryEnd = i + w - 1 + right_len;
+            }
+        }
+    }
+
+    if (out.bestUngapped >= params.gapTrigger) {
+        ++out.gappedExtensions;
+        const GappedWindow win =
+            gappedWindow(best_ext, best_diag, m, n,
+                         params.gappedWindowMargin);
+        const bio::Sequence qw = decode(
+            query, static_cast<std::size_t>(win.queryLo),
+            static_cast<std::size_t>(win.queryHi));
+        const bio::Sequence sw = decode(
+            subject, static_cast<std::size_t>(win.subjectLo),
+            static_cast<std::size_t>(win.subjectHi));
+        const bio::ScoringMatrix mm = bio::makeMatchMismatch(
+            params.matchScore, params.mismatchScore);
+        const bio::GapPenalties gaps{params.gapOpen,
+                                     params.gapExtend};
+        const LocalScore gapped = bandedSmithWatermanScan(
+            qw, sw, mm, gaps, win.center, params.bandHalfWidth,
+            [](int, int, int, int, int) {});
+        if (cells) {
+            *cells += static_cast<std::uint64_t>(
+                          2 * params.bandHalfWidth + 1)
+                * static_cast<std::uint64_t>(
+                          win.subjectHi - win.subjectLo + 1);
+        }
+        out.score = std::max(gapped.score, 0);
+    }
+    return out;
+}
+
+SearchResults
+blastnSearch(const bio::PackedDna &query, const bio::DnaDatabase &db,
+             const BlastnParams &params, std::size_t max_hits)
+{
+    SearchResults out;
+    const DnaWordIndex index(query, params.wordSize);
+    const double lambda =
+        dnaLambda(params.matchScore, params.mismatchScore);
+    const double k = 0.3; // standard blastn-scale constant
+    const double total = static_cast<double>(db.totalBases());
+
+    for (std::size_t idx = 0; idx < db.size(); ++idx) {
+        const BlastnScores bs = blastnScan(
+            index, query, db[idx], params, &out.cellsComputed);
+        ++out.sequencesSearched;
+        if (bs.score <= 0)
+            continue;
+        SearchHit hit;
+        hit.dbIndex = idx;
+        hit.score = bs.score;
+        hit.bitScore =
+            (lambda * bs.score - std::log(k)) / std::log(2.0);
+        hit.evalue = k * static_cast<double>(query.length()) * total
+            * std::exp(-lambda * bs.score);
+        out.hits.push_back(hit);
+    }
+    std::sort(out.hits.begin(), out.hits.end(),
+              [](const SearchHit &a, const SearchHit &b) {
+                  return a.score > b.score;
+              });
+    if (out.hits.size() > max_hits)
+        out.hits.resize(max_hits);
+    return out;
+}
+
+} // namespace bioarch::align

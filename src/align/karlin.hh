@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Karlin-Altschul statistics for local alignment scores: the lambda
+ * and K parameters that turn raw scores into bit scores and E-values
+ * (used by the BLAST and FASTA drivers to rank hits the way the real
+ * tools do).
+ */
+
+#ifndef BIOARCH_ALIGN_KARLIN_HH
+#define BIOARCH_ALIGN_KARLIN_HH
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "bio/alphabet.hh"
+#include "bio/scoring.hh"
+
+namespace bioarch::align
+{
+
+/**
+ * Karlin-Altschul parameters for a scoring system over a residue
+ * background distribution.
+ */
+struct KarlinParams
+{
+    double lambda = 0.0; ///< scale of the score distribution
+    double k = 0.0;      ///< search-space correction constant
+    double h = 0.0;      ///< relative entropy (bits per position)
+
+    /** Raw score -> bit score. */
+    double
+    bitScore(int raw) const
+    {
+        // S' = (lambda*S - ln K) / ln 2
+        return (lambda * raw - std::log(k)) / std::log(2.0);
+    }
+
+    /**
+     * Expected number of chance hits with score >= @p raw when
+     * searching a query of length @p m against a database of
+     * @p n total residues.
+     */
+    double
+    evalue(int raw, double m, double n) const
+    {
+        return k * m * n * std::exp(-lambda * raw);
+    }
+};
+
+/**
+ * Solve for the Karlin-Altschul parameters of an ungapped scoring
+ * system.
+ *
+ * Lambda is the unique positive root of
+ *   sum_ij p_i p_j exp(lambda * s_ij) = 1,
+ * found by bisection + Newton refinement. K is computed with the
+ * standard geometric-series approximation (accurate to a few percent
+ * for matrices like BLOSUM62, which is all ranking needs). H is the
+ * relative entropy of the aligned-pair distribution.
+ *
+ * The score system must have negative expected score and at least
+ * one positive score; otherwise the theory does not apply and the
+ * function returns all-zero parameters.
+ *
+ * @param matrix substitution matrix
+ * @param freqs background frequency of the 20 real residues
+ */
+KarlinParams
+solveKarlin(const bio::ScoringMatrix &matrix,
+            const std::array<double, bio::Alphabet::numRealResidues>
+                &freqs);
+
+/**
+ * Parameters for BLOSUM62 against the standard Robinson-Robinson
+ * background (computed once, cached).
+ */
+const KarlinParams &blosum62Karlin();
+
+} // namespace bioarch::align
+
+#endif // BIOARCH_ALIGN_KARLIN_HH

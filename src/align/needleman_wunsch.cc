@@ -1,0 +1,165 @@
+#include "needleman_wunsch.hh"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace bioarch::align
+{
+
+namespace
+{
+
+/** A safely small value that cannot underflow when decremented. */
+constexpr int negInf = std::numeric_limits<int>::min() / 4;
+
+} // namespace
+
+int
+needlemanWunschScore(const bio::Sequence &query,
+                     const bio::Sequence &subject,
+                     const bio::ScoringMatrix &matrix,
+                     const bio::GapPenalties &gaps)
+{
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject.length());
+    const int open_cost = gaps.openCost();
+    const int ext_cost = gaps.extendCost();
+
+    if (m == 0 && n == 0)
+        return 0;
+    if (m == 0)
+        return -gaps.cost(n);
+    if (n == 0)
+        return -gaps.cost(m);
+
+    // h_row[i] = H[i][j-1], e_row[i] = E[i][j-1] (gap in query).
+    std::vector<int> h_row(m + 1);
+    std::vector<int> e_row(m + 1, negInf);
+    h_row[0] = 0;
+    for (int i = 1; i <= m; ++i)
+        h_row[i] = -gaps.cost(i);
+
+    for (int j = 1; j <= n; ++j) {
+        const std::int8_t *profile = matrix.row(subject[j - 1]);
+        int h_diag = h_row[0];
+        h_row[0] = -gaps.cost(j);
+        int f = negInf;
+        for (int i = 1; i <= m; ++i) {
+            const int e = std::max(h_row[i] - open_cost,
+                                   e_row[i] - ext_cost);
+            f = std::max(h_row[i - 1] - open_cost, f - ext_cost);
+            const int h = std::max(
+                {h_diag + profile[query[i - 1]], e, f});
+            h_diag = h_row[i];
+            h_row[i] = h;
+            e_row[i] = e;
+        }
+    }
+    return h_row[m];
+}
+
+Alignment
+needlemanWunschAlign(const bio::Sequence &query,
+                     const bio::Sequence &subject,
+                     const bio::ScoringMatrix &matrix,
+                     const bio::GapPenalties &gaps)
+{
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject.length());
+    const int open_cost = gaps.openCost();
+    const int ext_cost = gaps.extendCost();
+
+    Alignment out;
+    // Full (m+1) x (n+1) score matrices for the three layers.
+    const std::size_t w = static_cast<std::size_t>(m) + 1;
+    auto at = [w](int i, int j) {
+        return static_cast<std::size_t>(j) * w
+            + static_cast<std::size_t>(i);
+    };
+    const std::size_t cells = w * (static_cast<std::size_t>(n) + 1);
+    std::vector<int> h(cells, negInf);
+    std::vector<int> e(cells, negInf);
+    std::vector<int> f(cells, negInf);
+
+    h[at(0, 0)] = 0;
+    for (int i = 1; i <= m; ++i) {
+        f[at(i, 0)] = -gaps.cost(i);
+        h[at(i, 0)] = f[at(i, 0)];
+    }
+    for (int j = 1; j <= n; ++j) {
+        e[at(0, j)] = -gaps.cost(j);
+        h[at(0, j)] = e[at(0, j)];
+    }
+
+    for (int j = 1; j <= n; ++j) {
+        const std::int8_t *profile = matrix.row(subject[j - 1]);
+        for (int i = 1; i <= m; ++i) {
+            e[at(i, j)] = std::max(h[at(i, j - 1)] - open_cost,
+                                   e[at(i, j - 1)] - ext_cost);
+            f[at(i, j)] = std::max(h[at(i - 1, j)] - open_cost,
+                                   f[at(i - 1, j)] - ext_cost);
+            h[at(i, j)] = std::max(
+                {h[at(i - 1, j - 1)] + profile[query[i - 1]],
+                 e[at(i, j)], f[at(i, j)]});
+        }
+    }
+
+    out.score = h[at(m, n)];
+    out.queryStart = 0;
+    out.subjectStart = 0;
+    out.queryEnd = m - 1;
+    out.subjectEnd = n - 1;
+
+    // Traceback across the three layers.
+    std::string aq;
+    std::string as;
+    int i = m;
+    int j = n;
+    enum class Layer { h, e, f };
+    Layer layer = Layer::h;
+    while (i > 0 || j > 0) {
+        if (layer == Layer::h) {
+            const int v = h[at(i, j)];
+            if (i > 0 && j > 0
+                && v == h[at(i - 1, j - 1)]
+                    + matrix.score(query[i - 1], subject[j - 1])) {
+                aq.push_back(bio::Alphabet::decode(query[i - 1]));
+                as.push_back(bio::Alphabet::decode(subject[j - 1]));
+                if (query[i - 1] == subject[j - 1])
+                    ++out.identities;
+                --i;
+                --j;
+            } else if (j > 0 && v == e[at(i, j)]) {
+                layer = Layer::e;
+            } else {
+                layer = Layer::f;
+            }
+        } else if (layer == Layer::e) {
+            const int v = e[at(i, j)];
+            aq.push_back('-');
+            as.push_back(bio::Alphabet::decode(subject[j - 1]));
+            const bool ext = j > 1
+                && v == e[at(i, j - 1)] - ext_cost
+                && e[at(i, j - 1)] > negInf / 2;
+            --j;
+            layer = ext ? Layer::e : Layer::h;
+        } else {
+            const int v = f[at(i, j)];
+            aq.push_back(bio::Alphabet::decode(query[i - 1]));
+            as.push_back('-');
+            const bool ext = i > 1
+                && v == f[at(i - 1, j)] - ext_cost
+                && f[at(i - 1, j)] > negInf / 2;
+            --i;
+            layer = ext ? Layer::f : Layer::h;
+        }
+    }
+    std::reverse(aq.begin(), aq.end());
+    std::reverse(as.begin(), as.end());
+    out.alignedQuery = std::move(aq);
+    out.alignedSubject = std::move(as);
+    return out;
+}
+
+} // namespace bioarch::align

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Needleman-Wunsch global alignment with affine gaps — the classical
+ * dynamic-programming baseline ([19] in the paper) that local
+ * alignment generalizes.
+ */
+
+#ifndef BIOARCH_ALIGN_NEEDLEMAN_WUNSCH_HH
+#define BIOARCH_ALIGN_NEEDLEMAN_WUNSCH_HH
+
+#include "bio/scoring.hh"
+#include "bio/sequence.hh"
+#include "types.hh"
+
+namespace bioarch::align
+{
+
+/**
+ * Best global alignment score of @p query vs @p subject (both
+ * sequences aligned end to end, leading/trailing gaps charged).
+ */
+int needlemanWunschScore(const bio::Sequence &query,
+                         const bio::Sequence &subject,
+                         const bio::ScoringMatrix &matrix,
+                         const bio::GapPenalties &gaps);
+
+/** Global alignment with traceback. */
+Alignment needlemanWunschAlign(const bio::Sequence &query,
+                               const bio::Sequence &subject,
+                               const bio::ScoringMatrix &matrix,
+                               const bio::GapPenalties &gaps);
+
+} // namespace bioarch::align
+
+#endif // BIOARCH_ALIGN_NEEDLEMAN_WUNSCH_HH

@@ -1,0 +1,213 @@
+#include "smith_waterman.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace bioarch::align
+{
+
+LocalScore
+smithWatermanScore(const bio::Sequence &query,
+                   const bio::Sequence &subject,
+                   const bio::ScoringMatrix &matrix,
+                   const bio::GapPenalties &gaps)
+{
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject.length());
+    const int open_cost = gaps.openCost();
+    const int ext_cost = gaps.extendCost();
+
+    LocalScore best;
+    if (m == 0 || n == 0)
+        return best;
+
+    // Query on rows (i), subject on columns (j). One row-indexed
+    // array each for H and E; F and the diagonal are carried in
+    // scalars down the inner loop.
+    std::vector<int> h_row(m, 0); // H[i][j-1] entering column j
+    std::vector<int> e_row(m, 0); // E[i][j-1] entering column j
+
+    for (int j = 0; j < n; ++j) {
+        const std::int8_t *profile = matrix.row(subject[j]);
+        int h_diag = 0;  // H[i-1][j-1]
+        int h_above = 0; // H[i-1][j]
+        int f = 0;       // F[i-1][j]
+        for (int i = 0; i < m; ++i) {
+            const int e = std::max(
+                {0, h_row[i] - open_cost, e_row[i] - ext_cost});
+            f = std::max({0, h_above - open_cost, f - ext_cost});
+            const int h = std::max(
+                {0, h_diag + profile[query[i]], e, f});
+            if (h > best.score) {
+                best.score = h;
+                best.queryEnd = i;
+                best.subjectEnd = j;
+            }
+            h_diag = h_row[i];
+            h_row[i] = h;
+            e_row[i] = e;
+            h_above = h;
+        }
+    }
+    return best;
+}
+
+namespace
+{
+
+/** Traceback direction tags for the three DP layers. */
+enum : std::uint8_t
+{
+    hFromZero = 0,
+    hFromDiag = 1,
+    hFromE = 2,
+    hFromF = 3,
+    eFromOpen = 0, // E opened from H[i][j-1]
+    eFromExt = 1,  // E extended from E[i][j-1]
+    fFromOpen = 0,
+    fFromExt = 1,
+};
+
+} // namespace
+
+Alignment
+smithWatermanAlign(const bio::Sequence &query,
+                   const bio::Sequence &subject,
+                   const bio::ScoringMatrix &matrix,
+                   const bio::GapPenalties &gaps)
+{
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject.length());
+    const int open_cost = gaps.openCost();
+    const int ext_cost = gaps.extendCost();
+
+    Alignment out;
+    if (m == 0 || n == 0)
+        return out;
+
+    // Full matrices: h/e/f values plus packed traceback bits.
+    const std::size_t cells =
+        static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+    std::vector<int> h_mat(cells, 0);
+    std::vector<std::uint8_t> h_dir(cells, hFromZero);
+    std::vector<std::uint8_t> e_dir(cells, eFromOpen);
+    std::vector<std::uint8_t> f_dir(cells, fFromOpen);
+
+    std::vector<int> e_col(m, 0);
+    auto at = [m](int i, int j) {
+        return static_cast<std::size_t>(j)
+            * static_cast<std::size_t>(m)
+            + static_cast<std::size_t>(i);
+    };
+
+    int best_score = 0;
+    int best_i = -1;
+    int best_j = -1;
+
+    for (int j = 0; j < n; ++j) {
+        const std::int8_t *profile = matrix.row(subject[j]);
+        int f = 0;
+        for (int i = 0; i < m; ++i) {
+            const int h_left = j > 0 ? h_mat[at(i, j - 1)] : 0;
+            const int e_left = j > 0 ? e_col[i] : 0;
+            const int e_open = h_left - open_cost;
+            const int e_ext = e_left - ext_cost;
+            int e = std::max({0, e_open, e_ext});
+            e_dir[at(i, j)] =
+                e_ext > e_open ? eFromExt : eFromOpen;
+
+            const int h_up = i > 0 ? h_mat[at(i - 1, j)] : 0;
+            const int f_open = h_up - open_cost;
+            const int f_ext = f - ext_cost;
+            f = std::max({0, f_open, f_ext});
+            f_dir[at(i, j)] =
+                f_ext > f_open ? fFromExt : fFromOpen;
+
+            const int h_diag =
+                (i > 0 && j > 0) ? h_mat[at(i - 1, j - 1)] : 0;
+            const int diag = h_diag + profile[query[i]];
+
+            int h = 0;
+            std::uint8_t dir = hFromZero;
+            if (diag > h) {
+                h = diag;
+                dir = hFromDiag;
+            }
+            if (e > h) {
+                h = e;
+                dir = hFromE;
+            }
+            if (f > h) {
+                h = f;
+                dir = hFromF;
+            }
+            h_mat[at(i, j)] = h;
+            h_dir[at(i, j)] = dir;
+            e_col[i] = e;
+
+            if (h > best_score) {
+                best_score = h;
+                best_i = i;
+                best_j = j;
+            }
+        }
+    }
+
+    out.score = best_score;
+    if (best_score == 0)
+        return out;
+
+    // Traceback from the maximum, honoring the layer (H/E/F) we are
+    // in so affine gaps unwind correctly.
+    std::string aq;
+    std::string as;
+    int i = best_i;
+    int j = best_j;
+    out.queryEnd = i;
+    out.subjectEnd = j;
+
+    enum class Layer { h, e, f };
+    Layer layer = Layer::h;
+    while (i >= 0 && j >= 0) {
+        if (layer == Layer::h) {
+            const std::uint8_t dir = h_dir[at(i, j)];
+            if (dir == hFromZero)
+                break;
+            if (dir == hFromDiag) {
+                aq.push_back(bio::Alphabet::decode(query[i]));
+                as.push_back(bio::Alphabet::decode(subject[j]));
+                if (query[i] == subject[j])
+                    ++out.identities;
+                --i;
+                --j;
+            } else if (dir == hFromE) {
+                layer = Layer::e;
+            } else {
+                layer = Layer::f;
+            }
+        } else if (layer == Layer::e) {
+            // Gap in the query: consume a subject residue.
+            const std::uint8_t dir = e_dir[at(i, j)];
+            aq.push_back('-');
+            as.push_back(bio::Alphabet::decode(subject[j]));
+            --j;
+            layer = dir == eFromExt ? Layer::e : Layer::h;
+        } else {
+            // Gap in the subject: consume a query residue.
+            const std::uint8_t dir = f_dir[at(i, j)];
+            aq.push_back(bio::Alphabet::decode(query[i]));
+            as.push_back('-');
+            --i;
+            layer = dir == fFromExt ? Layer::f : Layer::h;
+        }
+    }
+    out.queryStart = i + 1;
+    out.subjectStart = j + 1;
+    std::reverse(aq.begin(), aq.end());
+    std::reverse(as.begin(), as.end());
+    out.alignedQuery = std::move(aq);
+    out.alignedSubject = std::move(as);
+    return out;
+}
+
+} // namespace bioarch::align

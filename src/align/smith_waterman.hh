@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reference Smith-Waterman local alignment (Gotoh affine-gap
+ * recurrence), score-only and with full traceback.
+ *
+ * This is the sensitivity gold standard every other aligner in the
+ * library is validated against (Section III of the paper). The
+ * recurrence, shared exactly by the SSEARCH-style scalar kernel and
+ * both SIMD kernels, is:
+ *
+ *   E[i][j] = max(0, H[i][j-1] - (open+ext), E[i][j-1] - ext)
+ *   F[i][j] = max(0, H[i-1][j] - (open+ext), F[i-1][j] - ext)
+ *   H[i][j] = max(0, H[i-1][j-1] + S(q_i, s_j), E[i][j], F[i][j])
+ *
+ * Clamping E and F at zero (as SSEARCH does) never changes the best
+ * local score because H is itself clamped at zero.
+ */
+
+#ifndef BIOARCH_ALIGN_SMITH_WATERMAN_HH
+#define BIOARCH_ALIGN_SMITH_WATERMAN_HH
+
+#include "bio/scoring.hh"
+#include "bio/sequence.hh"
+#include "types.hh"
+
+namespace bioarch::align
+{
+
+/**
+ * Compute the best local alignment score of @p query vs @p subject.
+ *
+ * Linear memory, O(m*n) time.
+ */
+LocalScore smithWatermanScore(const bio::Sequence &query,
+                              const bio::Sequence &subject,
+                              const bio::ScoringMatrix &matrix,
+                              const bio::GapPenalties &gaps);
+
+/**
+ * Compute the best local alignment with traceback.
+ *
+ * Quadratic memory; intended for reporting the final alignments of
+ * the top hits, not for database scanning.
+ */
+Alignment smithWatermanAlign(const bio::Sequence &query,
+                             const bio::Sequence &subject,
+                             const bio::ScoringMatrix &matrix,
+                             const bio::GapPenalties &gaps);
+
+} // namespace bioarch::align
+
+#endif // BIOARCH_ALIGN_SMITH_WATERMAN_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SSEARCH-style optimized scalar Smith-Waterman.
+ *
+ * This mirrors the hot loop of SSEARCH34's dropgsw.c (Listing 2 of
+ * the paper): a query profile is built once per query, the DP state
+ * lives in an array of {H, E} cells indexed by query position, and
+ * the inner loop is written with the same computation-avoidance
+ * branches (`if ((e = ssj->E) > 0)`, `if (h > 0)`,
+ * `if (h > ngap_init)`) that make the application branch-bound on
+ * real hardware. Scores are exactly equal to the reference
+ * Smith-Waterman (asserted by tests).
+ */
+
+#ifndef BIOARCH_ALIGN_SSEARCH_HH
+#define BIOARCH_ALIGN_SSEARCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/database.hh"
+#include "bio/scoring.hh"
+#include "bio/sequence.hh"
+#include "types.hh"
+
+namespace bioarch::align
+{
+
+/**
+ * Query profile: for each possible subject residue, the row of
+ * per-query-position substitution scores. Built once per query so
+ * the inner loop does a single sequential pointer walk (the `*pwaa++`
+ * of Listing 2) instead of a 2-D matrix lookup.
+ */
+class QueryProfile
+{
+  public:
+    QueryProfile(const bio::Sequence &query,
+                 const bio::ScoringMatrix &matrix);
+
+    /** Profile row for subject residue @p r (length = query length). */
+    const std::int16_t *
+    row(bio::Residue r) const
+    {
+        return _rows.data()
+            + static_cast<std::size_t>(r) * _queryLength;
+    }
+
+    int queryLength() const { return _queryLength; }
+
+  private:
+    int _queryLength;
+    std::vector<std::int16_t> _rows; ///< numSymbols rows, row-major
+};
+
+/**
+ * SSEARCH-style scalar SW scan of one subject sequence.
+ *
+ * @param profile prebuilt query profile
+ * @param subject subject sequence
+ * @param gaps affine gap penalties
+ * @param[out] cells optional DP cell counter (for work accounting)
+ * @return best local score with end coordinates
+ */
+LocalScore ssearchScan(const QueryProfile &profile,
+                       const bio::Sequence &subject,
+                       const bio::GapPenalties &gaps,
+                       std::uint64_t *cells = nullptr);
+
+/**
+ * Search a whole database, ranking hits by E-value, as the SSEARCH
+ * program does ("-b 500" keeps the best 500 scores).
+ *
+ * @param query query sequence
+ * @param db database to scan
+ * @param matrix substitution matrix
+ * @param gaps gap penalties
+ * @param max_hits maximum hits reported (default 500, Table I)
+ */
+SearchResults ssearchSearch(const bio::Sequence &query,
+                            const bio::SequenceDatabase &db,
+                            const bio::ScoringMatrix &matrix,
+                            const bio::GapPenalties &gaps,
+                            std::size_t max_hits = 500);
+
+} // namespace bioarch::align
+
+#endif // BIOARCH_ALIGN_SSEARCH_HH

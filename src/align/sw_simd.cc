@@ -1,0 +1,219 @@
+#include "sw_simd.hh"
+
+#include <algorithm>
+
+#include "karlin.hh"
+
+namespace bioarch::align
+{
+
+template <int N>
+VectorProfile<N>::VectorProfile(const bio::Sequence &query,
+                                const bio::ScoringMatrix &matrix)
+    : _queryLength(static_cast<int>(query.length())),
+      _numStrips((_queryLength + N - 1) / N),
+      _rows(static_cast<std::size_t>(bio::Alphabet::numSymbols)
+                * std::max(_numStrips, 1) * N,
+            padScore)
+{
+    for (int r = 0; r < bio::Alphabet::numSymbols; ++r) {
+        for (int i = 0; i < _queryLength; ++i) {
+            const int s = i / N;
+            const int lane = i % N;
+            _rows[(static_cast<std::size_t>(r) * _numStrips + s) * N
+                  + lane] =
+                static_cast<std::int16_t>(matrix.score(
+                    query[i], static_cast<bio::Residue>(r)));
+        }
+    }
+}
+
+template <int N>
+LocalScore
+swSimdScan(const VectorProfile<N> &profile, const bio::Sequence &subject,
+           const bio::GapPenalties &gaps, std::uint64_t *cells)
+{
+    using Vec = vec::VecI16<N>;
+    using Lane = typename Vec::Lane;
+
+    const int m = profile.queryLength();
+    const int n = static_cast<int>(subject.length());
+    const int strips = profile.numStrips();
+
+    LocalScore best;
+    if (m == 0 || n == 0)
+        return best;
+
+    const Vec v_open = Vec::splat(static_cast<Lane>(gaps.openCost()));
+    const Vec v_ext = Vec::splat(static_cast<Lane>(gaps.extendCost()));
+    const Vec v_zero = Vec::splat(0);
+
+    // Strip boundary rows: H and incoming F of the row above the
+    // current strip, per column. Double-buffered across strips.
+    std::vector<Lane> h_bound(static_cast<std::size_t>(n), 0);
+    std::vector<Lane> f_bound(static_cast<std::size_t>(n), 0);
+    std::vector<Lane> h_bound_next(static_cast<std::size_t>(n), 0);
+    std::vector<Lane> f_bound_next(static_cast<std::size_t>(n), 0);
+
+    for (int s = 0; s < strips; ++s) {
+        // Anti-diagonal state: lane l covers query row s*N + l and,
+        // at diagonal step d, subject column j = d - l.
+        Vec v_h_prev;        // H on diagonal d-1
+        Vec v_h_prev2;       // H on diagonal d-2
+        Vec v_e;             // E on diagonal d-1 (per lane)
+        Vec v_f;             // F on diagonal d-1 (per lane)
+        Vec v_best;          // running per-lane max of H
+
+        for (int d = 0; d < n + N - 1; ++d) {
+            const int j0 = d; // column of lane 0
+
+            // Gather the substitution scores for this diagonal:
+            // lane l needs profile[subject[d-l]] at strip s, lane l.
+            // (The Altivec kernel does this with preloaded profile
+            // vectors and a vec_perm; the traced twin emits that
+            // pattern.)
+            Vec v_score = Vec::splat(VectorProfile<N>::padScore);
+            const int l_lo = std::max(0, d - n + 1);
+            const int l_hi = std::min(N - 1, d);
+            for (int l = l_lo; l <= l_hi; ++l) {
+                const int j = d - l;
+                v_score.set(l, profile.strip(subject[j], s)[l]);
+            }
+
+            // E[i][j] = max(H[i][j-1] - open, E[i][j-1] - ext):
+            // same lane, previous diagonal.
+            const Vec v_e_new = vmax(
+                vmax(subs(v_h_prev, v_open), subs(v_e, v_ext)),
+                v_zero);
+
+            // F[i][j] = max(H[i-1][j] - open, F[i-1][j] - ext):
+            // lane l-1, previous diagonal, then shift down one lane.
+            const Vec v_f_cand =
+                vmax(subs(v_h_prev, v_open), subs(v_f, v_ext));
+            const Lane f_in = j0 < n
+                ? f_bound[static_cast<std::size_t>(j0)] : Lane(0);
+            const Vec v_f_new =
+                vmax(shiftInLow(v_f_cand, f_in), v_zero);
+
+            // H[i-1][j-1]: lane l-1, diagonal d-2, shifted.
+            const Lane h_diag_in =
+                (j0 >= 1 && j0 - 1 < n)
+                    ? h_bound[static_cast<std::size_t>(j0 - 1)]
+                    : Lane(0);
+            const Vec v_h_diag = shiftInLow(v_h_prev2, h_diag_in);
+
+            const Vec v_h_new = vmax(
+                vmax(adds(v_h_diag, v_score), v_e_new),
+                vmax(v_f_new, v_zero));
+
+            v_best = vmax(v_best, v_h_new);
+
+            // Record the strip boundary for the next strip: lane N-1
+            // is the strip's last row; it computes column j once, at
+            // d = j + N - 1.
+            const int j_last = d - (N - 1);
+            if (j_last >= 0 && j_last < n) {
+                const Lane h = v_h_new[N - 1];
+                const Lane f = v_f_new[N - 1];
+                h_bound_next[static_cast<std::size_t>(j_last)] = h;
+                f_bound_next[static_cast<std::size_t>(j_last)] =
+                    std::max<Lane>(
+                        static_cast<Lane>(std::max(
+                            h - gaps.openCost(), f - gaps.extendCost())),
+                        0);
+            }
+
+            // Coordinate tracking: only on global improvement (rare)
+            // do a scalar scan, mirroring how the real kernel
+            // re-derives coordinates outside the hot loop.
+            if (anyGreater(v_h_new, static_cast<Lane>(best.score))) {
+                for (int l = l_lo; l <= l_hi; ++l) {
+                    if (v_h_new[l] > best.score) {
+                        best.score = v_h_new[l];
+                        best.queryEnd = s * N + l;
+                        best.subjectEnd = d - l;
+                    }
+                }
+            }
+
+            v_h_prev2 = v_h_prev;
+            v_h_prev = v_h_new;
+            v_e = v_e_new;
+            v_f = v_f_new;
+        }
+        std::swap(h_bound, h_bound_next);
+        std::swap(f_bound, f_bound_next);
+        if (cells)
+            *cells += static_cast<std::uint64_t>(n) * N;
+    }
+    return best;
+}
+
+template <int N>
+SearchResults
+swSimdSearch(const bio::Sequence &query, const bio::SequenceDatabase &db,
+             const bio::ScoringMatrix &matrix,
+             const bio::GapPenalties &gaps, std::size_t max_hits)
+{
+    SearchResults out;
+    const VectorProfile<N> profile(query, matrix);
+    const KarlinParams &ka = blosum62Karlin();
+    const double total = static_cast<double>(db.totalResidues());
+
+    for (std::size_t idx = 0; idx < db.size(); ++idx) {
+        const LocalScore ls =
+            swSimdScan<N>(profile, db[idx], gaps, &out.cellsComputed);
+        ++out.sequencesSearched;
+        if (ls.score <= 0)
+            continue;
+        SearchHit hit;
+        hit.dbIndex = idx;
+        hit.score = ls.score;
+        hit.queryEnd = ls.queryEnd;
+        hit.subjectEnd = ls.subjectEnd;
+        hit.bitScore = ka.bitScore(ls.score);
+        hit.evalue = ka.evalue(
+            ls.score, static_cast<double>(query.length()), total);
+        out.hits.push_back(hit);
+    }
+    std::sort(out.hits.begin(), out.hits.end(),
+              [](const SearchHit &a, const SearchHit &b) {
+                  return a.score > b.score;
+              });
+    if (out.hits.size() > max_hits)
+        out.hits.resize(max_hits);
+    return out;
+}
+
+template class VectorProfile<4>;
+template class VectorProfile<8>;
+template class VectorProfile<16>;
+template class VectorProfile<32>;
+template LocalScore swSimdScan<4>(const VectorProfile<4> &,
+                                  const bio::Sequence &,
+                                  const bio::GapPenalties &,
+                                  std::uint64_t *);
+template LocalScore swSimdScan<8>(const VectorProfile<8> &,
+                                  const bio::Sequence &,
+                                  const bio::GapPenalties &,
+                                  std::uint64_t *);
+template LocalScore swSimdScan<16>(const VectorProfile<16> &,
+                                   const bio::Sequence &,
+                                   const bio::GapPenalties &,
+                                   std::uint64_t *);
+template LocalScore swSimdScan<32>(const VectorProfile<32> &,
+                                   const bio::Sequence &,
+                                   const bio::GapPenalties &,
+                                   std::uint64_t *);
+template SearchResults swSimdSearch<8>(const bio::Sequence &,
+                                       const bio::SequenceDatabase &,
+                                       const bio::ScoringMatrix &,
+                                       const bio::GapPenalties &,
+                                       std::size_t);
+template SearchResults swSimdSearch<16>(const bio::Sequence &,
+                                        const bio::SequenceDatabase &,
+                                        const bio::ScoringMatrix &,
+                                        const bio::GapPenalties &,
+                                        std::size_t);
+
+} // namespace bioarch::align

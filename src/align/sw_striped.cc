@@ -1,0 +1,198 @@
+#include "sw_striped.hh"
+
+#include <algorithm>
+
+#include "karlin.hh"
+
+namespace bioarch::align
+{
+
+template <int N>
+StripedProfile<N>::StripedProfile(const bio::Sequence &query,
+                                  const bio::ScoringMatrix &matrix)
+    : _queryLength(static_cast<int>(query.length())),
+      _segmentLength((_queryLength + N - 1) / N),
+      _scores(static_cast<std::size_t>(bio::Alphabet::numSymbols)
+                  * std::max(_segmentLength, 1) * N,
+              padScore)
+{
+    // Striped layout: segment position s, lane l -> row s + l*S.
+    for (int r = 0; r < bio::Alphabet::numSymbols; ++r) {
+        for (int s = 0; s < _segmentLength; ++s) {
+            for (int l = 0; l < N; ++l) {
+                const int i = s + l * _segmentLength;
+                if (i >= _queryLength)
+                    continue;
+                _scores[(static_cast<std::size_t>(r)
+                             * _segmentLength
+                         + static_cast<std::size_t>(s))
+                            * N
+                        + static_cast<std::size_t>(l)] =
+                    static_cast<std::int16_t>(matrix.score(
+                        query[static_cast<std::size_t>(i)],
+                        static_cast<bio::Residue>(r)));
+            }
+        }
+    }
+}
+
+template <int N>
+LocalScore
+swStripedScan(const StripedProfile<N> &profile,
+              const bio::Sequence &subject,
+              const bio::GapPenalties &gaps,
+              std::uint64_t *lazy_iterations)
+{
+    using Vec = vec::VecI16<N>;
+    using Lane = typename Vec::Lane;
+
+    const int m = profile.queryLength();
+    const int n = static_cast<int>(subject.length());
+    const int seg = profile.segmentLength();
+
+    LocalScore best;
+    if (m == 0 || n == 0)
+        return best;
+
+    const Vec v_open = Vec::splat(static_cast<Lane>(gaps.openCost()));
+    const Vec v_ext = Vec::splat(static_cast<Lane>(gaps.extendCost()));
+    const Vec v_zero = Vec::splat(0);
+
+    std::vector<Vec> h_store(static_cast<std::size_t>(seg));
+    std::vector<Vec> h_load(static_cast<std::size_t>(seg));
+    std::vector<Vec> e(static_cast<std::size_t>(seg));
+
+    Lane best_score = 0;
+    int best_column = -1;
+
+    for (int j = 0; j < n; ++j) {
+        const bio::Residue res = subject[static_cast<std::size_t>(j)];
+
+        // Diagonal input for segment position 0: previous column's
+        // last position, shifted up one lane (row s+lS-1 for s=0 is
+        // position S-1 of lane l-1).
+        Vec v_h = shiftInLow(h_store[static_cast<std::size_t>(seg - 1)],
+                             0);
+        std::swap(h_store, h_load);
+
+        Vec v_f = v_zero;
+        Vec v_col_best = v_zero;
+
+        for (int s = 0; s < seg; ++s) {
+            const std::size_t ss = static_cast<std::size_t>(s);
+            v_h = adds(v_h, profile.vector(res, s));
+            v_h = vmax(v_h, e[ss]);
+            v_h = vmax(v_h, v_f);
+            v_h = vmax(v_h, v_zero);
+            v_col_best = vmax(v_col_best, v_h);
+            h_store[ss] = v_h;
+
+            const Vec v_h_open = subs(v_h, v_open);
+            e[ss] = vmax(subs(e[ss], v_ext), v_h_open);
+            v_f = vmax(subs(v_f, v_ext), v_h_open);
+
+            v_h = h_load[ss]; // diagonal for position s+1
+        }
+
+        // Lazy F: propagate the vertical gap across segment
+        // boundaries only while it can still improve something.
+        // The improvement tracking also guarantees termination for
+        // degenerate penalties (extend = 0), where Farrar's
+        // condition alone would spin.
+        v_f = shiftInLow(v_f, 0);
+        int s = 0;
+        bool improved_this_wrap = true;
+        while (anyGreater(
+            subs(v_f,
+                 subs(h_store[static_cast<std::size_t>(s)], v_open)),
+            0)) {
+            const std::size_t ss = static_cast<std::size_t>(s);
+            const Vec h_new = vmax(h_store[ss], v_f);
+            improved_this_wrap |= !(h_new == h_store[ss]);
+            h_store[ss] = h_new;
+            e[ss] = vmax(e[ss], subs(h_new, v_open));
+            v_col_best = vmax(v_col_best, h_new);
+            v_f = subs(v_f, v_ext);
+            if (lazy_iterations)
+                ++*lazy_iterations;
+            if (++s >= seg) {
+                if (!improved_this_wrap)
+                    break;
+                improved_this_wrap = false;
+                s = 0;
+                v_f = shiftInLow(v_f, 0);
+            }
+        }
+
+        const Lane column_max = horizontalMax(v_col_best);
+        if (column_max > best_score) {
+            best_score = column_max;
+            best_column = j;
+        }
+    }
+
+    // The striped scan reports the score and subject end; the query
+    // coordinate is not tracked in the hot loop (as in the real
+    // striped implementations, which re-align the few reported hits
+    // when coordinates are needed).
+    best.score = best_score;
+    best.subjectEnd = best_column;
+    return best;
+}
+
+template <int N>
+SearchResults
+swStripedSearch(const bio::Sequence &query,
+                const bio::SequenceDatabase &db,
+                const bio::ScoringMatrix &matrix,
+                const bio::GapPenalties &gaps, std::size_t max_hits)
+{
+    SearchResults out;
+    const StripedProfile<N> profile(query, matrix);
+    const KarlinParams &ka = blosum62Karlin();
+    const double total = static_cast<double>(db.totalResidues());
+
+    for (std::size_t idx = 0; idx < db.size(); ++idx) {
+        const LocalScore ls = swStripedScan<N>(profile, db[idx], gaps);
+        out.cellsComputed += query.length() * db[idx].length();
+        ++out.sequencesSearched;
+        if (ls.score <= 0)
+            continue;
+        SearchHit hit;
+        hit.dbIndex = idx;
+        hit.score = ls.score;
+        hit.subjectEnd = ls.subjectEnd;
+        hit.bitScore = ka.bitScore(ls.score);
+        hit.evalue = ka.evalue(
+            ls.score, static_cast<double>(query.length()), total);
+        out.hits.push_back(hit);
+    }
+    std::sort(out.hits.begin(), out.hits.end(),
+              [](const SearchHit &a, const SearchHit &b) {
+                  return a.score > b.score;
+              });
+    if (out.hits.size() > max_hits)
+        out.hits.resize(max_hits);
+    return out;
+}
+
+template class StripedProfile<8>;
+template class StripedProfile<16>;
+template LocalScore swStripedScan<8>(const StripedProfile<8> &,
+                                     const bio::Sequence &,
+                                     const bio::GapPenalties &,
+                                     std::uint64_t *);
+template LocalScore swStripedScan<16>(const StripedProfile<16> &,
+                                      const bio::Sequence &,
+                                      const bio::GapPenalties &,
+                                      std::uint64_t *);
+template SearchResults swStripedSearch<8>(
+    const bio::Sequence &, const bio::SequenceDatabase &,
+    const bio::ScoringMatrix &, const bio::GapPenalties &,
+    std::size_t);
+template SearchResults swStripedSearch<16>(
+    const bio::Sequence &, const bio::SequenceDatabase &,
+    const bio::ScoringMatrix &, const bio::GapPenalties &,
+    std::size_t);
+
+} // namespace bioarch::align

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Striped SIMD Smith-Waterman (Farrar's algorithm) — the successor
+ * to the paper's anti-diagonal/vertical Altivec kernels.
+ *
+ * The query is laid out *striped*: with segment length
+ * S = ceil(m / N), the vector at segment position s holds query
+ * rows {s, s+S, ..., s+(N-1)S}. The F (vertical-gap) dependency is
+ * resolved lazily: the main column pass ignores cross-position F
+ * propagation, and a correction loop runs only while F can still
+ * improve some H — which for real scoring systems is rare. The
+ * result is exactly the Smith-Waterman score (asserted against the
+ * scalar reference in tests).
+ *
+ * Included because it is where the paper's line of work led: the
+ * striped layout removes most of the permute traffic that limits
+ * the paper's SW_vmx kernels (compare BM_SwSimdScan vs
+ * BM_SwStripedScan in bench_aligners).
+ */
+
+#ifndef BIOARCH_ALIGN_SW_STRIPED_HH
+#define BIOARCH_ALIGN_SW_STRIPED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/database.hh"
+#include "bio/scoring.hh"
+#include "bio/sequence.hh"
+#include "types.hh"
+#include "vec/simd.hh"
+
+namespace bioarch::align
+{
+
+/**
+ * Striped query profile: per subject residue, segment-position
+ * vectors in Farrar's layout.
+ */
+template <int N>
+class StripedProfile
+{
+  public:
+    /** Sentinel score for pad rows (beyond the query). */
+    static constexpr std::int16_t padScore = -1000;
+
+    StripedProfile(const bio::Sequence &query,
+                   const bio::ScoringMatrix &matrix);
+
+    int queryLength() const { return _queryLength; }
+    /** Segment length S = ceil(m / N). */
+    int segmentLength() const { return _segmentLength; }
+
+    /** The vector for subject residue @p r, segment position @p s. */
+    vec::VecI16<N>
+    vector(bio::Residue r, int s) const
+    {
+        return vec::VecI16<N>::load(
+            _scores.data()
+            + (static_cast<std::size_t>(r) * _segmentLength
+               + static_cast<std::size_t>(s))
+                * N);
+    }
+
+  private:
+    int _queryLength;
+    int _segmentLength;
+    std::vector<std::int16_t> _scores;
+};
+
+/**
+ * Striped Smith-Waterman scan of one subject sequence.
+ *
+ * @param[out] lazy_iterations optional count of lazy-F correction
+ *             steps (a measure of how rare the F path is)
+ */
+template <int N>
+LocalScore swStripedScan(const StripedProfile<N> &profile,
+                         const bio::Sequence &subject,
+                         const bio::GapPenalties &gaps,
+                         std::uint64_t *lazy_iterations = nullptr);
+
+/** Database search with the striped kernel. */
+template <int N>
+SearchResults swStripedSearch(const bio::Sequence &query,
+                              const bio::SequenceDatabase &db,
+                              const bio::ScoringMatrix &matrix,
+                              const bio::GapPenalties &gaps,
+                              std::size_t max_hits = 500);
+
+extern template class StripedProfile<8>;
+extern template class StripedProfile<16>;
+extern template LocalScore
+swStripedScan<8>(const StripedProfile<8> &, const bio::Sequence &,
+                 const bio::GapPenalties &, std::uint64_t *);
+extern template LocalScore
+swStripedScan<16>(const StripedProfile<16> &, const bio::Sequence &,
+                  const bio::GapPenalties &, std::uint64_t *);
+extern template SearchResults
+swStripedSearch<8>(const bio::Sequence &,
+                   const bio::SequenceDatabase &,
+                   const bio::ScoringMatrix &,
+                   const bio::GapPenalties &, std::size_t);
+extern template SearchResults
+swStripedSearch<16>(const bio::Sequence &,
+                    const bio::SequenceDatabase &,
+                    const bio::ScoringMatrix &,
+                    const bio::GapPenalties &, std::size_t);
+
+} // namespace bioarch::align
+
+#endif // BIOARCH_ALIGN_SW_STRIPED_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Result types shared by all aligners.
+ */
+
+#ifndef BIOARCH_ALIGN_TYPES_HH
+#define BIOARCH_ALIGN_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bioarch::align
+{
+
+/**
+ * A local alignment score with its matrix end coordinates
+ * (0-based, inclusive, positions in query/subject).
+ */
+struct LocalScore
+{
+    int score = 0;
+    int queryEnd = -1;
+    int subjectEnd = -1;
+
+    bool operator==(const LocalScore &other) const = default;
+};
+
+/**
+ * A full pairwise alignment: score plus the aligned strings with '-'
+ * for gaps, as in the paper's introduction example.
+ */
+struct Alignment
+{
+    int score = 0;
+    int queryStart = 0;   ///< 0-based inclusive
+    int queryEnd = -1;    ///< 0-based inclusive
+    int subjectStart = 0;
+    int subjectEnd = -1;
+    std::string alignedQuery;    ///< query residues and '-' gaps
+    std::string alignedSubject;  ///< subject residues and '-' gaps
+
+    /** Number of identical aligned residue pairs. */
+    int identities = 0;
+    /** Alignment length including gap columns. */
+    int length() const
+    {
+        return static_cast<int>(alignedQuery.size());
+    }
+    /** Fraction of identical columns (0 when empty). */
+    double
+    identityFraction() const
+    {
+        return alignedQuery.empty()
+            ? 0.0
+            : static_cast<double>(identities) / length();
+    }
+};
+
+/** One database hit produced by a search application. */
+struct SearchHit
+{
+    std::size_t dbIndex = 0;   ///< index of subject in the database
+    int score = 0;             ///< raw alignment score
+    double bitScore = 0.0;     ///< normalized bit score
+    double evalue = 0.0;       ///< expected chance hits at this score
+    int queryEnd = -1;
+    int subjectEnd = -1;
+};
+
+/** Ranked results of searching one query against a database. */
+struct SearchResults
+{
+    std::vector<SearchHit> hits;   ///< sorted by descending score
+    std::uint64_t cellsComputed = 0; ///< DP cells / extension steps
+    std::uint64_t sequencesSearched = 0;
+};
+
+} // namespace bioarch::align
+
+#endif // BIOARCH_ALIGN_TYPES_HH

@@ -1,0 +1,93 @@
+#include "alphabet.hh"
+
+#include <cctype>
+
+namespace bioarch::bio
+{
+
+namespace
+{
+
+/** Build the 256-entry letter -> residue lookup table once. */
+std::array<Residue, 256>
+buildEncodeTable()
+{
+    std::array<Residue, 256> table;
+    table.fill(Alphabet::unknown);
+    for (int i = 0; i < Alphabet::numSymbols; ++i) {
+        const char c = Alphabet::letters[i];
+        table[static_cast<unsigned char>(c)] = static_cast<Residue>(i);
+        table[static_cast<unsigned char>(std::tolower(c))] =
+            static_cast<Residue>(i);
+    }
+    return table;
+}
+
+const std::array<Residue, 256> encodeTable = buildEncodeTable();
+
+} // namespace
+
+Residue
+Alphabet::encode(char c)
+{
+    return encodeTable[static_cast<unsigned char>(c)];
+}
+
+char
+Alphabet::decode(Residue r)
+{
+    if (r >= numSymbols)
+        return 'X';
+    return letters[r];
+}
+
+std::vector<Residue>
+Alphabet::encode(std::string_view s)
+{
+    std::vector<Residue> out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(encode(c));
+    return out;
+}
+
+std::string
+Alphabet::decode(const std::vector<Residue> &rs)
+{
+    std::string out;
+    out.reserve(rs.size());
+    for (Residue r : rs)
+        out.push_back(decode(r));
+    return out;
+}
+
+bool
+Alphabet::isValidLetter(char c)
+{
+    const char u = static_cast<char>(std::toupper(c));
+    return letters.find(u) != std::string_view::npos;
+}
+
+const std::array<double, Alphabet::numRealResidues> &
+Alphabet::backgroundFrequencies()
+{
+    // Robinson & Robinson (1991) amino-acid composition, in the
+    // encoding order ARNDCQEGHILKMFPSTWYV, renormalized to sum to 1.
+    static const std::array<double, numRealResidues> freqs = [] {
+        std::array<double, numRealResidues> f = {
+            0.07805, 0.05129, 0.04487, 0.05364, 0.01925,
+            0.04264, 0.06295, 0.07377, 0.02199, 0.05142,
+            0.09019, 0.05744, 0.02243, 0.03856, 0.05203,
+            0.07120, 0.05841, 0.01330, 0.03216, 0.06441,
+        };
+        double sum = 0.0;
+        for (double v : f)
+            sum += v;
+        for (double &v : f)
+            v /= sum;
+        return f;
+    }();
+    return freqs;
+}
+
+} // namespace bioarch::bio

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Amino-acid alphabet: residue encoding, decoding and background
+ * composition statistics used by the synthetic database generator.
+ */
+
+#ifndef BIOARCH_BIO_ALPHABET_HH
+#define BIOARCH_BIO_ALPHABET_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bioarch::bio
+{
+
+/** Encoded residue type. Values index rows of the scoring matrix. */
+using Residue = std::uint8_t;
+
+/**
+ * The 20-letter amino-acid alphabet plus the ambiguity codes B, Z and
+ * the unknown residue X, in the canonical NCBI matrix order
+ * "ARNDCQEGHILKMFPSTWYVBZX".
+ */
+class Alphabet
+{
+  public:
+    /** Number of real amino acids. */
+    static constexpr int numRealResidues = 20;
+    /** Total encoded symbols (20 + B, Z, X). */
+    static constexpr int numSymbols = 23;
+    /** Encoded value of the unknown residue X. */
+    static constexpr Residue unknown = 22;
+
+    /** Letters in encoding order. */
+    static constexpr std::string_view letters = "ARNDCQEGHILKMFPSTWYVBZX";
+
+    /**
+     * Encode one character. Lower case is accepted; any character that
+     * is not a valid residue letter encodes as X.
+     *
+     * @param c residue letter
+     * @return encoded residue in [0, numSymbols)
+     */
+    static Residue encode(char c);
+
+    /**
+     * Decode one residue back to its upper-case letter.
+     *
+     * @param r encoded residue; out-of-range values decode as 'X'
+     */
+    static char decode(Residue r);
+
+    /** Encode a whole string of residue letters. */
+    static std::vector<Residue> encode(std::string_view s);
+
+    /** Decode a whole residue vector to a string. */
+    static std::string decode(const std::vector<Residue> &rs);
+
+    /** @return true if @p c is one of the 23 valid residue letters. */
+    static bool isValidLetter(char c);
+
+    /**
+     * Background frequency of each of the 20 real amino acids
+     * (Robinson & Robinson composition, normalized to sum to 1).
+     * Used to synthesize realistic random protein sequences.
+     */
+    static const std::array<double, numRealResidues> &
+    backgroundFrequencies();
+};
+
+} // namespace bioarch::bio
+
+#endif // BIOARCH_BIO_ALPHABET_HH

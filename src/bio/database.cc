@@ -1,0 +1,17 @@
+#include "database.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace bioarch::bio
+{
+
+void
+SequenceDatabase::add(Sequence seq)
+{
+    _totalResidues += seq.length();
+    _maxLength = std::max(_maxLength, seq.length());
+    _sequences.push_back(std::move(seq));
+}
+
+} // namespace bioarch::bio

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Sequence database container — the stand-in for SwissProt.
+ */
+
+#ifndef BIOARCH_BIO_DATABASE_HH
+#define BIOARCH_BIO_DATABASE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sequence.hh"
+
+namespace bioarch::bio
+{
+
+/**
+ * An ordered collection of protein sequences searched by the
+ * alignment applications. Mirrors what SwissProt provides: sequences
+ * plus aggregate residue statistics (used for E-value computation and
+ * for Table-II-style reporting).
+ */
+class SequenceDatabase
+{
+  public:
+    SequenceDatabase() = default;
+
+    /** Append one sequence. */
+    void add(Sequence seq);
+
+    std::size_t size() const { return _sequences.size(); }
+    bool empty() const { return _sequences.empty(); }
+
+    const Sequence &operator[](std::size_t i) const
+    {
+        return _sequences[i];
+    }
+
+    const std::vector<Sequence> &sequences() const { return _sequences; }
+
+    /** Total residues across all sequences. */
+    std::uint64_t totalResidues() const { return _totalResidues; }
+
+    /** Length of the longest sequence (0 when empty). */
+    std::size_t maxLength() const { return _maxLength; }
+
+    auto begin() const { return _sequences.begin(); }
+    auto end() const { return _sequences.end(); }
+
+  private:
+    std::vector<Sequence> _sequences;
+    std::uint64_t _totalResidues = 0;
+    std::size_t _maxLength = 0;
+};
+
+} // namespace bioarch::bio
+
+#endif // BIOARCH_BIO_DATABASE_HH

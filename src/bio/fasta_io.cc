@@ -1,0 +1,121 @@
+#include "fasta_io.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+namespace bioarch::bio
+{
+
+namespace
+{
+
+/** Split a header line (after '>') into (id, description). */
+std::pair<std::string, std::string>
+splitHeader(const std::string &line)
+{
+    std::size_t i = 0;
+    while (i < line.size() && !std::isspace(
+               static_cast<unsigned char>(line[i]))) {
+        ++i;
+    }
+    std::string id = line.substr(0, i);
+    while (i < line.size() && std::isspace(
+               static_cast<unsigned char>(line[i]))) {
+        ++i;
+    }
+    return {std::move(id), line.substr(i)};
+}
+
+} // namespace
+
+SequenceDatabase
+readFasta(std::istream &in)
+{
+    SequenceDatabase db;
+    std::string id;
+    std::string description;
+    std::vector<Residue> residues;
+    bool have_header = false;
+
+    auto flush = [&] {
+        if (have_header)
+            db.add(Sequence(id, description, std::move(residues)));
+        residues = {};
+    };
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            flush();
+            std::tie(id, description) = splitHeader(line.substr(1));
+            have_header = true;
+        } else if (line[0] == ';') {
+            continue; // legacy FASTA comment line
+        } else {
+            if (!have_header) {
+                throw FastaError(
+                    "FASTA parse error: residue data before any "
+                    "'>' header line");
+            }
+            for (char c : line) {
+                if (std::isspace(static_cast<unsigned char>(c)))
+                    continue;
+                residues.push_back(Alphabet::encode(c));
+            }
+        }
+    }
+    flush();
+    return db;
+}
+
+SequenceDatabase
+readFastaFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw FastaError("cannot open FASTA file: " + path);
+    return readFasta(in);
+}
+
+SequenceDatabase
+readFastaString(const std::string &text)
+{
+    std::istringstream in(text);
+    return readFasta(in);
+}
+
+void
+writeFasta(std::ostream &out, const SequenceDatabase &db,
+           std::size_t line_width)
+{
+    for (const Sequence &seq : db) {
+        out << '>' << seq.id();
+        if (!seq.description().empty())
+            out << ' ' << seq.description();
+        out << '\n';
+        const std::string letters = seq.toString();
+        for (std::size_t i = 0; i < letters.size(); i += line_width) {
+            out << letters.substr(i, line_width) << '\n';
+        }
+    }
+}
+
+void
+writeFastaFile(const std::string &path, const SequenceDatabase &db,
+               std::size_t line_width)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw FastaError("cannot open FASTA file for write: " + path);
+    writeFasta(out, db, line_width);
+    if (!out)
+        throw FastaError("write failure on FASTA file: " + path);
+}
+
+} // namespace bioarch::bio

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * FASTA *format* reading and writing (the file format, not the FASTA
+ * search program). Lets users load real databases in place of the
+ * synthetic one.
+ */
+
+#ifndef BIOARCH_BIO_FASTA_IO_HH
+#define BIOARCH_BIO_FASTA_IO_HH
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "database.hh"
+#include "sequence.hh"
+
+namespace bioarch::bio
+{
+
+/** Thrown on malformed FASTA input or I/O failure. */
+class FastaError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Parse FASTA-formatted text from a stream.
+ *
+ * Header lines are ">ID description"; the ID is the first
+ * whitespace-delimited token. Residue letters may span multiple
+ * lines; blank lines are ignored; invalid residue letters encode
+ * as X (matching common tool behavior).
+ *
+ * @throws FastaError if the stream contains residue data before any
+ *         header line.
+ */
+SequenceDatabase readFasta(std::istream &in);
+
+/** Parse a FASTA file by path. @throws FastaError on open failure. */
+SequenceDatabase readFastaFile(const std::string &path);
+
+/** Parse FASTA from an in-memory string. */
+SequenceDatabase readFastaString(const std::string &text);
+
+/**
+ * Write a database in FASTA format.
+ *
+ * @param out destination stream
+ * @param db sequences to write
+ * @param line_width residues per line (default 60, the common width)
+ */
+void writeFasta(std::ostream &out, const SequenceDatabase &db,
+                std::size_t line_width = 60);
+
+/** Write a database to a FASTA file. @throws FastaError on failure. */
+void writeFastaFile(const std::string &path, const SequenceDatabase &db,
+                    std::size_t line_width = 60);
+
+} // namespace bioarch::bio
+
+#endif // BIOARCH_BIO_FASTA_IO_HH

@@ -1,0 +1,156 @@
+#include "nucleotide.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace bioarch::bio
+{
+
+Base
+NucAlphabet::encode(char c)
+{
+    switch (std::toupper(static_cast<unsigned char>(c))) {
+      case 'A': return 0;
+      case 'C': return 1;
+      case 'G': return 2;
+      case 'T': return 3;
+      default: return 0; // ambiguity codes collapse to A
+    }
+}
+
+char
+NucAlphabet::decode(Base b)
+{
+    return letters[b & 3];
+}
+
+std::vector<Base>
+NucAlphabet::encode(std::string_view s)
+{
+    std::vector<Base> out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(encode(c));
+    return out;
+}
+
+std::string
+NucAlphabet::decode(const std::vector<Base> &bases)
+{
+    std::string out;
+    out.reserve(bases.size());
+    for (Base b : bases)
+        out.push_back(decode(b));
+    return out;
+}
+
+PackedDna::PackedDna(std::string id, std::string_view letters)
+    : PackedDna(std::move(id), NucAlphabet::encode(letters))
+{
+}
+
+PackedDna::PackedDna(std::string id, const std::vector<Base> &bases)
+    : _id(std::move(id)), _length(bases.size()),
+      _bytes((bases.size() + 3) / 4, 0)
+{
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+        const unsigned shift = 6 - 2 * (i & 3);
+        _bytes[i >> 2] = static_cast<std::uint8_t>(
+            _bytes[i >> 2] | ((bases[i] & 3) << shift));
+    }
+}
+
+std::vector<Base>
+PackedDna::unpack() const
+{
+    std::vector<Base> out;
+    out.reserve(_length);
+    for (std::size_t i = 0; i < _length; ++i)
+        out.push_back((*this)[i]);
+    return out;
+}
+
+std::string
+PackedDna::toString() const
+{
+    return NucAlphabet::decode(unpack());
+}
+
+void
+DnaDatabase::add(PackedDna seq)
+{
+    _totalBases += seq.length();
+    _sequences.push_back(std::move(seq));
+}
+
+PackedDna
+makeRandomDna(Rng &rng, std::size_t length, const std::string &id)
+{
+    std::vector<Base> bases;
+    bases.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+        bases.push_back(static_cast<Base>(rng.below(4)));
+    return PackedDna(id, bases);
+}
+
+PackedDna
+mutateDna(Rng &rng, const PackedDna &src, double identity,
+          const std::string &id)
+{
+    std::vector<Base> out;
+    out.reserve(src.length() + 16);
+    for (std::size_t i = 0; i < src.length(); ++i) {
+        if (rng.chance(identity)) {
+            out.push_back(src[i]);
+            continue;
+        }
+        // Mostly substitutions, occasionally a short indel.
+        const double kind = rng.uniform();
+        if (kind < 0.8) {
+            out.push_back(static_cast<Base>(
+                (src[i] + 1 + rng.below(3)) & 3));
+        } else if (kind < 0.9) {
+            // deletion: skip this base
+        } else {
+            out.push_back(static_cast<Base>(rng.below(4)));
+            out.push_back(src[i]);
+        }
+    }
+    return PackedDna(id, out);
+}
+
+DnaDatabase
+makeDnaDatabase(std::size_t num_sequences, std::size_t min_length,
+                std::size_t max_length, const PackedDna &query,
+                int homologs, std::uint64_t seed)
+{
+    Rng rng(seed);
+    DnaDatabase db;
+    // Deterministic planted positions, spread across the database.
+    std::vector<std::size_t> planted;
+    for (int h = 0; h < homologs; ++h)
+        planted.push_back(
+            num_sequences > 0
+                ? (static_cast<std::size_t>(h) * 7 + 3)
+                    % num_sequences
+                : 0);
+    for (std::size_t i = 0; i < num_sequences; ++i) {
+        const bool is_homolog =
+            std::find(planted.begin(), planted.end(), i)
+            != planted.end();
+        if (is_homolog && !query.empty()) {
+            const double identity = 0.75 + 0.2 * rng.uniform();
+            db.add(mutateDna(rng, query, identity,
+                             "HDNA" + std::to_string(i)));
+        } else {
+            const std::size_t len = min_length
+                + rng.below(std::max<std::uint64_t>(
+                    1, max_length - min_length));
+            db.add(makeRandomDna(rng, len,
+                                 "DNA" + std::to_string(i)));
+        }
+    }
+    return db;
+}
+
+} // namespace bioarch::bio

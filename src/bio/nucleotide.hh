@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Nucleotide support: the DNA alphabet and the 2-bit packed
+ * database representation that the paper's Listing 1
+ * (BlastNtWordFinder, READDB_UNPACK_BASE) operates on.
+ */
+
+#ifndef BIOARCH_BIO_NUCLEOTIDE_HH
+#define BIOARCH_BIO_NUCLEOTIDE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "random.hh"
+
+namespace bioarch::bio
+{
+
+/** Encoded nucleotide: A=0, C=1, G=2, T=3. */
+using Base = std::uint8_t;
+
+/** The 4-letter DNA alphabet. */
+class NucAlphabet
+{
+  public:
+    static constexpr int numBases = 4;
+    static constexpr std::string_view letters = "ACGT";
+
+    /** Encode one letter (case-insensitive; others encode as A). */
+    static Base encode(char c);
+    /** Decode to an upper-case letter. */
+    static char decode(Base b);
+    /** Encode a string of letters. */
+    static std::vector<Base> encode(std::string_view s);
+    /** Decode a base vector to a string. */
+    static std::string decode(const std::vector<Base> &bases);
+};
+
+/**
+ * A DNA sequence stored 2-bit packed, 4 bases per byte, exactly as
+ * NCBI's readdb-format databases store nucleotides. Big-endian
+ * within the byte (base 0 in the top bits), matching the
+ * READDB_UNPACK_BASE_k accessors of the paper's Listing 1.
+ */
+class PackedDna
+{
+  public:
+    PackedDna() = default;
+
+    /** Pack from letters. */
+    PackedDna(std::string id, std::string_view letters);
+
+    /** Pack from encoded bases. */
+    PackedDna(std::string id, const std::vector<Base> &bases);
+
+    const std::string &id() const { return _id; }
+    std::size_t length() const { return _length; }
+    bool empty() const { return _length == 0; }
+
+    /** The packed bytes (length/4 rounded up). */
+    const std::vector<std::uint8_t> &bytes() const { return _bytes; }
+
+    /**
+     * Base at position @p i — the READDB_UNPACK_BASE operation:
+     * byte fetch, shift, mask.
+     */
+    Base
+    operator[](std::size_t i) const
+    {
+        const std::uint8_t byte = _bytes[i >> 2];
+        const unsigned shift = 6 - 2 * (i & 3);
+        return static_cast<Base>((byte >> shift) & 3);
+    }
+
+    /** Unpack the whole sequence. */
+    std::vector<Base> unpack() const;
+
+    /** Decode to letters. */
+    std::string toString() const;
+
+  private:
+    std::string _id;
+    std::size_t _length = 0;
+    std::vector<std::uint8_t> _bytes;
+};
+
+/** An ordered collection of packed DNA sequences. */
+class DnaDatabase
+{
+  public:
+    void add(PackedDna seq);
+
+    std::size_t size() const { return _sequences.size(); }
+    bool empty() const { return _sequences.empty(); }
+    const PackedDna &operator[](std::size_t i) const
+    {
+        return _sequences[i];
+    }
+    std::uint64_t totalBases() const { return _totalBases; }
+
+    auto begin() const { return _sequences.begin(); }
+    auto end() const { return _sequences.end(); }
+
+  private:
+    std::vector<PackedDna> _sequences;
+    std::uint64_t _totalBases = 0;
+};
+
+/** Uniform random DNA sequence. */
+PackedDna makeRandomDna(Rng &rng, std::size_t length,
+                        const std::string &id = "DNA");
+
+/**
+ * Mutate DNA to a target identity (substitutions plus occasional
+ * short indels), for planting homologs.
+ */
+PackedDna mutateDna(Rng &rng, const PackedDna &src, double identity,
+                    const std::string &id);
+
+/**
+ * Synthetic DNA database with @p homologs mutated copies of
+ * @p query planted among random background sequences.
+ */
+DnaDatabase makeDnaDatabase(std::size_t num_sequences,
+                            std::size_t min_length,
+                            std::size_t max_length,
+                            const PackedDna &query, int homologs,
+                            std::uint64_t seed);
+
+} // namespace bioarch::bio
+
+#endif // BIOARCH_BIO_NUCLEOTIDE_HH

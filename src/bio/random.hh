@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Small deterministic RNG used everywhere randomness is needed.
+ *
+ * All synthetic data in this repository must be reproducible across
+ * platforms and standard-library versions, so we carry our own
+ * SplitMix64/xoshiro256** implementation instead of relying on
+ * std::mt19937 distributions (whose std::uniform_* mappings are not
+ * specified bit-exactly).
+ */
+
+#ifndef BIOARCH_BIO_RANDOM_HH
+#define BIOARCH_BIO_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace bioarch::bio
+{
+
+/** xoshiro256** PRNG with SplitMix64 seeding. */
+class Rng
+{
+  public:
+    /** Seed deterministically from a single 64-bit value. */
+    explicit Rng(std::uint64_t seed)
+    {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &word : _state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using rejection-free Lemire. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // 128-bit multiply-shift; slight modulo bias is irrelevant at
+        // our bounds (< 2^32) and keeps the generator branch-free.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> _state;
+};
+
+} // namespace bioarch::bio
+
+#endif // BIOARCH_BIO_RANDOM_HH

@@ -1,0 +1,125 @@
+#include "scoring.hh"
+
+#include <algorithm>
+
+namespace bioarch::bio
+{
+
+ScoringMatrix::ScoringMatrix() : _name("zero")
+{
+    _scores.fill(0);
+}
+
+ScoringMatrix::ScoringMatrix(
+        std::string name,
+        const std::array<std::int8_t, dim * dim> &scores)
+    : _name(std::move(name)), _scores(scores)
+{
+}
+
+void
+ScoringMatrix::set(Residue a, Residue b, std::int8_t s)
+{
+    _scores[static_cast<int>(a) * dim + static_cast<int>(b)] = s;
+    _scores[static_cast<int>(b) * dim + static_cast<int>(a)] = s;
+}
+
+int
+ScoringMatrix::maxScore() const
+{
+    return *std::max_element(_scores.begin(), _scores.end());
+}
+
+int
+ScoringMatrix::minScore() const
+{
+    return *std::min_element(_scores.begin(), _scores.end());
+}
+
+namespace
+{
+
+/**
+ * BLOSUM62 over the 23-symbol alphabet ARNDCQEGHILKMFPSTWYVBZX,
+ * row-major, standard NCBI values.
+ */
+constexpr std::int8_t blosum62Data[23][23] = {
+    // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S
+    //     T   W   Y   V   B   Z   X
+    { 4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,
+      0, -3, -2,  0, -2, -1,  0},                                 // A
+    {-1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1,
+     -1, -3, -2, -3, -1,  0, -1},                                 // R
+    {-2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,
+      0, -4, -2, -3,  3,  0, -1},                                 // N
+    {-2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0,
+     -1, -4, -3, -3,  4,  1, -1},                                 // D
+    { 0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1,
+     -1, -2, -2, -1, -3, -3, -2},                                 // C
+    {-1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0,
+     -1, -2, -1, -2,  0,  3, -1},                                 // Q
+    {-1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0,
+     -1, -3, -2, -2,  1,  4, -1},                                 // E
+    { 0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0,
+     -2, -2, -3, -3, -1, -2, -1},                                 // G
+    {-2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1,
+     -2, -2,  2, -3,  0,  0, -1},                                 // H
+    {-1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2,
+     -1, -3, -1,  3, -3, -3, -1},                                 // I
+    {-1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2,
+     -1, -2, -1,  1, -4, -3, -1},                                 // L
+    {-1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0,
+     -1, -3, -2, -2,  0,  1, -1},                                 // K
+    {-1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1,
+     -1, -1, -1,  1, -3, -1, -1},                                 // M
+    {-2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2,
+     -2,  1,  3, -1, -3, -3, -1},                                 // F
+    {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1,
+     -1, -4, -3, -2, -2, -1, -2},                                 // P
+    { 1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,
+      1, -3, -2, -2,  0,  0,  0},                                 // S
+    { 0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,
+      5, -2, -2,  0, -1, -1,  0},                                 // T
+    {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3,
+     -2, 11,  2, -3, -4, -3, -2},                                 // W
+    {-2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2,
+     -2,  2,  7, -1, -3, -2, -1},                                 // Y
+    { 0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,
+      0, -3, -1,  4, -3, -2, -1},                                 // V
+    {-2, -1,  3,  4, -3,  0,  1, -1,  0, -3, -4,  0, -3, -3, -2,  0,
+     -1, -4, -3, -3,  4,  1, -1},                                 // B
+    {-1,  0,  0,  1, -3,  3,  4, -2,  0, -3, -3,  1, -1, -3, -1,  0,
+     -1, -3, -2, -2,  1,  4, -1},                                 // Z
+    { 0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2,  0,
+      0, -2, -1, -1, -1, -1, -1},                                 // X
+};
+
+} // namespace
+
+const ScoringMatrix &
+blosum62()
+{
+    static const ScoringMatrix matrix = [] {
+        std::array<std::int8_t, ScoringMatrix::dim * ScoringMatrix::dim>
+            flat{};
+        for (int a = 0; a < ScoringMatrix::dim; ++a)
+            for (int b = 0; b < ScoringMatrix::dim; ++b)
+                flat[a * ScoringMatrix::dim + b] = blosum62Data[a][b];
+        return ScoringMatrix("BLOSUM62", flat);
+    }();
+    return matrix;
+}
+
+ScoringMatrix
+makeMatchMismatch(int match, int mismatch)
+{
+    std::array<std::int8_t, ScoringMatrix::dim * ScoringMatrix::dim>
+        flat{};
+    for (int a = 0; a < ScoringMatrix::dim; ++a)
+        for (int b = 0; b < ScoringMatrix::dim; ++b)
+            flat[a * ScoringMatrix::dim + b] =
+                static_cast<std::int8_t>(a == b ? match : mismatch);
+    return ScoringMatrix("match/mismatch", flat);
+}
+
+} // namespace bioarch::bio

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Substitution scoring: matrix abstraction, the standard BLOSUM62
+ * matrix, and affine gap penalties. All evaluations in the paper use
+ * BLOSUM62 with gap open 10 / gap extend 1 (Section IV-A).
+ */
+
+#ifndef BIOARCH_BIO_SCORING_HH
+#define BIOARCH_BIO_SCORING_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "alphabet.hh"
+
+namespace bioarch::bio
+{
+
+/**
+ * Affine gap penalty model: a gap of length L costs
+ * open + extend * L (FASTA/SSEARCH "-f 11 -g 1" convention is
+ * open+first-extend = 11; we store open = 10, extend = 1 and charge
+ * open + extend on gap opening, matching the paper's
+ * "gap open penalty of 10 and a gap extension penalty of 1").
+ */
+struct GapPenalties
+{
+    int open = 10;   ///< charged once when a gap is opened
+    int extend = 1;  ///< charged for every gap position, incl. first
+
+    /** Cost of opening a new gap (first gapped position). */
+    int openCost() const { return open + extend; }
+    /** Cost of extending an existing gap by one position. */
+    int extendCost() const { return extend; }
+    /** Total cost of a gap of @p len positions. */
+    int cost(int len) const { return len > 0 ? open + extend * len : 0; }
+};
+
+/**
+ * A square substitution score matrix over the encoded alphabet.
+ *
+ * Lookups are hot (one per DP cell), so scores are a flat array
+ * indexed by a * numSymbols + b.
+ */
+class ScoringMatrix
+{
+  public:
+    static constexpr int dim = Alphabet::numSymbols;
+
+    /** Construct a matrix with every score zero. */
+    ScoringMatrix();
+
+    /**
+     * Construct from a full dim x dim table.
+     *
+     * @param name matrix name (e.g. "BLOSUM62")
+     * @param scores row-major score table
+     */
+    ScoringMatrix(std::string name,
+                  const std::array<std::int8_t, dim * dim> &scores);
+
+    /** Score of aligning residue @p a against residue @p b. */
+    int score(Residue a, Residue b) const
+    {
+        return _scores[static_cast<int>(a) * dim + static_cast<int>(b)];
+    }
+
+    /** Set one (symmetric) entry; used by tests and custom matrices. */
+    void set(Residue a, Residue b, std::int8_t s);
+
+    const std::string &name() const { return _name; }
+
+    /** Largest score in the matrix (BLOSUM62: 11 for W/W). */
+    int maxScore() const;
+    /** Smallest score in the matrix (BLOSUM62: -4). */
+    int minScore() const;
+
+    /** Raw row pointer, for building SIMD query profiles. */
+    const std::int8_t *row(Residue a) const
+    {
+        return _scores.data() + static_cast<int>(a) * dim;
+    }
+
+  private:
+    std::string _name;
+    std::array<std::int8_t, dim * dim> _scores;
+};
+
+/** The standard BLOSUM62 matrix (Henikoff & Henikoff). */
+const ScoringMatrix &blosum62();
+
+/** A simple match/mismatch matrix, useful in tests. */
+ScoringMatrix makeMatchMismatch(int match, int mismatch);
+
+} // namespace bioarch::bio
+
+#endif // BIOARCH_BIO_SCORING_HH

@@ -1,0 +1,28 @@
+#include "sequence.hh"
+
+#include <utility>
+
+namespace bioarch::bio
+{
+
+Sequence::Sequence(std::string id, std::string description,
+                   std::string_view letters)
+    : _id(std::move(id)), _description(std::move(description)),
+      _residues(Alphabet::encode(letters))
+{
+}
+
+Sequence::Sequence(std::string id, std::string description,
+                   std::vector<Residue> residues)
+    : _id(std::move(id)), _description(std::move(description)),
+      _residues(std::move(residues))
+{
+}
+
+std::string
+Sequence::toString() const
+{
+    return Alphabet::decode(_residues);
+}
+
+} // namespace bioarch::bio

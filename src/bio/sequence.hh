@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Protein sequence value type shared by the whole library.
+ */
+
+#ifndef BIOARCH_BIO_SEQUENCE_HH
+#define BIOARCH_BIO_SEQUENCE_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alphabet.hh"
+
+namespace bioarch::bio
+{
+
+/**
+ * A named, encoded protein sequence.
+ *
+ * Residues are stored in encoded form (see Alphabet) because every
+ * consumer — scoring matrix lookups, k-mer indices, SIMD profiles —
+ * wants small integers, not letters.
+ */
+class Sequence
+{
+  public:
+    Sequence() = default;
+
+    /**
+     * Build a sequence from a letter string.
+     *
+     * @param id accession identifier (e.g. "P14942")
+     * @param description free-form description line
+     * @param letters residue letters; invalid letters become X
+     */
+    Sequence(std::string id, std::string description,
+             std::string_view letters);
+
+    /** Build a sequence from already-encoded residues. */
+    Sequence(std::string id, std::string description,
+             std::vector<Residue> residues);
+
+    const std::string &id() const { return _id; }
+    const std::string &description() const { return _description; }
+    const std::vector<Residue> &residues() const { return _residues; }
+
+    std::size_t length() const { return _residues.size(); }
+    bool empty() const { return _residues.empty(); }
+
+    /** Residue at position @p i (0-based, unchecked). */
+    Residue operator[](std::size_t i) const { return _residues[i]; }
+
+    /** Decode back to a letter string. */
+    std::string toString() const;
+
+    bool operator==(const Sequence &other) const = default;
+
+  private:
+    std::string _id;
+    std::string _description;
+    std::vector<Residue> _residues;
+};
+
+} // namespace bioarch::bio
+
+#endif // BIOARCH_BIO_SEQUENCE_HH

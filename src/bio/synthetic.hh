@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Synthetic workload data: the Table II query set and a
+ * SwissProt-like protein database with planted homologs.
+ *
+ * The paper searches 11 well-characterized protein queries against
+ * SwissProt (62.6M residues / 172K sequences). Neither is
+ * redistributable here, so we synthesize:
+ *
+ *  - queries with the exact Table II accessions and lengths, drawn
+ *    from the Robinson-Robinson background composition;
+ *  - a database of background-composition sequences with a
+ *    SwissProt-like length distribution, into which mutated copies
+ *    ("homologs") of each query are planted at several identity
+ *    levels so that searches produce genuine high-scoring hits,
+ *    extensions, and rankings.
+ *
+ * Alignment-application *control flow and memory behavior* depend on
+ * residue statistics and on the presence/absence of hits, which this
+ * construction preserves; it does not preserve biological meaning.
+ */
+
+#ifndef BIOARCH_BIO_SYNTHETIC_HH
+#define BIOARCH_BIO_SYNTHETIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "database.hh"
+#include "random.hh"
+#include "sequence.hh"
+
+namespace bioarch::bio
+{
+
+/** One row of Table II: a named query protein family. */
+struct QuerySpec
+{
+    const char *family;    ///< protein family name
+    const char *accession; ///< SwissProt accession (e.g. "P14942")
+    int length;            ///< sequence length in residues
+};
+
+/** The 11 query specifications of Table II, in paper order. */
+const std::vector<QuerySpec> &tableIIQueries();
+
+/**
+ * Deterministically generate the synthetic query set (same
+ * accessions and lengths as Table II).
+ *
+ * @param seed RNG seed; the default yields the canonical set used by
+ *        all benches
+ */
+std::vector<Sequence> makeQuerySet(std::uint64_t seed = 0x51ED5EED);
+
+/**
+ * Generate the synthetic query used throughout the paper's result
+ * section: Glutathione S-transferase P14942 (222 residues).
+ */
+Sequence makeDefaultQuery(std::uint64_t seed = 0x51ED5EED);
+
+/** Parameters for the synthetic database generator. */
+struct DatabaseSpec
+{
+    /** Number of sequences (paper's SwissProt: 172,233; default is
+     * scaled down so benches run in seconds). */
+    int numSequences = 1000;
+    /** Minimum / maximum background sequence length. SwissProt
+     * lengths cluster in the low hundreds. */
+    int minLength = 80;
+    int maxLength = 800;
+    /** Per-query planted homologs at each identity level. */
+    int homologsPerQuery = 3;
+    /** Identity levels for planted homologs (fraction of residues
+     * kept identical). */
+    std::vector<double> identityLevels = {0.9, 0.6, 0.35};
+    /** RNG seed; fixed default for reproducibility. */
+    std::uint64_t seed = 0xDBDBDBDB;
+};
+
+/**
+ * Generate a synthetic protein database.
+ *
+ * Homologs of each query in @p queries are planted at deterministic
+ * (seed-derived) positions and carry descriptions of the form
+ * "homolog of <accession> id=<identity>" so tests can verify that
+ * searches recover them.
+ */
+SequenceDatabase makeDatabase(const DatabaseSpec &spec,
+                              const std::vector<Sequence> &queries);
+
+/** Convenience: database with homologs of the full Table II set. */
+SequenceDatabase makeDefaultDatabase(int num_sequences = 1000,
+                                     std::uint64_t seed = 0xDBDBDBDB);
+
+/**
+ * Generate a single random protein sequence from the background
+ * composition. Exposed for tests and examples.
+ */
+Sequence makeRandomSequence(Rng &rng, int length,
+                            const std::string &id = "RND",
+                            const std::string &description = "");
+
+/**
+ * Mutate a sequence to a target identity level: each position is
+ * kept with probability @p identity, otherwise substituted; short
+ * insertions/deletions are sprinkled to exercise gapped alignment.
+ */
+Sequence mutate(Rng &rng, const Sequence &src, double identity,
+                const std::string &id, const std::string &description);
+
+} // namespace bioarch::bio
+
+#endif // BIOARCH_BIO_SYNTHETIC_HH

@@ -1,0 +1,113 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace bioarch::core
+{
+
+Table::Table(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    _rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::add(const std::string &cell)
+{
+    _rows.back().push_back(cell);
+    return *this;
+}
+
+Table &
+Table::add(const char *cell)
+{
+    return add(std::string(cell));
+}
+
+Table &
+Table::add(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return add(os.str());
+}
+
+Table &
+Table::add(std::uint64_t value)
+{
+    return add(std::to_string(value));
+}
+
+Table &
+Table::add(int value)
+{
+    return add(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &out) const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size() && c < widths.size();
+             ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell =
+                c < cells.size() ? cells[c] : std::string();
+            if (c == 0) {
+                // First column (labels) left-aligned.
+                out << cell
+                    << std::string(widths[c] - cell.size(), ' ');
+            } else {
+                out << "  "
+                    << std::string(widths[c] - cell.size(), ' ')
+                    << cell;
+            }
+        }
+        out << '\n';
+    };
+
+    print_row(_headers);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto &row : _rows)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &out) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            out << (c == 0 ? "" : ",") << cells[c];
+        out << '\n';
+    };
+    emit(_headers);
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+void
+printHeading(std::ostream &out, const std::string &title)
+{
+    out << '\n' << "== " << title << " ==\n\n";
+}
+
+} // namespace bioarch::core

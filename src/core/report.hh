@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Report formatting: aligned text tables (what the bench harnesses
+ * print) and CSV (for plotting the figures externally).
+ */
+
+#ifndef BIOARCH_CORE_REPORT_HH
+#define BIOARCH_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bioarch::core
+{
+
+/**
+ * A simple column-aligned table. Cells are strings; numeric
+ * convenience adders format with sensible precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Start a new row; subsequent add() calls fill it. */
+    Table &row();
+
+    Table &add(const std::string &cell);
+    Table &add(const char *cell);
+    Table &add(double value, int precision = 2);
+    Table &add(std::uint64_t value);
+    Table &add(int value);
+
+    std::size_t numRows() const { return _rows.size(); }
+    const std::vector<std::string> &header() const
+    {
+        return _headers;
+    }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return _rows;
+    }
+
+    /** Print with aligned columns. */
+    void print(std::ostream &out) const;
+
+    /** Emit as CSV. */
+    void printCsv(std::ostream &out) const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Print a section heading in the style of the bench harnesses. */
+void printHeading(std::ostream &out, const std::string &title);
+
+} // namespace bioarch::core
+
+#endif // BIOARCH_CORE_REPORT_HH

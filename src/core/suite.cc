@@ -1,0 +1,59 @@
+#include "suite.hh"
+
+#include <cstdlib>
+
+namespace bioarch::core
+{
+
+WorkloadSuite::WorkloadSuite(kernels::TraceSpec spec)
+    : _spec(std::move(spec)), _input(kernels::makeTraceInput(_spec))
+{
+}
+
+const kernels::TracedRun &
+WorkloadSuite::run(kernels::Workload w)
+{
+    auto &slot = _runs[static_cast<std::size_t>(w)];
+    if (!slot)
+        slot = kernels::traceWorkload(w, _input);
+    return *slot;
+}
+
+kernels::TraceSpec
+WorkloadSuite::benchSpec()
+{
+    kernels::TraceSpec spec;
+    spec.dbSequences = 8; // keeps every harness under ~a minute
+    if (const char *env = std::getenv("BIOARCH_DB_SEQS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            spec.dbSequences = n;
+    }
+    return spec;
+}
+
+sim::SimStats
+simulate(const trace::Trace &trace, const sim::SimConfig &config)
+{
+    sim::Simulator simulator(config);
+    return simulator.run(trace);
+}
+
+const std::array<sim::CoreConfig, 3> &
+coreSweep()
+{
+    static const std::array<sim::CoreConfig, 3> sweep = {
+        sim::core4Way(), sim::core8Way(), sim::core16Way()};
+    return sweep;
+}
+
+const std::array<sim::MemoryConfig, 5> &
+memorySweep()
+{
+    static const std::array<sim::MemoryConfig, 5> sweep = {
+        sim::memoryMe1(), sim::memoryMe2(), sim::memoryMe3(),
+        sim::memoryMe4(), sim::memoryInf()};
+    return sweep;
+}
+
+} // namespace bioarch::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The characterization suite: the paper's five workloads traced
+ * once and simulated across processor configurations. This is the
+ * primary user-facing API of the library — everything the bench
+ * harnesses and examples do goes through it.
+ */
+
+#ifndef BIOARCH_CORE_SUITE_HH
+#define BIOARCH_CORE_SUITE_HH
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "kernels/factory.hh"
+#include "sim/pipeline.hh"
+
+namespace bioarch::core
+{
+
+/**
+ * Generates and caches the dynamic traces of all five applications
+ * over one shared working set, so a sweep over N configurations
+ * pays trace generation once, not N times.
+ */
+class WorkloadSuite
+{
+  public:
+    /** Build a suite over the working set described by @p spec. */
+    explicit WorkloadSuite(kernels::TraceSpec spec = benchSpec());
+
+    /** The traced run of @p w (generated on first use). */
+    const kernels::TracedRun &run(kernels::Workload w);
+
+    /** The instruction trace of @p w. */
+    const trace::Trace &
+    trace(kernels::Workload w)
+    {
+        return run(w).trace;
+    }
+
+    const kernels::TraceInput &input() const { return _input; }
+    const kernels::TraceSpec &spec() const { return _spec; }
+
+    /**
+     * The default working set used by the bench harnesses. The
+     * database size honors the BIOARCH_DB_SEQS environment variable
+     * so users can re-run the experiments at larger scales.
+     */
+    static kernels::TraceSpec benchSpec();
+
+  private:
+    kernels::TraceSpec _spec;
+    kernels::TraceInput _input;
+    std::array<std::optional<kernels::TracedRun>,
+               kernels::numWorkloads>
+        _runs;
+};
+
+/** Simulate one trace on one configuration. */
+sim::SimStats simulate(const trace::Trace &trace,
+                       const sim::SimConfig &config);
+
+/** The paper's three core-width presets, in order. */
+const std::array<sim::CoreConfig, 3> &coreSweep();
+
+/** The paper's five Table V memory presets, in order. */
+const std::array<sim::MemoryConfig, 5> &memorySweep();
+
+} // namespace bioarch::core
+
+#endif // BIOARCH_CORE_SUITE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The dynamic instruction record consumed by the trace-driven
+ * simulator.
+ *
+ * A trace instruction carries exactly what Turandot-style simulation
+ * needs: the static PC (for I-cache, branch predictor, and BTB
+ * indexing), the op class (for functional unit routing and latency),
+ * SSA register dependencies (who produced my inputs), the effective
+ * memory address for loads/stores, and the branch outcome.
+ */
+
+#ifndef BIOARCH_ISA_INST_HH
+#define BIOARCH_ISA_INST_HH
+
+#include <cstdint>
+
+#include "opclass.hh"
+
+namespace bioarch::isa
+{
+
+/**
+ * SSA virtual register id. Each dynamic instruction that produces a
+ * value gets a fresh id, so there are no WAW/WAR hazards in the
+ * trace (the simulator models physical-register pressure through
+ * its in-flight window instead). Id 0 means "no register".
+ */
+using RegId = std::uint32_t;
+
+/** Addresses are 32-bit: the traced kernels' working sets are far
+ * below 4 GB and halving the record size matters at millions of
+ * instructions. */
+using Addr = std::uint32_t;
+
+/** Maximum register sources one instruction can name. */
+constexpr int maxSources = 3;
+
+/**
+ * One dynamic instruction.
+ *
+ * Kept packed (32 bytes) because traces run to tens of millions of
+ * records.
+ */
+struct Inst
+{
+    Addr pc = 0;            ///< static word PC (byte address / 4)
+    RegId dst = 0;          ///< produced register, 0 if none
+    RegId src[maxSources] = {0, 0, 0}; ///< consumed registers
+    Addr addr = 0;          ///< effective address (loads/stores)
+    OpClass cls = OpClass::Other;
+    std::uint8_t size = 0;  ///< access size in bytes (loads/stores)
+    bool taken = false;     ///< branch outcome
+    bool conditional = false; ///< branch is conditional
+
+    bool isBranch() const { return cls == OpClass::Branch; }
+    bool isLoad() const { return isa::isLoad(cls); }
+    bool isStore() const { return isa::isStore(cls); }
+    bool isMemory() const { return isa::isMemory(cls); }
+
+    /** Byte address of the static instruction (4-byte words). */
+    std::uint64_t
+    byteAddress() const
+    {
+        return static_cast<std::uint64_t>(pc) * 4;
+    }
+};
+
+static_assert(sizeof(Inst) <= 32, "trace records must stay compact");
+
+} // namespace bioarch::isa
+
+#endif // BIOARCH_ISA_INST_HH

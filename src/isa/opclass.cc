@@ -1,0 +1,27 @@
+#include "opclass.hh"
+
+namespace bioarch::isa
+{
+
+std::string_view
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "ialu";
+      case OpClass::IntLoad: return "iload";
+      case OpClass::IntStore: return "istore";
+      case OpClass::Branch: return "ctrl";
+      case OpClass::VecLoad: return "vload";
+      case OpClass::VecStore: return "vstore";
+      case OpClass::VecSimple: return "vsimple";
+      case OpClass::VecPerm: return "vperm";
+      case OpClass::VecComplex: return "vcomplex";
+      case OpClass::VecFloat: return "vfloat";
+      case OpClass::FloatOp: return "float";
+      case OpClass::Other: return "other";
+      case OpClass::NumClasses: break;
+    }
+    return "?";
+}
+
+} // namespace bioarch::isa

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Operation classes of the synthetic PowerPC+Altivec ISA.
+ *
+ * These are the categories the paper reports in the instruction
+ * breakdown (Fig. 1) and maps onto functional units (Table IV):
+ * scalar integer ALU, scalar loads/stores, branches, vector
+ * loads/stores, vector simple integer (VI), vector permute (VPER),
+ * vector complex (VCMPLX), vector float (VFP), scalar float (FP),
+ * and a catch-all "other".
+ */
+
+#ifndef BIOARCH_ISA_OPCLASS_HH
+#define BIOARCH_ISA_OPCLASS_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace bioarch::isa
+{
+
+/** Instruction operation class. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,    ///< scalar integer ALU (add, cmp, logic, shifts)
+    IntLoad,   ///< scalar load
+    IntStore,  ///< scalar store
+    Branch,    ///< conditional and unconditional control flow
+    VecLoad,   ///< vector load (lvx)
+    VecStore,  ///< vector store (stvx)
+    VecSimple, ///< vector simple integer (vaddshs, vmaxsh, ...)
+    VecPerm,   ///< vector permute / shift (vperm, vsldoi)
+    VecComplex,///< vector complex integer (multiply, sum-across)
+    VecFloat,  ///< vector float
+    FloatOp,   ///< scalar float
+    Other,     ///< everything else (system, mfspr, nop)
+    NumClasses
+};
+
+/** Number of op classes, for array sizing. */
+constexpr int numOpClasses = static_cast<int>(OpClass::NumClasses);
+
+/** Short lower-case mnemonic matching the paper's Fig. 1 legend. */
+std::string_view opClassName(OpClass cls);
+
+/** True for IntLoad/VecLoad. */
+constexpr bool
+isLoad(OpClass cls)
+{
+    return cls == OpClass::IntLoad || cls == OpClass::VecLoad;
+}
+
+/** True for IntStore/VecStore. */
+constexpr bool
+isStore(OpClass cls)
+{
+    return cls == OpClass::IntStore || cls == OpClass::VecStore;
+}
+
+/** True for any memory-accessing class. */
+constexpr bool
+isMemory(OpClass cls)
+{
+    return isLoad(cls) || isStore(cls);
+}
+
+/** True for any vector class. */
+constexpr bool
+isVector(OpClass cls)
+{
+    return cls == OpClass::VecLoad || cls == OpClass::VecStore
+        || cls == OpClass::VecSimple || cls == OpClass::VecPerm
+        || cls == OpClass::VecComplex || cls == OpClass::VecFloat;
+}
+
+} // namespace bioarch::isa
+
+#endif // BIOARCH_ISA_OPCLASS_HH

@@ -1,0 +1,275 @@
+#include "sw_vmx_traced.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "bio/scoring.hh"
+#include "trace/tracer.hh"
+
+namespace bioarch::kernels
+{
+
+namespace
+{
+
+using trace::Reg;
+using trace::Tracer;
+
+/** Sentinel profile score for pad rows (beyond the query). */
+constexpr int padScore = -1000;
+
+} // namespace
+
+template <int N>
+TracedRun
+traceSwVmx(const TraceInput &input)
+{
+    static_assert(N >= 4 && (N & (N - 1)) == 0);
+    /** 128-bit granules per vector register. */
+    constexpr int granules = N > 8 ? N / 8 : 1;
+
+    const bio::ScoringMatrix &matrix = bio::blosum62();
+    const bio::GapPenalties gaps;
+    const int open_cost = gaps.openCost();
+    const int ext_cost = gaps.extendCost();
+
+    const bio::Sequence &query = input.query;
+    const int m = static_cast<int>(query.length());
+    const int strips = (m + N - 1) / N;
+    const std::size_t max_n = input.db.maxLength();
+
+    Tracer t(N == 8 ? "SW_vmx128"
+                    : (N == 16 ? "SW_vmx256" : "SW_vmx"));
+
+    // Memory image: strip-major vector profile, the strip boundary
+    // H/F arrays (double-buffered), a scratch H-row buffer the
+    // kernel vector-stores into, and the database byte stream.
+    const isa::Addr a_prof = t.alloc(
+        static_cast<std::size_t>(bio::Alphabet::numSymbols)
+            * strips * N * 2,
+        "vector query profile");
+    const isa::Addr a_hbound = t.alloc(max_n * 2 * 2, "H boundary");
+    const isa::Addr a_fbound = t.alloc(max_n * 2 * 2, "F boundary");
+    // The kernel's working H/E vectors live in a memory-resident
+    // row buffer (the real Altivec code spills them: 28 strips do
+    // not fit in 32 vector registers). The per-step store/reload of
+    // this state is what puts L1 latency on the dependency chain
+    // (the paper's Fig. 7 observation).
+    const isa::Addr a_state = t.alloc(
+        static_cast<std::size_t>(granules) * 16 * 2,
+        "H/E row buffer");
+    const isa::Addr a_db =
+        t.alloc(input.db.totalResidues(), "database residues");
+
+    TracedRun run;
+    run.scores.reserve(input.db.size());
+
+    // Computation state (the emission mirrors it; see below).
+    std::vector<int> hcol(static_cast<std::size_t>(N));
+    std::vector<int> ecol(static_cast<std::size_t>(N));
+    std::vector<int> h_bound(max_n, 0);
+    std::vector<int> f_bound(max_n, 0);
+    std::vector<int> h_bound_next(max_n, 0);
+    std::vector<int> f_bound_next(max_n, 0);
+
+    isa::Addr seq_base = a_db;
+    for (std::size_t sidx = 0; sidx < input.db.size(); ++sidx) {
+        const bio::Sequence &subject = input.db[sidx];
+        const int n = static_cast<int>(subject.length());
+
+        std::fill(h_bound.begin(), h_bound.end(), 0);
+        std::fill(f_bound.begin(), f_bound.end(), 0);
+        int best = 0;
+
+        // Per-sequence setup.
+        Reg r_dbptr = t.alu();
+        Reg r_len = t.load(seq_base, 1);
+        Reg v_zero = t.vperm(); // vspltish 0
+        Reg v_best = t.vperm();
+
+        for (int s = 0; s < strips; ++s) {
+            const int i0 = s * N;
+            std::fill(hcol.begin(), hcol.end(), 0);
+            std::fill(ecol.begin(), ecol.end(), 0);
+            std::fill(h_bound_next.begin(), h_bound_next.end(), 0);
+            std::fill(f_bound_next.begin(), f_bound_next.end(), 0);
+
+            // Strip prologue: zero the row-buffer state, reload
+            // pointers.
+            Reg v_fprev = t.vperm({v_zero});
+            Reg r_jptr = t.alu({r_dbptr});
+            Reg r_bptr = t.alu();
+            for (int g = 0; g < granules; ++g) {
+                const isa::Addr ga = static_cast<isa::Addr>(g) * 16;
+                t.vstore(a_state + ga, 16, v_zero, {r_bptr});
+                t.vstore(a_state + granules * 16 + ga, 16, v_zero,
+                         {r_bptr});
+            }
+
+            for (int j = 0; j < n; ++j) {
+                const bio::Residue res = subject[j];
+
+                // ---- real computation: N cells of column j ------
+                const int f_in = f_bound[static_cast<std::size_t>(j)];
+                const int hb_diag =
+                    j > 0 ? h_bound[static_cast<std::size_t>(j - 1)]
+                          : 0;
+                int f_cur = f_in;
+                int h_diag_prev = hb_diag; // H[i-1][j-1] for lane l
+                int new_best = best;
+                int best_lane = -1;
+                for (int l = 0; l < N; ++l) {
+                    const int i = i0 + l;
+                    const int score =
+                        i < m ? matrix.score(query[i], res)
+                              : padScore;
+                    const std::size_t sl =
+                        static_cast<std::size_t>(l);
+                    const int e_new = std::max(
+                        {0, hcol[sl] - open_cost,
+                         ecol[sl] - ext_cost});
+                    if (l > 0) {
+                        f_cur = std::max(
+                            {0, hcol[sl - 1] /*just updated: H[i-1][j]*/
+                                 - open_cost,
+                             f_cur - ext_cost});
+                    }
+                    const int h_new = std::max(
+                        {0, h_diag_prev + score, e_new, f_cur});
+                    h_diag_prev = hcol[sl]; // H[i][j-1] -> next diag
+                    hcol[sl] = h_new;
+                    ecol[sl] = e_new;
+                    if (h_new > new_best) {
+                        new_best = h_new;
+                        best_lane = l;
+                    }
+                }
+                if (best_lane >= 0 && i0 + best_lane < m)
+                    best = new_best;
+                h_bound_next[static_cast<std::size_t>(j)] =
+                    hcol[static_cast<std::size_t>(N - 1)];
+                f_bound_next[static_cast<std::size_t>(j)] =
+                    std::max({0,
+                              hcol[static_cast<std::size_t>(N - 1)]
+                                  - open_cost,
+                              f_cur - ext_cost});
+
+                // ---- emission: the Altivec instruction pattern --
+                //
+                // Scalar bookkeeping + vector loads + permutes are
+                // emitted once per 128-bit granule; VI arithmetic
+                // once per register (see the header comment).
+                const isa::Addr row_addr = a_prof
+                    + (static_cast<isa::Addr>(res) * strips + s)
+                        * N * 2;
+                const isa::Addr col2 = static_cast<isa::Addr>(j) * 2;
+
+                Reg v_prof; // merged profile vector
+                Reg v_hl;   // H state reloaded from the row buffer
+                Reg v_el;   // E state reloaded from the row buffer
+                Reg r_state;
+                for (int g = 0; g < granules; ++g) {
+                    const isa::Addr ga =
+                        static_cast<isa::Addr>(g) * 16;
+                    // Scalar block (3 loads, 6 alu, 2 stores, 3
+                    // other per granule).
+                    Reg r_res = t.load(
+                        seq_base + static_cast<isa::Addr>(j), 1,
+                        {r_jptr});
+                    Reg r_row = t.alu({r_res});
+                    Reg r_hb = t.load(a_hbound + col2, 2, {r_bptr});
+                    Reg r_fb = t.load(a_fbound + col2, 2, {r_bptr});
+                    Reg r_a1 = t.alu({r_row});
+                    Reg r_a2 = t.alu({r_hb});
+                    Reg r_a3 = t.alu({r_fb});
+                    Reg r_a4 = t.alu({r_jptr});
+                    r_bptr = t.alu({r_bptr});
+                    t.store(a_hbound + max_n * 2 + col2, 2, r_a2,
+                            {r_bptr});
+                    t.store(a_fbound + max_n * 2 + col2, 2, r_a3,
+                            {r_bptr});
+                    Reg r_o1 = t.other({r_a1});
+                    Reg r_o2 = t.other({r_a4});
+                    t.other({r_o1, r_o2});
+                    r_state = r_a4;
+
+                    // Vector loads: the profile strip plus the H/E
+                    // working state written back at the end of the
+                    // previous step (a real store->load dependency
+                    // the simulator honors).
+                    Reg v_l1 = t.vload(row_addr + ga, 16, {r_row});
+                    v_hl = t.vload(a_state + ga, 16, {r_a4});
+                    v_el = t.vload(a_state + granules * 16 + ga, 16,
+                                   {r_a4});
+                    Reg v_al = t.vperm({v_l1}); // lvsl alignment
+                    v_prof = v_prof.valid()
+                        ? t.vperm({v_prof, v_al}) // granule merge
+                        : t.vperm({v_al});
+                    Reg v_ins1 = t.vperm({v_prof, r_hb});
+                    Reg v_ins2 = t.vperm({v_ins1, r_fb});
+                    Reg v_fix1 = t.vperm({v_fprev, v_ins2});
+                    Reg v_fix2 = t.vperm({v_fix1});
+                    Reg v_ext = t.vperm({v_fix2});
+                    v_prof = v_ext;
+                }
+
+                // VI arithmetic: one op per N-lane register (8 ops).
+                Reg v_e1 = t.vsimple({v_hl});           // subs open
+                Reg v_e2 = t.vsimple({v_el});           // subs ext
+                Reg v_e = t.vsimple({v_e1, v_e2});      // vmax -> E
+                Reg v_f1 = t.vsimple({v_hl});           // subs open
+                Reg v_f = t.vsimple({v_f1, v_fprev});   // vmax -> F
+                Reg v_h1 = t.vsimple({v_prof, v_hl});   // adds diag
+                Reg v_h2 = t.vsimple({v_h1, v_e});      // vmax
+                Reg v_h = t.vsimple({v_h2, v_f});       // vmax -> H
+                v_best = t.vsimple({v_best, v_h});
+
+                // Wide registers pay cross-granule realignment on
+                // the loop-carried H value: the next diagonal's
+                // shifts cross the 128-bit lane boundary, which the
+                // modeled extension implements as extra permutes in
+                // the critical path (this is the serialization that
+                // keeps the 256-bit version from a 2x speedup).
+                for (int g = 1; g < granules; ++g) {
+                    // Cross-lane realignment of the carried H value
+                    // (two permute stages per extra granule).
+                    v_h = t.vperm({v_h});
+                    v_h = t.vperm({v_h});
+                }
+
+                // Write the working state back to the row buffer
+                // (reloaded at the top of the next step).
+                for (int g = 0; g < granules; ++g) {
+                    const isa::Addr ga =
+                        static_cast<isa::Addr>(g) * 16;
+                    t.vstore(a_state + ga, 16, v_h, {r_state});
+                    t.vstore(a_state + granules * 16 + ga, 16, v_e,
+                             {r_state});
+                }
+                v_fprev = v_f;
+
+                // Loop control: the body is unrolled 2x, so the
+                // back edge appears every other column.
+                if ((j & 1) == 1 || j + 1 == n)
+                    t.branch(j + 1 < n, {r_jptr, r_len});
+            }
+            std::swap(h_bound, h_bound_next);
+            std::swap(f_bound, f_bound_next);
+            t.branch(s + 1 < strips, {r_dbptr}); // strip loop
+        }
+
+        run.scores.push_back(best);
+        seq_base += static_cast<isa::Addr>(n);
+        t.jump(); // back to the database-scan driver
+    }
+
+    run.trace = t.take();
+    return run;
+}
+
+template TracedRun traceSwVmx<4>(const TraceInput &);
+template TracedRun traceSwVmx<8>(const TraceInput &);
+template TracedRun traceSwVmx<16>(const TraceInput &);
+template TracedRun traceSwVmx<32>(const TraceInput &);
+
+} // namespace bioarch::kernels

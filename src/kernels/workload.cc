@@ -1,0 +1,44 @@
+#include "workload.hh"
+
+#include "bio/synthetic.hh"
+
+namespace bioarch::kernels
+{
+
+std::string_view
+workloadName(Workload w)
+{
+    switch (w) {
+      case Workload::Ssearch34: return "SSEARCH34";
+      case Workload::SwVmx128: return "SW_vmx128";
+      case Workload::SwVmx256: return "SW_vmx256";
+      case Workload::Fasta34: return "FASTA34";
+      case Workload::Blast: return "BLAST";
+      case Workload::NumWorkloads: break;
+    }
+    return "?";
+}
+
+TraceInput
+makeTraceInput(const TraceSpec &spec)
+{
+    TraceInput input;
+    const auto queries = bio::makeQuerySet();
+    for (const bio::Sequence &q : queries) {
+        if (q.id() == spec.queryAccession) {
+            input.query = q;
+            break;
+        }
+    }
+    if (input.query.empty())
+        input.query = bio::makeDefaultQuery();
+
+    bio::DatabaseSpec db_spec;
+    db_spec.numSequences = spec.dbSequences;
+    db_spec.homologsPerQuery = spec.homologsPerQuery;
+    db_spec.seed = spec.seed;
+    input.db = bio::makeDatabase(db_spec, {input.query});
+    return input;
+}
+
+} // namespace bioarch::kernels

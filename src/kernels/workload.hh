@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Workload definitions shared by the traced kernels: the five
+ * applications of the paper (Table I), the trace-generation working
+ * set, and the result bundle each traced kernel returns.
+ */
+
+#ifndef BIOARCH_KERNELS_WORKLOAD_HH
+#define BIOARCH_KERNELS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bio/database.hh"
+#include "bio/sequence.hh"
+#include "trace/trace.hh"
+
+namespace bioarch::kernels
+{
+
+/** The five applications of Table I. */
+enum class Workload
+{
+    Ssearch34,  ///< optimized scalar Smith-Waterman
+    SwVmx128,   ///< Altivec SW, 128-bit registers
+    SwVmx256,   ///< futuristic Altivec SW, 256-bit registers
+    Fasta34,    ///< FASTA heuristic
+    Blast,      ///< NCBI BLASTP heuristic
+    NumWorkloads
+};
+
+constexpr int numWorkloads = static_cast<int>(Workload::NumWorkloads);
+
+/** All five workloads, in the paper's presentation order. */
+inline constexpr Workload allWorkloads[] = {
+    Workload::Ssearch34, Workload::SwVmx128, Workload::SwVmx256,
+    Workload::Fasta34, Workload::Blast,
+};
+
+/** Display name as used in the paper's figures. */
+std::string_view workloadName(Workload w);
+
+/**
+ * The working set a trace is generated from.
+ *
+ * The paper traces executions against full SwissProt and samples
+ * representative windows (Table III: 7.7M-320M instructions). We
+ * instead scale the database down so the *whole* execution is the
+ * trace; `dbSequences` ~ 24 yields traces of roughly 1/100 of the
+ * paper's Table III sizes with the same inter-application ratios.
+ */
+struct TraceSpec
+{
+    /** Query accession; default is the paper's reported query
+     * (Glutathione S-transferase P14942, 222 residues). */
+    std::string queryAccession = "P14942";
+    /** Database sequences to synthesize for the traced run. */
+    int dbSequences = 24;
+    /** Planted homologs per identity level (exercises hit paths). */
+    int homologsPerQuery = 1;
+    /** RNG seed for the synthetic data. */
+    std::uint64_t seed = 0xB10ACED5;
+
+    bool operator==(const TraceSpec &other) const = default;
+};
+
+/** Materialized working set: the query and database to trace. */
+struct TraceInput
+{
+    bio::Sequence query;
+    bio::SequenceDatabase db;
+};
+
+/** Build the (query, database) pair a TraceSpec describes. */
+TraceInput makeTraceInput(const TraceSpec &spec);
+
+/**
+ * What a traced kernel returns: the instruction trace plus the
+ * scores it computed (tests assert these equal the untraced
+ * library's results — the trace really is the algorithm).
+ */
+struct TracedRun
+{
+    trace::Trace trace;
+    /** Best local score per database sequence (index-aligned). */
+    std::vector<int> scores;
+};
+
+} // namespace bioarch::kernels
+
+#endif // BIOARCH_KERNELS_WORKLOAD_HH

@@ -1,0 +1,162 @@
+#include "bpred.hh"
+
+#include <bit>
+
+namespace bioarch::sim
+{
+
+namespace
+{
+
+/** Round up to a power of two, minimum 2. */
+std::uint64_t
+ceilPow2(int v)
+{
+    std::uint64_t p = 2;
+    while (p < static_cast<std::uint64_t>(v))
+        p <<= 1;
+    return p;
+}
+
+/** 2-bit saturating counter helpers. */
+inline bool counterTaken(std::uint8_t c) { return c >= 2; }
+
+inline std::uint8_t
+counterUpdate(std::uint8_t c, bool taken)
+{
+    if (taken)
+        return c < 3 ? c + 1 : 3;
+    return c > 0 ? c - 1 : 0;
+}
+
+} // namespace
+
+BimodalPredictor::BimodalPredictor(int entries)
+    : _table(ceilPow2(entries), 1), _mask(ceilPow2(entries) - 1)
+{
+}
+
+bool
+BimodalPredictor::predict(std::uint64_t pc)
+{
+    return counterTaken(_table[pc & _mask]);
+}
+
+void
+BimodalPredictor::update(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &c = _table[pc & _mask];
+    c = counterUpdate(c, taken);
+}
+
+GsharePredictor::GsharePredictor(int entries)
+    : _table(ceilPow2(entries), 1), _mask(ceilPow2(entries) - 1),
+      _historyBits(std::countr_zero(ceilPow2(entries)))
+{
+}
+
+std::size_t
+GsharePredictor::index(std::uint64_t pc) const
+{
+    return (pc ^ _history) & _mask;
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc)
+{
+    return counterTaken(_table[index(pc)]);
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &c = _table[index(pc)];
+    c = counterUpdate(c, taken);
+    _history = ((_history << 1) | (taken ? 1 : 0))
+        & ((std::uint64_t{1} << _historyBits) - 1);
+}
+
+CombinedPredictor::CombinedPredictor(int entries)
+    : _bimodal(entries), _gshare(entries),
+      _selector(ceilPow2(entries), 1), _mask(ceilPow2(entries) - 1)
+{
+}
+
+bool
+CombinedPredictor::predict(std::uint64_t pc)
+{
+    _lastBimodal = _bimodal.predict(pc);
+    _lastGshare = _gshare.predict(pc);
+    const bool use_gshare = counterTaken(_selector[pc & _mask]);
+    return use_gshare ? _lastGshare : _lastBimodal;
+}
+
+void
+CombinedPredictor::update(std::uint64_t pc, bool taken)
+{
+    // Train the selector toward the component that was right.
+    if (_lastBimodal != _lastGshare) {
+        std::uint8_t &s = _selector[pc & _mask];
+        s = counterUpdate(s, _lastGshare == taken);
+    }
+    _bimodal.update(pc, taken);
+    _gshare.update(pc, taken);
+}
+
+std::unique_ptr<DirectionPredictor>
+makePredictor(const BranchPredictorConfig &config)
+{
+    switch (config.kind) {
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>(
+            config.tableEntries);
+      case PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>(
+            config.tableEntries);
+      case PredictorKind::Combined:
+        return std::make_unique<CombinedPredictor>(
+            config.tableEntries);
+      case PredictorKind::Perfect:
+        return std::make_unique<PerfectPredictor>();
+    }
+    return std::make_unique<CombinedPredictor>(config.tableEntries);
+}
+
+Btb::Btb(int entries, int associativity)
+    : _assoc(std::max(1, associativity))
+{
+    _sets = static_cast<int>(
+        ceilPow2(std::max(1, entries / _assoc)));
+    _tags.assign(static_cast<std::size_t>(_sets) * _assoc, 0);
+    _stamps.assign(_tags.size(), 0);
+}
+
+bool
+Btb::lookup(std::uint64_t pc)
+{
+    const std::uint64_t tag =
+        pc / static_cast<unsigned>(_sets) + 1;
+    const int set =
+        static_cast<int>(pc & static_cast<unsigned>(_sets - 1));
+    const std::size_t base = static_cast<std::size_t>(set) * _assoc;
+    ++_clock;
+    int victim = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (int way = 0; way < _assoc; ++way) {
+        if (_tags[base + way] == tag) {
+            _stamps[base + way] = _clock;
+            ++_hits;
+            return true;
+        }
+        if (_stamps[base + way] < oldest) {
+            oldest = _stamps[base + way];
+            victim = way;
+        }
+    }
+    ++_misses;
+    _tags[base + victim] = tag;
+    _stamps[base + victim] = _clock;
+    return false;
+}
+
+} // namespace bioarch::sim

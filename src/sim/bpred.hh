@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Branch direction predictors (bimodal, gshare, combined "GP",
+ * perfect) and the NFA/BTB next-fetch-address table of Table VI.
+ */
+
+#ifndef BIOARCH_SIM_BPRED_HH
+#define BIOARCH_SIM_BPRED_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "config.hh"
+
+namespace bioarch::sim
+{
+
+/**
+ * Direction predictor interface. Predict-then-update per branch,
+ * in trace order (the model updates non-speculatively, which for
+ * trace-driven simulation is the standard approximation).
+ */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) = 0;
+
+    /** Train with the actual @p taken outcome. */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    /** Predict + update + bookkeeping; returns prediction. */
+    bool
+    predictAndUpdate(std::uint64_t pc, bool taken)
+    {
+        const bool pred = predict(pc);
+        update(pc, taken);
+        ++_predictions;
+        _mispredictions += pred != taken;
+        return pred;
+    }
+
+    std::uint64_t predictions() const { return _predictions; }
+    std::uint64_t mispredictions() const { return _mispredictions; }
+    /** Fraction of correct predictions (1.0 when no branches). */
+    double
+    accuracy() const
+    {
+        return _predictions == 0
+            ? 1.0
+            : 1.0
+                - static_cast<double>(_mispredictions)
+                    / static_cast<double>(_predictions);
+    }
+
+  private:
+    std::uint64_t _predictions = 0;
+    std::uint64_t _mispredictions = 0;
+};
+
+/** Per-PC table of 2-bit saturating counters. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(int entries);
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+
+  private:
+    std::vector<std::uint8_t> _table;
+    std::uint64_t _mask;
+};
+
+/** Global-history-xor-PC indexed 2-bit counters. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(int entries);
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+
+  private:
+    std::size_t index(std::uint64_t pc) const;
+
+    std::vector<std::uint8_t> _table;
+    std::uint64_t _mask;
+    std::uint64_t _history = 0;
+    int _historyBits;
+};
+
+/**
+ * The paper's "GP" combined predictor: a selector table of 2-bit
+ * counters chooses between a gshare and a bimodal component per
+ * branch (McFarling-style tournament).
+ */
+class CombinedPredictor : public DirectionPredictor
+{
+  public:
+    explicit CombinedPredictor(int entries);
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+
+  private:
+    BimodalPredictor _bimodal;
+    GsharePredictor _gshare;
+    std::vector<std::uint8_t> _selector;
+    std::uint64_t _mask;
+    bool _lastBimodal = false;
+    bool _lastGshare = false;
+};
+
+/** Oracle predictor: always right (Fig. 9's Perfect-BP). */
+class PerfectPredictor : public DirectionPredictor
+{
+  public:
+    bool
+    predict(std::uint64_t pc) override
+    {
+        (void)pc;
+        return _next;
+    }
+    void
+    update(std::uint64_t pc, bool taken) override
+    {
+        (void)pc;
+        (void)taken;
+    }
+    /** The oracle peeks at the outcome before predicting. */
+    void setOutcome(bool taken) { _next = taken; }
+
+  private:
+    bool _next = false;
+};
+
+/** Build the configured direction predictor. */
+std::unique_ptr<DirectionPredictor>
+makePredictor(const BranchPredictorConfig &config);
+
+/**
+ * NFA / branch target buffer: a set-associative table of branch
+ * PCs. A taken branch whose PC misses costs the NFA penalty while
+ * the fetch redirects (Table VI: 2 cycles).
+ */
+class Btb
+{
+  public:
+    Btb(int entries, int associativity);
+
+    /** Look up (and insert on miss) the branch at @p pc. */
+    bool lookup(std::uint64_t pc);
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+
+  private:
+    int _sets;
+    int _assoc;
+    std::vector<std::uint64_t> _tags;
+    std::vector<std::uint64_t> _stamps;
+    std::uint64_t _clock = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace bioarch::sim
+
+#endif // BIOARCH_SIM_BPRED_HH

@@ -1,0 +1,183 @@
+#include "cache.hh"
+
+#include <bit>
+
+namespace bioarch::sim
+{
+
+namespace
+{
+
+/** Round @p v up to a power of two (minimum 1). */
+int
+ceilPow2(std::int64_t v)
+{
+    int p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config) : _config(config)
+{
+    if (_config.infinite())
+        return;
+    const int lines = std::max<int>(
+        1,
+        static_cast<int>(_config.sizeBytes / _config.lineBytes));
+    const int assoc = std::max(1, _config.associativity);
+    _numSets = ceilPow2(std::max(1, lines / assoc));
+    _lineShift = static_cast<std::uint64_t>(
+        std::countr_zero(static_cast<unsigned>(
+            ceilPow2(_config.lineBytes))));
+    _tags.assign(static_cast<std::size_t>(_numSets) * assoc, 0);
+    _stamps.assign(_tags.size(), 0);
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++_accesses;
+    if (_config.infinite())
+        return true;
+
+    const std::uint64_t line = addr >> _lineShift;
+    const std::uint64_t tag = line / static_cast<unsigned>(_numSets)
+        + 1; // +1 so tag 0 means empty
+    const int set =
+        static_cast<int>(line & static_cast<unsigned>(_numSets - 1));
+    const int assoc = std::max(1, _config.associativity);
+    const std::size_t base =
+        static_cast<std::size_t>(set) * assoc;
+
+    ++_clock;
+    int victim = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (int way = 0; way < assoc; ++way) {
+        if (_tags[base + way] == tag) {
+            _stamps[base + way] = _clock;
+            return true;
+        }
+        if (_stamps[base + way] < oldest) {
+            oldest = _stamps[base + way];
+            victim = way;
+        }
+    }
+    ++_misses;
+    _tags[base + victim] = tag;
+    _stamps[base + victim] = _clock;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    if (_config.infinite())
+        return true;
+    const std::uint64_t line = addr >> _lineShift;
+    const std::uint64_t tag =
+        line / static_cast<unsigned>(_numSets) + 1;
+    const int set =
+        static_cast<int>(line & static_cast<unsigned>(_numSets - 1));
+    const int assoc = std::max(1, _config.associativity);
+    const std::size_t base = static_cast<std::size_t>(set) * assoc;
+    for (int way = 0; way < assoc; ++way)
+        if (_tags[base + way] == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::fill(std::uint64_t addr)
+{
+    if (_config.infinite())
+        return;
+    // Same indexing as access(), but statistics untouched.
+    const std::uint64_t saved_accesses = _accesses;
+    const std::uint64_t saved_misses = _misses;
+    access(addr);
+    _accesses = saved_accesses;
+    _misses = saved_misses;
+}
+
+void
+Cache::reset()
+{
+    std::fill(_tags.begin(), _tags.end(), 0);
+    std::fill(_stamps.begin(), _stamps.end(), 0);
+    _clock = 0;
+    _accesses = 0;
+    _misses = 0;
+}
+
+DataHierarchy::DataHierarchy(const MemoryConfig &config)
+    : _config(config), _dl1(config.dl1), _l2(config.l2),
+      _tlb(config.dataTranslation)
+{
+}
+
+MemAccess
+DataHierarchy::access(std::uint64_t addr, bool write)
+{
+    (void)write; // write-allocate: same path as reads
+    MemAccess out;
+    const Translation tr = _tlb.translate(addr);
+    out.tlbLevel = tr.level;
+    if (_dl1.access(addr)) {
+        out.latency = _config.dl1.latency + tr.latency;
+        out.level = MemLevel::L1;
+        return out;
+    }
+    // Next-line prefetch on demand misses (idealized: zero-cycle
+    // fill; its benefit is the avoided future demand miss).
+    if (_config.dataPrefetch) {
+        const std::uint64_t next =
+            addr + static_cast<unsigned>(_config.dl1.lineBytes);
+        _dl1.fill(next);
+        _l2.fill(next);
+        ++_prefetches;
+    }
+    if (_l2.access(addr)) {
+        out.latency =
+            _config.dl1.latency + _config.l2.latency + tr.latency;
+        out.level = MemLevel::L2;
+        return out;
+    }
+    out.latency = _config.dl1.latency + _config.l2.latency
+        + _config.memLatency + tr.latency;
+    out.level = MemLevel::Memory;
+    return out;
+}
+
+InstrHierarchy::InstrHierarchy(const MemoryConfig &config)
+    : _config(config), _il1(config.il1), _l2(config.l2),
+      _tlb(config.instrTranslation)
+{
+}
+
+MemAccess
+InstrHierarchy::fetch(std::uint64_t pc_byte_addr)
+{
+    MemAccess out;
+    const Translation tr = _tlb.translate(pc_byte_addr);
+    out.tlbLevel = tr.level;
+    if (_il1.access(pc_byte_addr)) {
+        out.latency = _config.il1.latency + tr.latency;
+        out.level = MemLevel::L1;
+        return out;
+    }
+    if (_l2.access(pc_byte_addr)) {
+        out.latency =
+            _config.il1.latency + _config.l2.latency + tr.latency;
+        out.level = MemLevel::L2;
+        return out;
+    }
+    out.latency = _config.il1.latency + _config.l2.latency
+        + _config.memLatency + tr.latency;
+    out.level = MemLevel::Memory;
+    return out;
+}
+
+} // namespace bioarch::sim

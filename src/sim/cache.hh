@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, plus the
+ * two-level data/instruction hierarchy of Table V.
+ */
+
+#ifndef BIOARCH_SIM_CACHE_HH
+#define BIOARCH_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "config.hh"
+#include "tlb.hh"
+
+namespace bioarch::sim
+{
+
+/**
+ * One cache level. Tag-only (no data) with true-LRU replacement.
+ * An infinite cache (sizeBytes < 0) never misses — the paper's
+ * "Inf" columns model an ideal level, not merely a huge one.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up (and on miss, fill) the line containing @p addr.
+     *
+     * @return true on hit
+     */
+    bool access(std::uint64_t addr);
+
+    /** Look up without filling (for occupancy probes in tests). */
+    bool probe(std::uint64_t addr) const;
+
+    /**
+     * Install the line containing @p addr without touching the
+     * demand-access statistics (prefetch fills).
+     */
+    void fill(std::uint64_t addr);
+
+    const CacheConfig &config() const { return _config; }
+
+    std::uint64_t accesses() const { return _accesses; }
+    std::uint64_t misses() const { return _misses; }
+    double
+    missRate() const
+    {
+        return _accesses == 0
+            ? 0.0
+            : static_cast<double>(_misses)
+                / static_cast<double>(_accesses);
+    }
+
+    /** Drop all contents and statistics. */
+    void reset();
+
+  private:
+    CacheConfig _config;
+    int _numSets = 0;
+    std::uint64_t _lineShift = 0;
+    /** tags[set * assoc + way]; 0 = empty. */
+    std::vector<std::uint64_t> _tags;
+    /** LRU stamps parallel to tags. */
+    std::vector<std::uint64_t> _stamps;
+    std::uint64_t _clock = 0;
+    std::uint64_t _accesses = 0;
+    std::uint64_t _misses = 0;
+};
+
+/** Where an access was finally served. */
+enum class MemLevel : std::uint8_t
+{
+    L1,     ///< hit in the first level
+    L2,     ///< L1 miss, L2 hit
+    Memory, ///< missed both caches
+};
+
+/** Outcome of a hierarchy access. */
+struct MemAccess
+{
+    int latency = 1;
+    MemLevel level = MemLevel::L1;
+    TlbLevel tlbLevel = TlbLevel::Tlb1;
+    bool l1Miss() const { return level != MemLevel::L1; }
+    bool tlbMiss() const { return tlbLevel != TlbLevel::Tlb1; }
+};
+
+/**
+ * The data-side hierarchy: DL1 -> shared L2 -> main memory.
+ */
+class DataHierarchy
+{
+  public:
+    explicit DataHierarchy(const MemoryConfig &config);
+
+    /** Access @p addr; @p write selects the (shared) port stats. */
+    MemAccess access(std::uint64_t addr, bool write);
+
+    const Cache &dl1() const { return _dl1; }
+    const Cache &l2() const { return _l2; }
+    const TranslationUnit &tlb() const { return _tlb; }
+    std::uint64_t prefetches() const { return _prefetches; }
+
+  private:
+    MemoryConfig _config;
+    Cache _dl1;
+    Cache _l2;
+    TranslationUnit _tlb;
+    std::uint64_t _prefetches = 0;
+};
+
+/**
+ * The instruction-side hierarchy: IL1 -> shared L2 -> memory.
+ * (The L2 is modeled per-side for simplicity; the traced kernels'
+ * code footprints are tiny, so cross-side interference is nil.)
+ */
+class InstrHierarchy
+{
+  public:
+    explicit InstrHierarchy(const MemoryConfig &config);
+
+    MemAccess fetch(std::uint64_t pc_byte_addr);
+
+    const Cache &il1() const { return _il1; }
+    const TranslationUnit &tlb() const { return _tlb; }
+
+  private:
+    MemoryConfig _config;
+    Cache _il1;
+    Cache _l2;
+    TranslationUnit _tlb;
+};
+
+} // namespace bioarch::sim
+
+#endif // BIOARCH_SIM_CACHE_HH

@@ -1,0 +1,146 @@
+#include "config.hh"
+
+namespace bioarch::sim
+{
+
+std::string_view
+fuClassName(FuClass cls)
+{
+    switch (cls) {
+      case FuClass::LdSt: return "mem";
+      case FuClass::Fix: return "fix";
+      case FuClass::Fp: return "fpu";
+      case FuClass::Br: return "br";
+      case FuClass::Vi: return "vi";
+      case FuClass::VPer: return "vper";
+      case FuClass::VCmplx: return "vcmplx";
+      case FuClass::VFp: return "vfpu";
+      case FuClass::NumClasses: break;
+    }
+    return "?";
+}
+
+CoreConfig
+core4Way()
+{
+    CoreConfig c;
+    c.name = "4-way";
+    c.fetchWidth = 4;
+    c.renameWidth = 4;
+    c.dispatchWidth = 4;
+    c.retireWidth = 6;
+    c.inflightLimit = 160;
+    c.retireQueue = 128;
+    c.ibuffer = 18;
+    c.gprRegs = 96;
+    c.vprRegs = 96;
+    c.fprRegs = 96;
+    //         LdSt FX  FP  BR  VI VPER VCX VFP
+    c.units = {2,   3,  2,  2,  1,  1,  1,  1};
+    c.issueQueue = {20, 20, 20, 20, 20, 20, 20, 20};
+    c.maxOutstandingMisses = 4;
+    c.dcachePorts = 2;
+    c.dcacheWritePorts = 1;
+    return c;
+}
+
+CoreConfig
+core8Way()
+{
+    CoreConfig c;
+    c.name = "8-way";
+    c.fetchWidth = 8;
+    c.renameWidth = 8;
+    c.dispatchWidth = 8;
+    c.retireWidth = 12;
+    c.inflightLimit = 255;
+    c.retireQueue = 180;
+    c.ibuffer = 36;
+    c.gprRegs = 128;
+    c.vprRegs = 128;
+    c.fprRegs = 128;
+    c.units = {4, 6, 4, 3, 2, 2, 2, 2};
+    c.issueQueue = {40, 40, 40, 40, 40, 40, 40, 40};
+    c.maxOutstandingMisses = 8;
+    c.dcachePorts = 3;
+    c.dcacheWritePorts = 2;
+    return c;
+}
+
+CoreConfig
+core16Way()
+{
+    CoreConfig c;
+    c.name = "16-way";
+    c.fetchWidth = 16;
+    c.renameWidth = 16;
+    c.dispatchWidth = 16;
+    c.retireWidth = 20;
+    c.inflightLimit = 255;
+    c.retireQueue = 180;
+    c.ibuffer = 72;
+    c.gprRegs = 128;
+    c.vprRegs = 128;
+    c.fprRegs = 128;
+    c.units = {8, 10, 8, 7, 6, 4, 4, 4};
+    c.issueQueue = {80, 80, 80, 80, 80, 80, 80, 80};
+    c.maxOutstandingMisses = 16;
+    c.dcachePorts = 7;
+    c.dcacheWritePorts = 4;
+    return c;
+}
+
+namespace
+{
+
+MemoryConfig
+makeMemory(std::string name, std::int64_t l1_kb, std::int64_t l2_mb)
+{
+    MemoryConfig m;
+    m.name = std::move(name);
+    m.il1 = CacheConfig{l1_kb < 0 ? -1 : l1_kb * 1024, 1, 128, 1};
+    m.dl1 = CacheConfig{l1_kb < 0 ? -1 : l1_kb * 1024, 2, 128, 1};
+    m.l2 = CacheConfig{l2_mb < 0 ? -1 : l2_mb * 1024 * 1024, 8, 128,
+                       12};
+    m.memLatency = 300;
+    return m;
+}
+
+} // namespace
+
+MemoryConfig memoryMe1() { return makeMemory("me1", 32, 1); }
+MemoryConfig memoryMe2() { return makeMemory("me2", 64, 2); }
+MemoryConfig memoryMe3() { return makeMemory("me3", 128, 4); }
+MemoryConfig memoryMe4() { return makeMemory("me4", 128, -1); }
+MemoryConfig memoryInf() { return makeMemory("meinf", -1, -1); }
+
+std::string_view
+predictorKindName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::Bimodal: return "bimodal";
+      case PredictorKind::Gshare: return "gshare";
+      case PredictorKind::Combined: return "gp";
+      case PredictorKind::Perfect: return "perfect";
+    }
+    return "?";
+}
+
+int
+SimConfig::opLatency(FuClass cls) const
+{
+    switch (cls) {
+      case FuClass::LdSt: return 1;  // address generation; cache adds
+      case FuClass::Fix: return 1;
+      case FuClass::Fp: return 4;
+      case FuClass::Br: return 1;
+      case FuClass::Vi: return 2;
+      case FuClass::VPer: return 2;
+      case FuClass::VCmplx: return 4;
+      case FuClass::VFp: return 4;
+      case FuClass::NumClasses: break;
+    }
+    return 1;
+}
+
+} // namespace bioarch::sim

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Simulated processor configuration: the parameter space of the
+ * paper's Tables IV (core widths / functional units / queues),
+ * V (memory hierarchy) and VI (branch predictor), with the exact
+ * presets used in its evaluation.
+ */
+
+#ifndef BIOARCH_SIM_CONFIG_HH
+#define BIOARCH_SIM_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "tlb.hh"
+
+namespace bioarch::sim
+{
+
+/** Functional-unit / issue-queue classes of the modeled core. */
+enum class FuClass : std::uint8_t
+{
+    LdSt,    ///< scalar + vector loads/stores
+    Fix,     ///< scalar integer (FX)
+    Fp,      ///< scalar float
+    Br,      ///< branches
+    Vi,      ///< vector simple integer
+    VPer,    ///< vector permute
+    VCmplx,  ///< vector complex
+    VFp,     ///< vector float
+    NumClasses
+};
+
+constexpr int numFuClasses = static_cast<int>(FuClass::NumClasses);
+
+/** Lower-case unit name as used in the paper's figures. */
+std::string_view fuClassName(FuClass cls);
+
+/** Core (width/unit/queue) configuration — one column of Table IV. */
+struct CoreConfig
+{
+    std::string name = "4-way";
+
+    int fetchWidth = 4;
+    int renameWidth = 4;
+    int dispatchWidth = 4;
+    int retireWidth = 6;
+
+    int inflightLimit = 160;   ///< max instructions in flight
+    int retireQueue = 128;     ///< reorder/retire queue entries
+    int ibuffer = 18;          ///< fetch buffer entries
+    /** Pipe stages between fetch and rename (decode depth). This is
+     * the front-end refill latency paid after every flush, on top
+     * of the predictor's recovery cycles. */
+    int frontEndDepth = 8;
+
+    int gprRegs = 96;          ///< physical integer registers
+    int vprRegs = 96;          ///< physical vector registers
+    int fprRegs = 96;          ///< physical float registers
+
+    /** Functional units per class (Table IV "Units"). */
+    std::array<int, numFuClasses> units{2, 3, 2, 2, 1, 1, 1, 1};
+    /** Issue-queue entries per class (Table IV "Queues"). */
+    std::array<int, numFuClasses> issueQueue{20, 20, 20, 20,
+                                             20, 20, 20, 20};
+
+    int maxOutstandingMisses = 4; ///< MSHRs
+    int dcachePorts = 2;          ///< read ports (loads per cycle)
+    int dcacheWritePorts = 1;     ///< write ports (stores per cycle)
+
+    int fuUnits(FuClass cls) const
+    {
+        return units[static_cast<int>(cls)];
+    }
+    int queueSize(FuClass cls) const
+    {
+        return issueQueue[static_cast<int>(cls)];
+    }
+};
+
+/** The paper's 4-way configuration (PowerPC 970 / Alpha 21264). */
+CoreConfig core4Way();
+/** The paper's 8-way configuration (Power 6 / Alpha 21464 class). */
+CoreConfig core8Way();
+/** The paper's 16-way limit configuration. */
+CoreConfig core16Way();
+
+/** One cache of Table V. Size 0 means disabled; negative = infinite. */
+struct CacheConfig
+{
+    std::int64_t sizeBytes = 32 * 1024;
+    int associativity = 2;
+    int lineBytes = 128;
+    int latency = 1;
+
+    bool infinite() const { return sizeBytes < 0; }
+};
+
+/** Memory hierarchy configuration — one column of Table V. */
+struct MemoryConfig
+{
+    std::string name = "me1";
+    CacheConfig il1{32 * 1024, 1, 128, 1};
+    CacheConfig dl1{32 * 1024, 2, 128, 1};
+    CacheConfig l2{1 * 1024 * 1024, 8, 128, 12};
+    int memLatency = 300;
+    /** Extra cycles on every vector load (Fig. 8 experiment). */
+    int wideVectorLoadPenalty = 0;
+    /** Next-line prefetch into DL1 on demand misses. */
+    bool dataPrefetch = false;
+    /** Data-side address translation (TLBs). */
+    TranslationConfig dataTranslation{};
+    /** Instruction-side address translation. */
+    TranslationConfig instrTranslation{};
+};
+
+/** Table V presets me1..me4 and meinf. */
+MemoryConfig memoryMe1(); ///< 32K/32K/1M
+MemoryConfig memoryMe2(); ///< 64K/64K/2M
+MemoryConfig memoryMe3(); ///< 128K/128K/4M
+MemoryConfig memoryMe4(); ///< 128K/128K/inf
+MemoryConfig memoryInf(); ///< inf/inf/inf
+
+/** Direction-prediction strategy. */
+enum class PredictorKind
+{
+    Bimodal, ///< per-PC 2-bit counters
+    Gshare,  ///< global history xor PC
+    Combined,///< "GP": selector between gshare and bimodal
+    Perfect, ///< oracle (Fig. 9's Perfect-BP)
+};
+
+std::string_view predictorKindName(PredictorKind kind);
+
+/** Branch predictor configuration — Table VI. */
+struct BranchPredictorConfig
+{
+    PredictorKind kind = PredictorKind::Combined;
+    int tableEntries = 16 * 1024; ///< direction table entries
+    int btbEntries = 4 * 1024;    ///< NFA/BTB entries
+    int btbAssociativity = 4;
+    int nfaMissPenalty = 2;       ///< cycles on NFA/BTB miss
+    int maxPredictedBranches = 12;///< in-flight predicted branches
+    int recoveryCycles = 3;       ///< flush recovery after mispredict
+};
+
+/** A full simulated machine configuration. */
+struct SimConfig
+{
+    CoreConfig core = core4Way();
+    MemoryConfig memory = memoryMe1();
+    BranchPredictorConfig bpred{};
+
+    /** Execution latency of each op class (cycles in the FU). */
+    int opLatency(FuClass cls) const;
+};
+
+} // namespace bioarch::sim
+
+#endif // BIOARCH_SIM_CONFIG_HH

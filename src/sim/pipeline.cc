@@ -1,0 +1,672 @@
+#include "pipeline.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace bioarch::sim
+{
+
+double
+SimStats::meanOccupancy(const std::vector<std::uint64_t> &h)
+{
+    std::uint64_t cycles = 0;
+    double weighted = 0.0;
+    for (std::size_t n = 0; n < h.size(); ++n) {
+        cycles += h[n];
+        weighted += static_cast<double>(n) * static_cast<double>(h[n]);
+    }
+    return cycles == 0 ? 0.0 : weighted / static_cast<double>(cycles);
+}
+
+namespace
+{
+
+constexpr std::uint64_t notReady = ~std::uint64_t{0};
+
+/** Route an op class to its functional-unit class. */
+FuClass
+fuClassOf(isa::OpClass cls)
+{
+    switch (cls) {
+      case isa::OpClass::IntAlu: return FuClass::Fix;
+      case isa::OpClass::IntLoad:
+      case isa::OpClass::IntStore:
+      case isa::OpClass::VecLoad:
+      case isa::OpClass::VecStore: return FuClass::LdSt;
+      case isa::OpClass::Branch: return FuClass::Br;
+      case isa::OpClass::VecSimple: return FuClass::Vi;
+      case isa::OpClass::VecPerm: return FuClass::VPer;
+      case isa::OpClass::VecComplex: return FuClass::VCmplx;
+      case isa::OpClass::VecFloat: return FuClass::VFp;
+      case isa::OpClass::FloatOp: return FuClass::Fp;
+      case isa::OpClass::Other: return FuClass::Fix;
+      case isa::OpClass::NumClasses: break;
+    }
+    return FuClass::Fix;
+}
+
+/** Physical register file a destination lives in. */
+enum class RegFile : std::uint8_t { Gpr, Vpr, Fpr, None };
+
+RegFile
+regFileOf(isa::OpClass cls)
+{
+    switch (cls) {
+      case isa::OpClass::IntAlu:
+      case isa::OpClass::IntLoad:
+      case isa::OpClass::Other: return RegFile::Gpr;
+      case isa::OpClass::VecLoad:
+      case isa::OpClass::VecSimple:
+      case isa::OpClass::VecPerm:
+      case isa::OpClass::VecComplex:
+      case isa::OpClass::VecFloat: return RegFile::Vpr;
+      case isa::OpClass::FloatOp: return RegFile::Fpr;
+      default: return RegFile::None;
+    }
+}
+
+Trauma
+rgTrauma(FuClass cls, bool producer_is_load)
+{
+    if (producer_is_load)
+        return Trauma::RgMem;
+    switch (cls) {
+      case FuClass::LdSt: return Trauma::RgMem;
+      case FuClass::Fix: return Trauma::RgFix;
+      case FuClass::Fp: return Trauma::RgFpu;
+      case FuClass::Br: return Trauma::RgBr;
+      case FuClass::Vi: return Trauma::RgVi;
+      case FuClass::VPer: return Trauma::RgVper;
+      case FuClass::VCmplx: return Trauma::RgVcmplx;
+      case FuClass::VFp: return Trauma::RgVfpu;
+      case FuClass::NumClasses: break;
+    }
+    return Trauma::Other;
+}
+
+Trauma
+fulTrauma(FuClass cls)
+{
+    switch (cls) {
+      case FuClass::LdSt: return Trauma::FulMem;
+      case FuClass::Fix: return Trauma::FulFix;
+      case FuClass::Fp: return Trauma::FulFpu;
+      case FuClass::Br: return Trauma::FulBr;
+      case FuClass::Vi: return Trauma::FulVi;
+      case FuClass::VPer: return Trauma::FulVper;
+      case FuClass::VCmplx: return Trauma::FulVcmplx;
+      case FuClass::VFp: return Trauma::FulVfpu;
+      case FuClass::NumClasses: break;
+    }
+    return Trauma::Other;
+}
+
+Trauma
+diqTrauma(FuClass cls)
+{
+    switch (cls) {
+      case FuClass::LdSt: return Trauma::DiqMem;
+      case FuClass::Fix: return Trauma::DiqFix;
+      case FuClass::Fp: return Trauma::DiqFpu;
+      case FuClass::Br: return Trauma::DiqBr;
+      case FuClass::Vi: return Trauma::DiqVi;
+      case FuClass::VPer: return Trauma::DiqVper;
+      case FuClass::VCmplx: return Trauma::DiqVcmplx;
+      case FuClass::VFp: return Trauma::DiqVfpu;
+      case FuClass::NumClasses: break;
+    }
+    return Trauma::Other;
+}
+
+/** Producer record for SSA register lookups. */
+struct RegEntry
+{
+    isa::RegId tag = 0;
+    std::uint64_t ready = 0;
+    FuClass producer = FuClass::Fix;
+    bool producerIsLoad = false;
+};
+
+constexpr int regTableBits = 20;
+constexpr std::size_t regTableSize = std::size_t{1} << regTableBits;
+constexpr std::size_t regTableMask = regTableSize - 1;
+
+/** One in-flight instruction. */
+struct Entry
+{
+    const isa::Inst *inst = nullptr;
+    std::uint64_t traceIdx = 0;
+    enum class St : std::uint8_t { Renamed, Queued, Issued } st =
+        St::Renamed;
+    FuClass cls = FuClass::Fix;
+    std::uint64_t completeCycle = notReady;
+    std::uint64_t enqueueCycle = 0;
+    MemLevel level = MemLevel::L1;
+    bool mispredicted = false;
+    bool storeBlocked = false; ///< was held back by an older store
+
+    bool
+    completed(std::uint64_t now) const
+    {
+        return st == St::Issued && completeCycle <= now;
+    }
+};
+
+} // namespace
+
+Simulator::Simulator(const SimConfig &config) : _config(config)
+{
+}
+
+SimStats
+Simulator::run(const trace::Trace &tr)
+{
+    SimStats stats;
+    const CoreConfig &core = _config.core;
+    const BranchPredictorConfig &bp = _config.bpred;
+
+    for (int c = 0; c < numFuClasses; ++c)
+        stats.queueOccupancy[static_cast<std::size_t>(c)].assign(
+            static_cast<std::size_t>(
+                core.issueQueue[static_cast<std::size_t>(c)]) + 1,
+            0);
+    stats.inflightOccupancy.assign(
+        static_cast<std::size_t>(core.inflightLimit) + 1, 0);
+    stats.retireQueueOccupancy.assign(
+        static_cast<std::size_t>(core.retireQueue) + 1, 0);
+
+    if (tr.empty())
+        return stats;
+
+    DataHierarchy dmem(_config.memory);
+    InstrHierarchy imem(_config.memory);
+    auto predictor = makePredictor(bp);
+    auto *perfect = bp.kind == PredictorKind::Perfect
+        ? static_cast<PerfectPredictor *>(predictor.get())
+        : nullptr;
+    Btb btb(bp.btbEntries, bp.btbAssociativity);
+
+    std::vector<RegEntry> regs(regTableSize);
+    auto reg_lookup = [&regs](isa::RegId id) -> RegEntry & {
+        return regs[id & regTableMask];
+    };
+
+    // The ROB, with the ibuffer in front of it.
+    std::deque<Entry> rob;
+    std::deque<std::uint64_t> ibuffer; // trace indices + flags
+    std::deque<bool> ibufferMispred;
+    std::deque<std::uint64_t> ibufferReadyAt; // fetch + decode depth
+    const int rob_cap = core.retireQueue;
+
+    // Issue queues hold indices into `rob` — but rob shifts on
+    // retire, so we store (traceIdx) and locate entries by an
+    // offset: rob[i].traceIdx == robBaseIdx + i is NOT invariant
+    // (ibuffer gap), so queues store traceIdx and we map through
+    // robFront (the traceIdx of rob.front()). All rob entries are
+    // contiguous in trace order, so index = traceIdx - robFront.
+    std::array<std::vector<std::uint64_t>, numFuClasses> queues;
+
+    auto rob_entry = [&rob](std::uint64_t trace_idx) -> Entry & {
+        return rob[static_cast<std::size_t>(
+            trace_idx - rob.front().traceIdx)];
+    };
+
+    std::uint64_t now = 0;
+    std::uint64_t next_fetch = 0;     // next trace index to fetch
+    std::uint64_t dispatch_next = 0;  // next trace index to dispatch
+    std::uint64_t fetch_stall_until = 0;
+    Trauma fetch_stall_reason = Trauma::IfFlit;
+    bool fetch_blocked_mispred = false;
+    std::uint64_t mispred_resolve_idx = 0;
+
+    int gpr_free = core.gprRegs - 36; // minus architected state
+    int vpr_free = core.vprRegs - 34;
+    int fpr_free = core.fprRegs - 34;
+    int unresolved_branches = 0;
+
+    std::vector<std::uint64_t> outstanding; // miss completion times
+    std::uint64_t last_fetch_line = ~std::uint64_t{0};
+
+    // In-flight (unretired) stores, for memory-dependence checks: a
+    // load may not issue while an older overlapping store is still
+    // completing — there is no store-to-load forwarding, as in the
+    // modeled machine; the load reads the cache after the store
+    // drains (this is what puts the SIMD kernels' row-buffer
+    // reload on the L1-latency path, Fig. 7).
+    struct StoreRec
+    {
+        std::uint64_t traceIdx;
+        std::uint64_t addr;
+        std::uint64_t end;
+    };
+    std::deque<StoreRec> store_queue; // entered at dispatch
+
+    const int il1_line = _config.memory.il1.lineBytes;
+
+    const std::uint64_t total = tr.size();
+    std::uint64_t retired_total = 0;
+
+    while (retired_total < total) {
+        // ---------------- retire ---------------------------------
+        int retired = 0;
+        while (retired < core.retireWidth && !rob.empty()
+               && rob.front().completed(now)) {
+            const Entry &e = rob.front();
+            if (e.inst->dst != 0) {
+                switch (regFileOf(e.inst->cls)) {
+                  case RegFile::Gpr: ++gpr_free; break;
+                  case RegFile::Vpr: ++vpr_free; break;
+                  case RegFile::Fpr: ++fpr_free; break;
+                  case RegFile::None: break;
+                }
+            }
+            if (e.inst->isBranch() && e.inst->conditional)
+                --unresolved_branches;
+            rob.pop_front();
+            ++retired;
+            ++retired_total;
+        }
+        stats.instructions += static_cast<std::uint64_t>(retired);
+
+        // Reclaim MSHRs whose fills completed, and drop retired
+        // stores from the dependence queue.
+        std::erase_if(outstanding,
+                      [now](std::uint64_t t) { return t <= now; });
+        if (rob.empty()) {
+            store_queue.clear();
+        } else {
+            const std::uint64_t oldest = rob.front().traceIdx;
+            std::erase_if(store_queue,
+                          [oldest](const StoreRec &st) {
+                              return st.traceIdx < oldest;
+                          });
+        }
+
+        // ---------------- issue ----------------------------------
+        int load_ports = core.dcachePorts;
+        int store_ports = core.dcacheWritePorts;
+        std::array<int, numFuClasses> avail = core.units;
+        for (int c = 0; c < numFuClasses; ++c) {
+            auto &queue = queues[static_cast<std::size_t>(c)];
+            if (queue.empty())
+                continue;
+            int &units = avail[static_cast<std::size_t>(c)];
+            std::size_t out = 0;
+            for (std::size_t qi = 0;
+                 qi < queue.size(); ++qi) {
+                const std::uint64_t ti = queue[qi];
+                Entry &e = rob_entry(ti);
+                bool issue_now = units > 0;
+                if (issue_now) {
+                    // Operand readiness.
+                    for (const isa::RegId src : e.inst->src) {
+                        if (src == 0)
+                            continue;
+                        const RegEntry &re = reg_lookup(src);
+                        if (re.tag == src && re.ready > now) {
+                            issue_now = false;
+                            break;
+                        }
+                    }
+                }
+                if (issue_now && e.inst->isMemory()) {
+                    const bool is_load = e.inst->isLoad();
+                    if (is_load
+                        && (load_ports == 0
+                            || static_cast<int>(outstanding.size())
+                                >= core.maxOutstandingMisses))
+                        issue_now = false;
+                    if (issue_now && is_load) {
+                        const std::uint64_t lo = e.inst->addr;
+                        const std::uint64_t hi = lo + e.inst->size;
+                        for (const StoreRec &st : store_queue) {
+                            if (st.traceIdx >= e.traceIdx)
+                                continue;
+                            if (st.addr < hi && st.end > lo
+                                && !rob_entry(st.traceIdx)
+                                        .completed(now)) {
+                                issue_now = false;
+                                e.storeBlocked = true;
+                                break;
+                            }
+                        }
+                    }
+                    if (!is_load && store_ports == 0)
+                        issue_now = false;
+                    // A penalized (double-pumped) wide vector load
+                    // also occupies the permute network for its
+                    // merge, like Altivec's load-alignment path.
+                    if (e.inst->cls == isa::OpClass::VecLoad
+                        && _config.memory.wideVectorLoadPenalty > 0
+                        && avail[static_cast<std::size_t>(
+                               FuClass::VPer)] == 0)
+                        issue_now = false;
+                }
+                if (!issue_now) {
+                    queue[out++] = ti; // keep in queue
+                    continue;
+                }
+
+                // Issue the instruction. Attribute its waiting
+                // time the way Turandot records operation flow:
+                // cycles spent waiting on a source register go to
+                // rg_<producer class>, unit/port contention beyond
+                // that goes to ful_<class>, and memory service time
+                // goes to mm_dl1/mm_dl2 below.
+                {
+                    std::uint64_t max_ready = 0;
+                    FuClass prod = FuClass::Fix;
+                    bool prod_load = false;
+                    for (const isa::RegId src : e.inst->src) {
+                        if (src == 0)
+                            continue;
+                        const RegEntry &re = reg_lookup(src);
+                        if (re.tag == src && re.ready > max_ready) {
+                            max_ready = re.ready;
+                            prod = re.producer;
+                            prod_load = re.producerIsLoad;
+                        }
+                    }
+                    if (max_ready > e.enqueueCycle) {
+                        stats.traumas.add(
+                            rgTrauma(prod, prod_load),
+                            max_ready - e.enqueueCycle);
+                    }
+                    const std::uint64_t ready_at =
+                        std::max(max_ready, e.enqueueCycle);
+                    if (now > ready_at) {
+                        stats.traumas.add(e.storeBlocked
+                                              ? Trauma::StData
+                                              : fulTrauma(e.cls),
+                                          now - ready_at);
+                    }
+                }
+                --units;
+                e.st = Entry::St::Issued;
+                std::uint64_t latency = static_cast<std::uint64_t>(
+                    _config.opLatency(static_cast<FuClass>(c)));
+                if (e.inst->isMemory()) {
+                    if (e.inst->cls == isa::OpClass::VecLoad
+                        && _config.memory.wideVectorLoadPenalty > 0)
+                        --avail[static_cast<std::size_t>(
+                            FuClass::VPer)];
+                    const MemAccess acc = dmem.access(
+                        e.inst->addr, e.inst->isStore());
+                    e.level = acc.level;
+                    if (e.inst->isLoad()) {
+                        --load_ports;
+                        latency = static_cast<std::uint64_t>(
+                            acc.latency);
+                        if (e.inst->cls == isa::OpClass::VecLoad)
+                            latency += static_cast<std::uint64_t>(
+                                _config.memory
+                                    .wideVectorLoadPenalty);
+                        if (acc.tlbLevel != TlbLevel::Tlb1) {
+                            const auto &dt =
+                                _config.memory.dataTranslation;
+                            stats.traumas.add(
+                                acc.tlbLevel == TlbLevel::Walk
+                                    ? Trauma::MmTlb2
+                                    : Trauma::MmTlb1,
+                                static_cast<std::uint64_t>(
+                                    acc.tlbLevel == TlbLevel::Walk
+                                        ? dt.tlb2Latency
+                                              + dt.walkLatency
+                                        : dt.tlb2Latency));
+                        }
+                        if (acc.level != MemLevel::L1) {
+                            outstanding.push_back(now + latency);
+                            stats.traumas.add(
+                                acc.level == MemLevel::Memory
+                                    ? Trauma::MmDl2
+                                    : Trauma::MmDl1,
+                                latency
+                                    - static_cast<std::uint64_t>(
+                                        _config.memory.dl1
+                                            .latency));
+                        }
+                    } else {
+                        --store_ports;
+                        latency = 1; // store buffer absorbs it
+                    }
+                }
+                e.completeCycle = now + latency;
+                if (e.inst->dst != 0) {
+                    RegEntry &re = reg_lookup(e.inst->dst);
+                    re.tag = e.inst->dst;
+                    re.ready = e.completeCycle;
+                    re.producer = e.cls;
+                    re.producerIsLoad = e.inst->isLoad();
+                }
+                if (e.mispredicted
+                    && e.traceIdx == mispred_resolve_idx) {
+                    // Fetch resumes after resolution + recovery.
+                    fetch_blocked_mispred = false;
+                    fetch_stall_until = std::max(
+                        fetch_stall_until,
+                        e.completeCycle
+                            + static_cast<std::uint64_t>(
+                                bp.recoveryCycles));
+                    fetch_stall_reason = Trauma::IfPred;
+                }
+            }
+            queue.resize(out);
+        }
+
+        // ---------------- dispatch -------------------------------
+        for (int d = 0; d < core.dispatchWidth; ++d) {
+            if (rob.empty() || dispatch_next > rob.back().traceIdx)
+                break;
+            if (dispatch_next < rob.front().traceIdx)
+                dispatch_next = rob.front().traceIdx;
+            Entry &e = rob_entry(dispatch_next);
+            if (e.st != Entry::St::Renamed)
+                break;
+            auto &queue =
+                queues[static_cast<std::size_t>(e.cls)];
+            if (static_cast<int>(queue.size())
+                >= core.queueSize(e.cls))
+                break; // in-order dispatch: younger ops wait too
+            queue.push_back(e.traceIdx);
+            e.st = Entry::St::Queued;
+            e.enqueueCycle = now;
+            if (e.inst->isStore()) {
+                store_queue.push_back(StoreRec{
+                    e.traceIdx, e.inst->addr,
+                    static_cast<std::uint64_t>(e.inst->addr)
+                        + e.inst->size});
+            }
+            ++dispatch_next;
+        }
+
+        // ---------------- rename ---------------------------------
+        for (int r = 0; r < core.renameWidth; ++r) {
+            if (ibuffer.empty()
+                || static_cast<int>(rob.size()) >= rob_cap)
+                break;
+            if (ibufferReadyAt.front() > now)
+                break; // still in the decode pipe
+            const std::uint64_t ti = ibuffer.front();
+            const isa::Inst &inst = tr[ti];
+            int *free_regs = nullptr;
+            switch (regFileOf(inst.cls)) {
+              case RegFile::Gpr: free_regs = &gpr_free; break;
+              case RegFile::Vpr: free_regs = &vpr_free; break;
+              case RegFile::Fpr: free_regs = &fpr_free; break;
+              case RegFile::None: break;
+            }
+            if (inst.dst != 0 && free_regs && *free_regs <= 0)
+                break; // physical registers exhausted
+            if (inst.dst != 0 && free_regs)
+                --*free_regs;
+
+            Entry e;
+            e.inst = &inst;
+            e.traceIdx = ti;
+            e.cls = fuClassOf(inst.cls);
+            e.mispredicted = ibufferMispred.front();
+            if (inst.dst != 0) {
+                // Mark the destination pending so consumers wait
+                // until the producer actually issues.
+                RegEntry &re = reg_lookup(inst.dst);
+                re.tag = inst.dst;
+                re.ready = notReady;
+                re.producer = e.cls;
+                re.producerIsLoad = inst.isLoad();
+            }
+            rob.push_back(e);
+            ibuffer.pop_front();
+            ibufferMispred.pop_front();
+            ibufferReadyAt.pop_front();
+        }
+
+        // ---------------- fetch ----------------------------------
+        Trauma front_end_reason = fetch_stall_reason;
+        if (now >= fetch_stall_until && !fetch_blocked_mispred) {
+            front_end_reason = Trauma::IfFlit;
+            int fetched = 0;
+            // The decode pipe's stage latches hold instructions in
+            // addition to the ibuffer proper.
+            const int fe_capacity = core.ibuffer
+                + core.frontEndDepth * core.fetchWidth;
+            while (fetched < core.fetchWidth
+                   && static_cast<int>(ibuffer.size()) < fe_capacity
+                   && next_fetch < total) {
+                const isa::Inst &inst = tr[next_fetch];
+
+                // I-cache: access once per new line.
+                const std::uint64_t line = inst.byteAddress()
+                    / static_cast<unsigned>(il1_line);
+                if (line != last_fetch_line) {
+                    const MemAccess acc =
+                        imem.fetch(inst.byteAddress());
+                    last_fetch_line = line;
+                    if (acc.level != MemLevel::L1
+                        || acc.tlbLevel != TlbLevel::Tlb1) {
+                        stats.il1Misses +=
+                            acc.level != MemLevel::L1;
+                        fetch_stall_until = now
+                            + static_cast<std::uint64_t>(
+                                acc.latency);
+                        if (acc.tlbLevel != TlbLevel::Tlb1) {
+                            fetch_stall_reason =
+                                acc.tlbLevel == TlbLevel::Walk
+                                    ? Trauma::IfTlb2
+                                    : Trauma::IfTlb1;
+                        } else {
+                            fetch_stall_reason =
+                                acc.level == MemLevel::L2
+                                    ? Trauma::IfL1
+                                    : Trauma::IfL2;
+                        }
+                        front_end_reason = fetch_stall_reason;
+                        break;
+                    }
+                }
+
+                bool mispred = false;
+                if (inst.isBranch()) {
+                    if (unresolved_branches
+                        >= bp.maxPredictedBranches) {
+                        front_end_reason = Trauma::IfBrch;
+                        break;
+                    }
+                    if (inst.conditional) {
+                        if (perfect)
+                            perfect->setOutcome(inst.taken);
+                        const bool pred =
+                            predictor->predictAndUpdate(
+                                inst.pc, inst.taken);
+                        mispred = pred != inst.taken;
+                        ++unresolved_branches;
+                    }
+                    if (inst.taken && !btb.lookup(inst.pc)) {
+                        fetch_stall_until = now
+                            + static_cast<std::uint64_t>(
+                                bp.nfaMissPenalty);
+                        fetch_stall_reason = Trauma::IfNfa;
+                    }
+                }
+
+                ibuffer.push_back(next_fetch);
+                ibufferMispred.push_back(mispred);
+                ibufferReadyAt.push_back(
+                    now
+                    + static_cast<std::uint64_t>(
+                        core.frontEndDepth));
+                ++next_fetch;
+                ++fetched;
+
+                if (mispred) {
+                    fetch_blocked_mispred = true;
+                    mispred_resolve_idx = next_fetch - 1;
+                    front_end_reason = Trauma::IfPred;
+                    break;
+                }
+                if (inst.isBranch() && inst.taken)
+                    break; // fetch group ends at a taken branch
+            }
+        } else if (fetch_blocked_mispred) {
+            front_end_reason = Trauma::IfPred;
+        }
+
+        // ---------------- occupancy + trauma accounting ----------
+        for (int c = 0; c < numFuClasses; ++c) {
+            auto &h =
+                stats.queueOccupancy[static_cast<std::size_t>(c)];
+            const std::size_t occ = std::min(
+                queues[static_cast<std::size_t>(c)].size(),
+                h.size() - 1);
+            ++h[occ];
+        }
+        ++stats.inflightOccupancy[std::min(
+            rob.size() + ibuffer.size(),
+            stats.inflightOccupancy.size() - 1)];
+        ++stats.retireQueueOccupancy[std::min(
+            rob.size(), stats.retireQueueOccupancy.size() - 1)];
+
+        // Fetch-side traumas are cycle-based: every cycle the
+        // fetch stage makes no progress for a front-end reason is
+        // charged to that reason (back-end rg_/mm_/ful_ waiting is
+        // operation-weighted at issue time instead).
+        if (next_fetch < total) {
+            if (fetch_blocked_mispred) {
+                stats.traumas.add(Trauma::IfPred);
+            } else if (now < fetch_stall_until) {
+                stats.traumas.add(fetch_stall_reason);
+            } else if (front_end_reason == Trauma::IfBrch) {
+                stats.traumas.add(Trauma::IfBrch);
+            }
+        }
+        if (retired == 0 && retired_total < total) {
+            if (!rob.empty()) {
+                Entry &oldest = rob.front();
+                if (oldest.st == Entry::St::Renamed)
+                    stats.traumas.add(diqTrauma(oldest.cls));
+            } else if (!ibuffer.empty()
+                       && ibufferReadyAt.front() > now
+                       && now >= fetch_stall_until
+                       && !fetch_blocked_mispred) {
+                // Decode-pipe refill with an idle machine: part of
+                // the preceding flush's cost.
+                stats.traumas.add(fetch_stall_reason);
+            }
+        }
+
+        ++now;
+    }
+
+    stats.cycles = now;
+    stats.dl1Accesses = dmem.dl1().accesses();
+    stats.dl1Misses = dmem.dl1().misses();
+    stats.l2Accesses = dmem.l2().accesses();
+    stats.l2Misses = dmem.l2().misses();
+    stats.dtlb1Misses = dmem.tlb().tlb1().misses();
+    stats.dtlb2Misses = dmem.tlb().tlb2().misses();
+    stats.branchPredictions = predictor->predictions();
+    stats.branchMispredictions = predictor->mispredictions();
+    stats.btbMisses = btb.misses();
+    return stats;
+}
+
+} // namespace bioarch::sim

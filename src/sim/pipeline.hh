@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Trace-driven out-of-order superscalar processor model (our
+ * Turandot substitute).
+ *
+ * The model follows the paper's simulated machine: a parameterized
+ * fetch/rename/dispatch/retire pipeline with per-class issue queues
+ * and functional units (Table IV), a two-level cache hierarchy
+ * (Table V), a combined branch predictor with an NFA/BTB (Table VI),
+ * and per-cycle stall ("trauma") attribution (Table VII / Fig. 2).
+ *
+ * Modeling decisions (standard for trace-driven simulation):
+ *  - wrong-path instructions are not simulated; a mispredicted
+ *    branch instead blocks fetch until it resolves, plus the
+ *    configured recovery cycles;
+ *  - the direction predictor trains non-speculatively in trace
+ *    order;
+ *  - stores retire through a store buffer (complete one cycle after
+ *    issue) but do access and fill the cache hierarchy.
+ */
+
+#ifndef BIOARCH_SIM_PIPELINE_HH
+#define BIOARCH_SIM_PIPELINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bpred.hh"
+#include "cache.hh"
+#include "config.hh"
+#include "trace/trace.hh"
+#include "trauma.hh"
+
+namespace bioarch::sim
+{
+
+/** Everything a simulation run reports. */
+struct SimStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0
+            ? 0.0
+            : static_cast<double>(instructions)
+                / static_cast<double>(cycles);
+    }
+
+    /** Stall attribution (Fig. 2). */
+    TraumaCounts traumas;
+
+    /** Cache statistics (Figs. 3-7). */
+    std::uint64_t dl1Accesses = 0;
+    std::uint64_t dl1Misses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t il1Misses = 0;
+    std::uint64_t dtlb1Misses = 0;
+    std::uint64_t dtlb2Misses = 0;
+    double
+    dl1MissRate() const
+    {
+        return dl1Accesses == 0
+            ? 0.0
+            : static_cast<double>(dl1Misses)
+                / static_cast<double>(dl1Accesses);
+    }
+
+    /** Branch statistics (Figs. 9, 11). */
+    std::uint64_t branchPredictions = 0;
+    std::uint64_t branchMispredictions = 0;
+    std::uint64_t btbMisses = 0;
+    double
+    predictionAccuracy() const
+    {
+        return branchPredictions == 0
+            ? 1.0
+            : 1.0
+                - static_cast<double>(branchMispredictions)
+                    / static_cast<double>(branchPredictions);
+    }
+
+    /**
+     * Issue-queue occupancy histograms (Fig. 10a/b):
+     * queueOccupancy[class][n] = cycles the queue held n entries.
+     */
+    std::array<std::vector<std::uint64_t>, numFuClasses>
+        queueOccupancy;
+    /** In-flight instruction histogram (Fig. 10c/d). */
+    std::vector<std::uint64_t> inflightOccupancy;
+    /** Retire-queue (ROB) occupancy histogram (Fig. 10d). */
+    std::vector<std::uint64_t> retireQueueOccupancy;
+
+    /** Mean of an occupancy histogram. */
+    static double meanOccupancy(const std::vector<std::uint64_t> &h);
+};
+
+/**
+ * The simulator. Construct with a configuration, then run() a
+ * trace; each run uses fresh machine state.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &config);
+
+    /** Simulate @p trace to completion and return the statistics. */
+    SimStats run(const trace::Trace &trace);
+
+    const SimConfig &config() const { return _config; }
+
+  private:
+    SimConfig _config;
+};
+
+} // namespace bioarch::sim
+
+#endif // BIOARCH_SIM_PIPELINE_HH

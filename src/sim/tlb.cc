@@ -1,0 +1,84 @@
+#include "tlb.hh"
+
+namespace bioarch::sim
+{
+
+namespace
+{
+
+int
+ceilPow2(int v)
+{
+    int p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+Tlb::Tlb(const TlbConfig &config) : _config(config)
+{
+    if (_config.infinite())
+        return;
+    const int assoc = std::max(1, _config.associativity);
+    _sets = ceilPow2(std::max(1, _config.entries / assoc));
+    _tags.assign(static_cast<std::size_t>(_sets) * assoc, 0);
+    _stamps.assign(_tags.size(), 0);
+}
+
+bool
+Tlb::access(std::uint64_t page)
+{
+    ++_accesses;
+    if (_config.infinite())
+        return true;
+    const std::uint64_t tag =
+        page / static_cast<unsigned>(_sets) + 1;
+    const int set =
+        static_cast<int>(page & static_cast<unsigned>(_sets - 1));
+    const int assoc = std::max(1, _config.associativity);
+    const std::size_t base = static_cast<std::size_t>(set) * assoc;
+    ++_clock;
+    int victim = 0;
+    std::uint64_t oldest = ~std::uint64_t{0};
+    for (int way = 0; way < assoc; ++way) {
+        if (_tags[base + way] == tag) {
+            _stamps[base + way] = _clock;
+            return true;
+        }
+        if (_stamps[base + way] < oldest) {
+            oldest = _stamps[base + way];
+            victim = way;
+        }
+    }
+    ++_misses;
+    _tags[base + victim] = tag;
+    _stamps[base + victim] = _clock;
+    return false;
+}
+
+TranslationUnit::TranslationUnit(const TranslationConfig &config)
+    : _config(config), _tlb1(config.tlb1), _tlb2(config.tlb2)
+{
+}
+
+Translation
+TranslationUnit::translate(std::uint64_t addr)
+{
+    Translation out;
+    const std::uint64_t page =
+        addr / static_cast<unsigned>(_config.pageBytes);
+    if (_tlb1.access(page))
+        return out;
+    if (_tlb2.access(page)) {
+        out.latency = _config.tlb2Latency;
+        out.level = TlbLevel::Tlb2;
+        return out;
+    }
+    out.latency = _config.tlb2Latency + _config.walkLatency;
+    out.level = TlbLevel::Walk;
+    return out;
+}
+
+} // namespace bioarch::sim

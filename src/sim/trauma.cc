@@ -1,0 +1,71 @@
+#include "trauma.hh"
+
+namespace bioarch::sim
+{
+
+std::string_view
+traumaName(Trauma t)
+{
+    switch (t) {
+      case Trauma::StData: return "st_data";
+      case Trauma::RgVfpu: return "rg_vfpu";
+      case Trauma::RgVcmplx: return "rg_vcmplx";
+      case Trauma::RgVper: return "rg_vper";
+      case Trauma::RgVi: return "rg_vi";
+      case Trauma::RgCmplx: return "rg_cmplx";
+      case Trauma::RgLog: return "rg_log";
+      case Trauma::RgBr: return "rg_br";
+      case Trauma::RgMem: return "rg_mem";
+      case Trauma::RgFpu: return "rg_fpu";
+      case Trauma::RgFix: return "rg_fix";
+      case Trauma::MmDl1: return "mm_dl1";
+      case Trauma::MmDl2: return "mm_dl2";
+      case Trauma::MmTlb2: return "mm_tlb2";
+      case Trauma::MmTlb1: return "mm_tlb1";
+      case Trauma::MmStnd: return "mm_stnd";
+      case Trauma::MmDcqf: return "mm_dcqf";
+      case Trauma::MmDmqf: return "mm_dmqf";
+      case Trauma::MmRoqf: return "mm_roqf";
+      case Trauma::MmStqc: return "mm_stqc";
+      case Trauma::MmStqf: return "mm_stqf";
+      case Trauma::FulVfpu: return "ful_vfpu";
+      case Trauma::FulVcmplx: return "ful_vcmplx";
+      case Trauma::FulVper: return "ful_vper";
+      case Trauma::FulVi: return "ful_vi";
+      case Trauma::FulCmplx: return "ful_cmplx";
+      case Trauma::FulLog: return "ful_log";
+      case Trauma::FulBr: return "ful_br";
+      case Trauma::FulMem: return "ful_mem";
+      case Trauma::FulFpu: return "ful_fpu";
+      case Trauma::FulFix: return "ful_fix";
+      case Trauma::DiqVfpu: return "diq_vfpu";
+      case Trauma::DiqVcmplx: return "diq_vcmplx";
+      case Trauma::DiqVper: return "diq_vper";
+      case Trauma::DiqVi: return "diq_vi";
+      case Trauma::DiqCmplx: return "diq_cmplx";
+      case Trauma::DiqLog: return "diq_log";
+      case Trauma::DiqBr: return "diq_br";
+      case Trauma::DiqMem: return "diq_mem";
+      case Trauma::DiqFpu: return "diq_fpu";
+      case Trauma::DiqFix: return "diq_fix";
+      case Trauma::Rename: return "rename";
+      case Trauma::Decode: return "decode";
+      case Trauma::IfLdst: return "if_ldst";
+      case Trauma::IfBrch: return "if_brch";
+      case Trauma::IfFlit: return "if_flit";
+      case Trauma::IfFull: return "if_full";
+      case Trauma::IfPred: return "if_pred";
+      case Trauma::IfPref: return "if_pref";
+      case Trauma::IfL1: return "if_l1";
+      case Trauma::IfL15: return "if_l15";
+      case Trauma::IfL2: return "if_l2";
+      case Trauma::IfTlb2: return "if_tlb2";
+      case Trauma::IfTlb1: return "if_tlb1";
+      case Trauma::IfNfa: return "if_nfa";
+      case Trauma::Other: return "other";
+      case Trauma::NumTraumas: break;
+    }
+    return "?";
+}
+
+} // namespace bioarch::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Trauma (stall-reason) taxonomy — the 56 classes of Moreno et al.
+ * that the paper's Fig. 2 histograms enumerate, with the names used
+ * on its x-axis. Each simulated stall cycle is attributed to
+ * exactly one trauma.
+ */
+
+#ifndef BIOARCH_SIM_TRAUMA_HH
+#define BIOARCH_SIM_TRAUMA_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace bioarch::sim
+{
+
+/**
+ * Stall reasons, in the paper's Fig. 2 x-axis order. Families:
+ *
+ *  st_*   store-side hazards
+ *  rg_*   waiting on a register produced by the named unit class
+ *  mm_*   memory-system events (cache/TLB misses, queue-full)
+ *  ful_*  issue stalled because all units of a class are busy
+ *  diq_*  dispatch stalled because a class's issue queue is full
+ *  rename/decode  front-end width limits
+ *  if_*   instruction-fetch stalls (branch predictor, I-cache, NFA)
+ */
+enum class Trauma : std::uint8_t
+{
+    StData,
+    RgVfpu, RgVcmplx, RgVper, RgVi,
+    RgCmplx, RgLog, RgBr, RgMem, RgFpu, RgFix,
+    MmDl1, MmDl2, MmTlb2, MmTlb1, MmStnd,
+    MmDcqf, MmDmqf, MmRoqf, MmStqc, MmStqf,
+    FulVfpu, FulVcmplx, FulVper, FulVi,
+    FulCmplx, FulLog, FulBr, FulMem, FulFpu, FulFix,
+    DiqVfpu, DiqVcmplx, DiqVper, DiqVi,
+    DiqCmplx, DiqLog, DiqBr, DiqMem, DiqFpu, DiqFix,
+    Rename, Decode,
+    IfLdst, IfBrch, IfFlit, IfFull, IfPred, IfPref,
+    IfL1, IfL15, IfL2, IfTlb2, IfTlb1, IfNfa,
+    Other,
+    NumTraumas
+};
+
+constexpr int numTraumas = static_cast<int>(Trauma::NumTraumas);
+
+/** x-axis label, e.g. "rg_vi", "mm_dl2", "if_pred". */
+std::string_view traumaName(Trauma t);
+
+/** Per-trauma stall-cycle accounting. */
+struct TraumaCounts
+{
+    std::array<std::uint64_t, numTraumas> cycles{};
+
+    void add(Trauma t, std::uint64_t n = 1)
+    {
+        cycles[static_cast<int>(t)] += n;
+    }
+    std::uint64_t
+    get(Trauma t) const
+    {
+        return cycles[static_cast<int>(t)];
+    }
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t c : cycles)
+            sum += c;
+        return sum;
+    }
+    /** Trauma with the most cycles. */
+    Trauma
+    dominant() const
+    {
+        int best = 0;
+        for (int t = 1; t < numTraumas; ++t)
+            if (cycles[static_cast<std::size_t>(t)]
+                > cycles[static_cast<std::size_t>(best)])
+                best = t;
+        return static_cast<Trauma>(best);
+    }
+};
+
+} // namespace bioarch::sim
+
+#endif // BIOARCH_SIM_TRAUMA_HH

@@ -1,0 +1,36 @@
+#include "trace.hh"
+
+#include <unordered_set>
+
+namespace bioarch::trace
+{
+
+InstructionMix
+Trace::mix() const
+{
+    InstructionMix out;
+    for (const isa::Inst &inst : _insts)
+        ++out.counts[static_cast<int>(inst.cls)];
+    out.total = _insts.size();
+    return out;
+}
+
+std::uint64_t
+Trace::conditionalBranches() const
+{
+    std::uint64_t n = 0;
+    for (const isa::Inst &inst : _insts)
+        n += inst.isBranch() && inst.conditional;
+    return n;
+}
+
+std::size_t
+Trace::staticFootprint() const
+{
+    std::unordered_set<isa::Addr> pcs;
+    for (const isa::Inst &inst : _insts)
+        pcs.insert(inst.pc);
+    return pcs.size();
+}
+
+} // namespace bioarch::trace

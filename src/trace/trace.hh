@@ -1,0 +1,117 @@
+/**
+ * @file
+ * In-memory dynamic instruction trace and per-class statistics.
+ */
+
+#ifndef BIOARCH_TRACE_TRACE_HH
+#define BIOARCH_TRACE_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace bioarch::trace
+{
+
+/**
+ * Instruction mix of a trace: dynamic counts per op class — the data
+ * behind the paper's Fig. 1.
+ */
+struct InstructionMix
+{
+    std::array<std::uint64_t, isa::numOpClasses> counts{};
+    std::uint64_t total = 0;
+
+    /** Fraction of @p cls in the trace (0 when empty). */
+    double
+    fraction(isa::OpClass cls) const
+    {
+        return total == 0
+            ? 0.0
+            : static_cast<double>(
+                  counts[static_cast<int>(cls)])
+                / static_cast<double>(total);
+    }
+
+    std::uint64_t
+    count(isa::OpClass cls) const
+    {
+        return counts[static_cast<int>(cls)];
+    }
+
+    /** Branches + jumps (the paper's "ctrl"). */
+    double ctrlFraction() const
+    {
+        return fraction(isa::OpClass::Branch);
+    }
+    /** Scalar + vector loads. */
+    double
+    loadFraction() const
+    {
+        return fraction(isa::OpClass::IntLoad)
+            + fraction(isa::OpClass::VecLoad);
+    }
+    /** Scalar + vector stores. */
+    double
+    storeFraction() const
+    {
+        return fraction(isa::OpClass::IntStore)
+            + fraction(isa::OpClass::VecStore);
+    }
+};
+
+/**
+ * A named dynamic instruction trace: the unit of work the simulator
+ * consumes. Owns the instruction records and aggregate statistics.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string name) : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+    void setName(std::string name) { _name = std::move(name); }
+
+    std::size_t size() const { return _insts.size(); }
+    bool empty() const { return _insts.empty(); }
+
+    const isa::Inst &operator[](std::size_t i) const
+    {
+        return _insts[i];
+    }
+
+    const std::vector<isa::Inst> &insts() const { return _insts; }
+
+    /** Append one instruction. */
+    void
+    append(const isa::Inst &inst)
+    {
+        _insts.push_back(inst);
+    }
+
+    void reserve(std::size_t n) { _insts.reserve(n); }
+
+    /** Compute the per-class instruction mix. */
+    InstructionMix mix() const;
+
+    /** Number of conditional branches in the trace. */
+    std::uint64_t conditionalBranches() const;
+
+    /** Number of distinct static PCs (static code footprint). */
+    std::size_t staticFootprint() const;
+
+    auto begin() const { return _insts.begin(); }
+    auto end() const { return _insts.end(); }
+
+  private:
+    std::string _name;
+    std::vector<isa::Inst> _insts;
+};
+
+} // namespace bioarch::trace
+
+#endif // BIOARCH_TRACE_TRACE_HH

@@ -1,0 +1,92 @@
+#include "trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace bioarch::trace
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'B', 'I', 'O', 'T', 'R', 'C', '0', '1'};
+
+struct Header
+{
+    char magic[8];
+    std::uint32_t nameLength;
+    std::uint32_t reserved;
+    std::uint64_t instCount;
+};
+
+static_assert(sizeof(Header) == 24);
+
+} // namespace
+
+void
+writeTrace(std::ostream &out, const Trace &trace)
+{
+    Header header{};
+    std::memcpy(header.magic, magic, sizeof(magic));
+    header.nameLength =
+        static_cast<std::uint32_t>(trace.name().size());
+    header.instCount = trace.size();
+
+    out.write(reinterpret_cast<const char *>(&header),
+              sizeof(header));
+    out.write(trace.name().data(),
+              static_cast<std::streamsize>(trace.name().size()));
+    out.write(reinterpret_cast<const char *>(trace.insts().data()),
+              static_cast<std::streamsize>(trace.size()
+                                           * sizeof(isa::Inst)));
+    if (!out)
+        throw TraceIoError("trace write failed");
+}
+
+void
+writeTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw TraceIoError("cannot open for writing: " + path);
+    writeTrace(out, trace);
+}
+
+Trace
+readTrace(std::istream &in)
+{
+    Header header{};
+    in.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!in || std::memcmp(header.magic, magic, sizeof(magic)) != 0)
+        throw TraceIoError("not a bioarch trace (bad magic)");
+    if (header.nameLength > 4096)
+        throw TraceIoError("implausible trace name length");
+
+    std::string name(header.nameLength, '\0');
+    in.read(name.data(),
+            static_cast<std::streamsize>(header.nameLength));
+
+    Trace trace(std::move(name));
+    trace.reserve(header.instCount);
+    isa::Inst inst;
+    for (std::uint64_t i = 0; i < header.instCount; ++i) {
+        in.read(reinterpret_cast<char *>(&inst), sizeof(inst));
+        if (!in)
+            throw TraceIoError("truncated trace file");
+        trace.append(inst);
+    }
+    return trace;
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw TraceIoError("cannot open for reading: " + path);
+    return readTrace(in);
+}
+
+} // namespace bioarch::trace

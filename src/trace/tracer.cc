@@ -1,0 +1,179 @@
+#include "tracer.hh"
+
+namespace bioarch::trace
+{
+
+Tracer::Tracer(std::string name) : _trace(std::move(name))
+{
+}
+
+isa::Addr
+Tracer::alloc(std::size_t bytes, const char *label)
+{
+    const isa::Addr base = _arenaTop;
+    // 16-byte alignment (Altivec vectors require it).
+    _arenaTop += static_cast<isa::Addr>((bytes + 15) & ~std::size_t{15});
+    _allocs.emplace_back(label, bytes);
+    return base;
+}
+
+isa::Addr
+Tracer::sitePc(const std::source_location &site)
+{
+    // One static PC per (file, line, column). The file name pointer
+    // is stable per translation unit; mix it with line/column for
+    // the key. Collisions across files are possible in principle but
+    // harmless (two static instructions would share a PC, as with
+    // code sharing).
+    const std::uint64_t key =
+        (reinterpret_cast<std::uint64_t>(site.file_name()) << 22)
+        ^ (static_cast<std::uint64_t>(site.line()) << 10)
+        ^ site.column();
+    const auto [it, inserted] = _sites.try_emplace(key, _nextPc);
+    if (inserted)
+        ++_nextPc;
+    return it->second;
+}
+
+Reg
+Tracer::emit(isa::OpClass cls, Deps srcs,
+             const std::source_location &site, bool produces,
+             isa::Addr addr, unsigned size)
+{
+    isa::Inst inst;
+    inst.pc = sitePc(site);
+    inst.cls = cls;
+    inst.addr = addr;
+    inst.size = static_cast<std::uint8_t>(size);
+    int n = 0;
+    for (const Reg &r : srcs) {
+        if (r.valid() && n < isa::maxSources)
+            inst.src[n++] = r.id;
+    }
+    Reg out;
+    if (produces) {
+        out.id = _nextReg++;
+        inst.dst = out.id;
+    }
+    _trace.append(inst);
+    return out;
+}
+
+Reg
+Tracer::alu(Deps srcs, std::source_location site)
+{
+    return emit(isa::OpClass::IntAlu, srcs, site, true);
+}
+
+Reg
+Tracer::load(isa::Addr addr, unsigned size, Deps addr_srcs,
+             std::source_location site)
+{
+    return emit(isa::OpClass::IntLoad, addr_srcs, site, true, addr,
+                size);
+}
+
+void
+Tracer::store(isa::Addr addr, unsigned size, Reg value, Deps addr_srcs,
+              std::source_location site)
+{
+    isa::Inst inst;
+    inst.pc = sitePc(site);
+    inst.cls = isa::OpClass::IntStore;
+    inst.addr = addr;
+    inst.size = static_cast<std::uint8_t>(size);
+    int n = 0;
+    if (value.valid())
+        inst.src[n++] = value.id;
+    for (const Reg &r : addr_srcs) {
+        if (r.valid() && n < isa::maxSources)
+            inst.src[n++] = r.id;
+    }
+    _trace.append(inst);
+}
+
+void
+Tracer::branch(bool taken, Deps srcs, std::source_location site)
+{
+    isa::Inst inst;
+    inst.pc = sitePc(site);
+    inst.cls = isa::OpClass::Branch;
+    inst.taken = taken;
+    inst.conditional = true;
+    int n = 0;
+    for (const Reg &r : srcs) {
+        if (r.valid() && n < isa::maxSources)
+            inst.src[n++] = r.id;
+    }
+    _trace.append(inst);
+}
+
+void
+Tracer::jump(std::source_location site)
+{
+    isa::Inst inst;
+    inst.pc = sitePc(site);
+    inst.cls = isa::OpClass::Branch;
+    inst.taken = true;
+    inst.conditional = false;
+    _trace.append(inst);
+}
+
+Reg
+Tracer::other(Deps srcs, std::source_location site)
+{
+    return emit(isa::OpClass::Other, srcs, site, true);
+}
+
+Reg
+Tracer::vload(isa::Addr addr, unsigned size, Deps addr_srcs,
+              std::source_location site)
+{
+    return emit(isa::OpClass::VecLoad, addr_srcs, site, true, addr,
+                size);
+}
+
+void
+Tracer::vstore(isa::Addr addr, unsigned size, Reg value, Deps addr_srcs,
+               std::source_location site)
+{
+    isa::Inst inst;
+    inst.pc = sitePc(site);
+    inst.cls = isa::OpClass::VecStore;
+    inst.addr = addr;
+    inst.size = static_cast<std::uint8_t>(size);
+    int n = 0;
+    if (value.valid())
+        inst.src[n++] = value.id;
+    for (const Reg &r : addr_srcs) {
+        if (r.valid() && n < isa::maxSources)
+            inst.src[n++] = r.id;
+    }
+    _trace.append(inst);
+}
+
+Reg
+Tracer::vsimple(Deps srcs, std::source_location site)
+{
+    return emit(isa::OpClass::VecSimple, srcs, site, true);
+}
+
+Reg
+Tracer::vperm(Deps srcs, std::source_location site)
+{
+    return emit(isa::OpClass::VecPerm, srcs, site, true);
+}
+
+Reg
+Tracer::vcomplex(Deps srcs, std::source_location site)
+{
+    return emit(isa::OpClass::VecComplex, srcs, site, true);
+}
+
+Trace
+Tracer::take()
+{
+    return std::move(_trace);
+}
+
+} // namespace bioarch::trace

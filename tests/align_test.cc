@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests of the reference aligners: Needleman-Wunsch, Smith-Waterman
+ * (score and traceback), and banded SW, including property tests
+ * against each other on random sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/banded.hh"
+#include "align/needleman_wunsch.hh"
+#include "align/smith_waterman.hh"
+#include "bio/random.hh"
+#include "bio/scoring.hh"
+#include "bio/synthetic.hh"
+
+namespace
+{
+
+using namespace bioarch;
+using bio::Sequence;
+
+const bio::ScoringMatrix &kMat = bio::blosum62();
+const bio::GapPenalties kGaps{};
+
+Sequence
+seq(const std::string &letters)
+{
+    return Sequence("S", "", letters);
+}
+
+TEST(SmithWaterman, IdenticalSequencesScoreSelfSimilarity)
+{
+    const Sequence s = seq("ACDEFGHIKLMNPQRSTVWY");
+    const align::LocalScore ls =
+        align::smithWatermanScore(s, s, kMat, kGaps);
+    int self = 0;
+    for (std::size_t i = 0; i < s.length(); ++i)
+        self += kMat.score(s[i], s[i]);
+    EXPECT_EQ(ls.score, self);
+    EXPECT_EQ(ls.queryEnd, 19);
+    EXPECT_EQ(ls.subjectEnd, 19);
+}
+
+TEST(SmithWaterman, EmptySequencesScoreZero)
+{
+    const Sequence e("E", "", "");
+    const Sequence s = seq("ACDEF");
+    EXPECT_EQ(align::smithWatermanScore(e, s, kMat, kGaps).score, 0);
+    EXPECT_EQ(align::smithWatermanScore(s, e, kMat, kGaps).score, 0);
+    EXPECT_EQ(align::smithWatermanScore(e, e, kMat, kGaps).score, 0);
+}
+
+TEST(SmithWaterman, UnrelatedShortSequencesCanScoreZero)
+{
+    // With match/mismatch scoring and no matching residues, the best
+    // local score is 0 (the empty alignment).
+    const bio::ScoringMatrix mm = bio::makeMatchMismatch(1, -1);
+    const align::LocalScore ls = align::smithWatermanScore(
+        seq("AAAA"), seq("WWWW"), mm, kGaps);
+    EXPECT_EQ(ls.score, 0);
+    EXPECT_EQ(ls.queryEnd, -1);
+}
+
+TEST(SmithWaterman, FindsEmbeddedMotif)
+{
+    // Motif embedded in unrelated context must be found exactly.
+    const std::string motif = "WWCHHWWC";
+    const Sequence q = seq(motif);
+    const Sequence s = seq("AAAAAAA" + motif + "GGGGGGG");
+    const align::LocalScore ls =
+        align::smithWatermanScore(q, s, kMat, kGaps);
+    int self = 0;
+    for (std::size_t i = 0; i < q.length(); ++i)
+        self += kMat.score(q[i], q[i]);
+    EXPECT_EQ(ls.score, self);
+    EXPECT_EQ(ls.subjectEnd, 7 + 7);
+}
+
+TEST(SmithWaterman, GapCostReducesScoreAsExpected)
+{
+    // Query = two identical halves of subject with a 3-residue
+    // insertion in the subject: best alignment bridges with one gap.
+    const std::string half1 = "WWCHHWWCYY";
+    const std::string half2 = "MMFFWWYYCC";
+    const Sequence q = seq(half1 + half2);
+    const Sequence s = seq(half1 + "AAA" + half2);
+    const align::LocalScore ls =
+        align::smithWatermanScore(q, s, kMat, kGaps);
+    int self = 0;
+    for (std::size_t i = 0; i < q.length(); ++i)
+        self += kMat.score(q[i], q[i]);
+    EXPECT_EQ(ls.score, self - kGaps.cost(3));
+}
+
+TEST(SmithWatermanAlign, TracebackMatchesScore)
+{
+    const Sequence q = seq("WWCHHWWCYYMMFFWWYYCC");
+    const Sequence s = seq("WWCHHWWCYYAAAMMFFWWYYCC");
+    const align::Alignment a =
+        align::smithWatermanAlign(q, s, kMat, kGaps);
+    const align::LocalScore ls =
+        align::smithWatermanScore(q, s, kMat, kGaps);
+    EXPECT_EQ(a.score, ls.score);
+
+    // Recompute the score from the aligned strings.
+    int recomputed = 0;
+    int gap_run = 0;
+    for (std::size_t c = 0; c < a.alignedQuery.size(); ++c) {
+        const char qc = a.alignedQuery[c];
+        const char sc = a.alignedSubject[c];
+        ASSERT_FALSE(qc == '-' && sc == '-');
+        if (qc == '-' || sc == '-') {
+            ++gap_run;
+        } else {
+            if (gap_run > 0) {
+                recomputed -= kGaps.cost(gap_run);
+                gap_run = 0;
+            }
+            recomputed += kMat.score(bio::Alphabet::encode(qc),
+                                     bio::Alphabet::encode(sc));
+        }
+    }
+    if (gap_run > 0)
+        recomputed -= kGaps.cost(gap_run);
+    EXPECT_EQ(recomputed, a.score);
+    EXPECT_EQ(a.alignedQuery.size(), a.alignedSubject.size());
+}
+
+TEST(SmithWatermanAlign, IdentityAlignmentHasNoGaps)
+{
+    const Sequence s = seq("ACDEFGHIKLMNPQRSTVWY");
+    const align::Alignment a =
+        align::smithWatermanAlign(s, s, kMat, kGaps);
+    EXPECT_EQ(a.alignedQuery, a.alignedSubject);
+    EXPECT_EQ(a.identities, 20);
+    EXPECT_DOUBLE_EQ(a.identityFraction(), 1.0);
+    EXPECT_EQ(a.queryStart, 0);
+    EXPECT_EQ(a.queryEnd, 19);
+}
+
+TEST(NeedlemanWunsch, GlobalChargesEndGaps)
+{
+    // Global alignment of "AA" against "AAAA" pays for the 2-gap.
+    const bio::ScoringMatrix mm = bio::makeMatchMismatch(2, -1);
+    const int score = align::needlemanWunschScore(
+        seq("AA"), seq("AAAA"), mm, kGaps);
+    EXPECT_EQ(score, 2 * 2 - kGaps.cost(2));
+}
+
+TEST(NeedlemanWunsch, EqualSequencesScoreFullMatch)
+{
+    const Sequence s = seq("ACDEFGHIKL");
+    int self = 0;
+    for (std::size_t i = 0; i < s.length(); ++i)
+        self += kMat.score(s[i], s[i]);
+    EXPECT_EQ(align::needlemanWunschScore(s, s, kMat, kGaps), self);
+}
+
+TEST(NeedlemanWunsch, GlobalNeverExceedsLocal)
+{
+    bio::Rng rng(77);
+    for (int t = 0; t < 50; ++t) {
+        const Sequence a = bio::makeRandomSequence(
+            rng, static_cast<int>(10 + rng.below(60)));
+        const Sequence b = bio::makeRandomSequence(
+            rng, static_cast<int>(10 + rng.below(60)));
+        const int global =
+            align::needlemanWunschScore(a, b, kMat, kGaps);
+        const int local =
+            align::smithWatermanScore(a, b, kMat, kGaps).score;
+        EXPECT_LE(global, local);
+    }
+}
+
+TEST(Banded, FullWidthBandEqualsFullSmithWaterman)
+{
+    bio::Rng rng(123);
+    for (int t = 0; t < 30; ++t) {
+        const int la = static_cast<int>(5 + rng.below(80));
+        const int lb = static_cast<int>(5 + rng.below(80));
+        const Sequence a = bio::makeRandomSequence(rng, la);
+        const Sequence b = bio::makeRandomSequence(rng, lb);
+        const align::LocalScore full =
+            align::smithWatermanScore(a, b, kMat, kGaps);
+        const align::LocalScore banded = align::bandedSmithWaterman(
+            a, b, kMat, kGaps, 0, la + lb);
+        EXPECT_EQ(banded.score, full.score)
+            << "trial " << t << " len " << la << "x" << lb;
+    }
+}
+
+TEST(Banded, NarrowBandNeverExceedsFull)
+{
+    bio::Rng rng(321);
+    for (int t = 0; t < 30; ++t) {
+        const Sequence a = bio::makeRandomSequence(
+            rng, static_cast<int>(20 + rng.below(60)));
+        const Sequence b = bio::makeRandomSequence(
+            rng, static_cast<int>(20 + rng.below(60)));
+        const int full =
+            align::smithWatermanScore(a, b, kMat, kGaps).score;
+        for (int hw : {0, 2, 8}) {
+            const int banded = align::bandedSmithWaterman(
+                a, b, kMat, kGaps, 0, hw).score;
+            EXPECT_LE(banded, full);
+        }
+    }
+}
+
+TEST(Banded, CapturesOnDiagonalMotif)
+{
+    const std::string motif = "WWCHHWWCYY";
+    const Sequence q = seq(motif);
+    const Sequence s = seq(motif);
+    const align::LocalScore banded = align::bandedSmithWaterman(
+        q, s, kMat, kGaps, 0, 0); // main diagonal only
+    int self = 0;
+    for (std::size_t i = 0; i < q.length(); ++i)
+        self += kMat.score(q[i], q[i]);
+    EXPECT_EQ(banded.score, self);
+}
+
+TEST(Banded, EmptyBandOffMatrixScoresZero)
+{
+    const Sequence q = seq("ACDEF");
+    const Sequence s = seq("ACDEF");
+    // Band centered far off the matrix: no cells at all.
+    const align::LocalScore ls = align::bandedSmithWaterman(
+        q, s, kMat, kGaps, 1000, 2);
+    EXPECT_EQ(ls.score, 0);
+}
+
+/**
+ * Property: SW local score is symmetric in its arguments
+ * (the matrix is symmetric).
+ */
+TEST(SmithWatermanProperty, ScoreIsSymmetric)
+{
+    bio::Rng rng(55);
+    for (int t = 0; t < 40; ++t) {
+        const Sequence a = bio::makeRandomSequence(
+            rng, static_cast<int>(5 + rng.below(70)));
+        const Sequence b = bio::makeRandomSequence(
+            rng, static_cast<int>(5 + rng.below(70)));
+        EXPECT_EQ(align::smithWatermanScore(a, b, kMat, kGaps).score,
+                  align::smithWatermanScore(b, a, kMat, kGaps).score);
+    }
+}
+
+/**
+ * Property: appending residues to the subject never lowers the local
+ * score (monotonicity of local alignment under extension).
+ */
+TEST(SmithWatermanProperty, ExtensionIsMonotonic)
+{
+    bio::Rng rng(66);
+    for (int t = 0; t < 30; ++t) {
+        const Sequence q = bio::makeRandomSequence(
+            rng, static_cast<int>(10 + rng.below(40)));
+        Sequence s = bio::makeRandomSequence(
+            rng, static_cast<int>(10 + rng.below(40)));
+        const int base =
+            align::smithWatermanScore(q, s, kMat, kGaps).score;
+        // Extend the subject and rescore.
+        std::vector<bio::Residue> ext = s.residues();
+        for (int k = 0; k < 10; ++k)
+            ext.push_back(static_cast<bio::Residue>(rng.below(20)));
+        const Sequence s2("S2", "", std::move(ext));
+        const int extended =
+            align::smithWatermanScore(q, s2, kMat, kGaps).score;
+        EXPECT_GE(extended, base);
+    }
+}
+
+/**
+ * Property: alignment traceback score always equals score-only scan
+ * on random homologous pairs (exercises gap paths heavily).
+ */
+TEST(SmithWatermanProperty, TracebackEqualsScanOnHomologs)
+{
+    bio::Rng rng(88);
+    for (int t = 0; t < 20; ++t) {
+        const Sequence a = bio::makeRandomSequence(
+            rng, static_cast<int>(40 + rng.below(80)));
+        const Sequence b =
+            bio::mutate(rng, a, 0.7, "B", "mutated copy");
+        const align::Alignment full =
+            align::smithWatermanAlign(a, b, kMat, kGaps);
+        const align::LocalScore scan =
+            align::smithWatermanScore(a, b, kMat, kGaps);
+        EXPECT_EQ(full.score, scan.score);
+        EXPECT_EQ(full.queryEnd, scan.queryEnd);
+        EXPECT_EQ(full.subjectEnd, scan.subjectEnd);
+    }
+}
+
+} // namespace

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the BLASTP pipeline: neighborhood index construction,
+ * ungapped X-drop extension, two-hit triggering, and whole-search
+ * sensitivity against planted homologs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/blast.hh"
+#include "align/smith_waterman.hh"
+#include "bio/random.hh"
+#include "bio/scoring.hh"
+#include "bio/synthetic.hh"
+
+namespace
+{
+
+using namespace bioarch;
+using bio::Sequence;
+
+const bio::ScoringMatrix &kMat = bio::blosum62();
+const bio::GapPenalties kGaps{};
+
+TEST(NeighborhoodIndex, ContainsExactWordsScoringAboveThreshold)
+{
+    // WWW scores 33 against itself — way above T=11, so the exact
+    // word must be in its own neighborhood.
+    const Sequence q("Q", "", "WWWWW");
+    const align::BlastParams params;
+    const align::NeighborhoodIndex index(q, kMat, params);
+    EXPECT_EQ(index.wordSize(), 3);
+
+    const auto [begin, end] =
+        index.positions(index.encode(q.residues().data()));
+    EXPECT_GT(end - begin, 0);
+    bool found_pos0 = false;
+    for (const std::int32_t *p = begin; p != end; ++p)
+        found_pos0 |= (*p == 0);
+    EXPECT_TRUE(found_pos0);
+}
+
+TEST(NeighborhoodIndex, ExcludesLowScoringExactWords)
+{
+    // AAA scores 12 >= 11 against itself, but SSS scores 12 too;
+    // pick a word whose self-score is below T: use GGG? G/G=6 ->
+    // 18. A better case: query word with X (score <= 0 rows) never
+    // reaches T=33 threshold. Use a high threshold to force
+    // emptiness.
+    const Sequence q("Q", "", "AAA");
+    align::BlastParams params;
+    params.neighborThreshold = 13; // AAA self-score is 12
+    const align::NeighborhoodIndex index(q, kMat, params);
+    const auto [begin, end] =
+        index.positions(index.encode(q.residues().data()));
+    EXPECT_EQ(begin, end);
+}
+
+TEST(NeighborhoodIndex, NeighborhoodGrowsAsThresholdDrops)
+{
+    const Sequence q = bio::makeDefaultQuery();
+    align::BlastParams strict;
+    strict.neighborThreshold = 13;
+    align::BlastParams loose;
+    loose.neighborThreshold = 10;
+    const align::NeighborhoodIndex a(q, kMat, strict);
+    const align::NeighborhoodIndex b(q, kMat, loose);
+    EXPECT_GT(b.numEntries(), a.numEntries());
+    EXPECT_EQ(a.tableSize(), b.tableSize());
+}
+
+TEST(NeighborhoodIndex, EntriesActuallyScoreAboveThreshold)
+{
+    // Every (word, qpos) pair in the table must genuinely score >= T
+    // against the query word — exhaustive validation of the pruned
+    // DFS enumeration.
+    bio::Rng rng(2024);
+    const Sequence q = bio::makeRandomSequence(rng, 40);
+    const align::BlastParams params;
+    const align::NeighborhoodIndex index(q, kMat, params);
+
+    std::size_t checked = 0;
+    const std::size_t space = index.tableSize();
+    for (std::uint32_t w = 0; w < space; ++w) {
+        const auto [begin, end] = index.positions(w);
+        for (const std::int32_t *p = begin; p != end; ++p) {
+            // Decode word w into residues.
+            bio::Residue r[3];
+            std::uint32_t x = w;
+            for (int k = 2; k >= 0; --k) {
+                r[k] = static_cast<bio::Residue>(
+                    x % bio::Alphabet::numSymbols);
+                x /= bio::Alphabet::numSymbols;
+            }
+            int score = 0;
+            for (int k = 0; k < 3; ++k)
+                score += kMat.score(
+                    q[static_cast<std::size_t>(*p + k)], r[k]);
+            ASSERT_GE(score, params.neighborThreshold);
+            ++checked;
+        }
+    }
+    EXPECT_EQ(checked, index.numEntries());
+    EXPECT_GT(checked, 0u);
+}
+
+TEST(UngappedExtend, ExtendsAcrossPerfectMatch)
+{
+    const Sequence q("Q", "", "WCHWCHWCHW");
+    const Sequence s = q;
+    const align::UngappedExtension ext =
+        align::ungappedExtend(q, s, kMat, 4, 4, 3, 16);
+    int self = 0;
+    for (std::size_t i = 0; i < q.length(); ++i)
+        self += kMat.score(q[i], s[i]);
+    EXPECT_EQ(ext.score, self);
+    EXPECT_EQ(ext.queryStart, 0);
+    EXPECT_EQ(ext.queryEnd, 9);
+}
+
+TEST(UngappedExtend, StopsAtXDrop)
+{
+    // Strong seed, then a long run of mismatches, then another
+    // strong region far away: the X-drop must cut before reaching it.
+    const std::string junk(20, 'A');
+    const Sequence q("Q", "", "WWW" + junk + "WWW");
+    const Sequence s("S", "", "WWW" + std::string(20, 'D') + "WWW");
+    const align::UngappedExtension ext =
+        align::ungappedExtend(q, s, kMat, 0, 0, 3, 10);
+    // Seed only: A-vs-D runs at -2 per residue; after 5 residues the
+    // drop exceeds 10, long before the distal WWW.
+    EXPECT_EQ(ext.score, 3 * kMat.score(bio::Alphabet::encode('W'),
+                                        bio::Alphabet::encode('W')));
+    EXPECT_EQ(ext.queryStart, 0);
+    EXPECT_EQ(ext.queryEnd, 2);
+}
+
+TEST(UngappedExtend, ExtendsLeftToo)
+{
+    const Sequence q("Q", "", "WCHWCH");
+    const Sequence s = q;
+    // Seed at the last word; left extension must pick up the rest.
+    const align::UngappedExtension ext =
+        align::ungappedExtend(q, s, kMat, 3, 3, 3, 16);
+    int self = 0;
+    for (std::size_t i = 0; i < q.length(); ++i)
+        self += kMat.score(q[i], s[i]);
+    EXPECT_EQ(ext.score, self);
+    EXPECT_EQ(ext.queryStart, 0);
+}
+
+TEST(BlastScan, SelfSearchProducesStrongScore)
+{
+    const Sequence q = bio::makeDefaultQuery();
+    const align::BlastParams params;
+    const align::NeighborhoodIndex index(q, kMat, params);
+    const align::BlastScores bs =
+        align::blastScan(index, q, q, kMat, kGaps, params);
+    EXPECT_GT(bs.wordHits, 0);
+    EXPECT_GT(bs.extensionsTried, 0);
+    EXPECT_GT(bs.gappedExtensions, 0);
+    const int sw = align::smithWatermanScore(q, q, kMat, kGaps).score;
+    // Banded gapped extension around the main diagonal recovers the
+    // full self-alignment.
+    EXPECT_EQ(bs.score, sw);
+}
+
+TEST(BlastScan, GappedScoreNeverExceedsSmithWaterman)
+{
+    bio::Rng rng(424242);
+    const align::BlastParams params;
+    for (int t = 0; t < 15; ++t) {
+        const Sequence q = bio::makeRandomSequence(
+            rng, static_cast<int>(40 + rng.below(100)));
+        const Sequence s =
+            bio::mutate(rng, q, 0.4 + rng.uniform() * 0.5, "S", "");
+        const align::NeighborhoodIndex index(q, kMat, params);
+        const align::BlastScores bs =
+            align::blastScan(index, q, s, kMat, kGaps, params);
+        const int sw =
+            align::smithWatermanScore(q, s, kMat, kGaps).score;
+        EXPECT_LE(bs.score, sw);
+        EXPECT_LE(bs.bestUngapped, sw);
+    }
+}
+
+TEST(BlastScan, TwoHitTriggersLessThanOneHit)
+{
+    bio::Rng rng(11);
+    const Sequence q = bio::makeRandomSequence(rng, 200);
+    const Sequence s = bio::mutate(rng, q, 0.5, "S", "");
+    align::BlastParams two_hit;
+    align::BlastParams one_hit;
+    one_hit.twoHit = false;
+    const align::NeighborhoodIndex index(q, kMat, two_hit);
+    const align::BlastScores a =
+        align::blastScan(index, q, s, kMat, kGaps, two_hit);
+    const align::BlastScores b =
+        align::blastScan(index, q, s, kMat, kGaps, one_hit);
+    EXPECT_LT(a.extensionsTried, b.extensionsTried)
+        << "two-hit heuristic must suppress extensions";
+    EXPECT_EQ(a.wordHits, b.wordHits);
+}
+
+TEST(BlastSearch, FindsHighIdentityHomologs)
+{
+    const Sequence query = bio::makeDefaultQuery();
+    bio::DatabaseSpec spec;
+    spec.numSequences = 80;
+    const bio::SequenceDatabase db = bio::makeDatabase(spec, {query});
+    const align::SearchResults res =
+        align::blastSearch(query, db, kMat, kGaps);
+
+    ASSERT_FALSE(res.hits.empty());
+    const Sequence &top = db[res.hits.front().dbIndex];
+    EXPECT_NE(top.description().find("homolog of P14942"),
+              std::string::npos);
+    EXPECT_LT(res.hits.front().evalue, 1e-6);
+}
+
+TEST(BlastSearch, DoesFarLessWorkThanSmithWaterman)
+{
+    const Sequence query = bio::makeDefaultQuery();
+    const bio::SequenceDatabase db = bio::makeDefaultDatabase(40);
+    const align::SearchResults res =
+        align::blastSearch(query, db, kMat, kGaps);
+    const std::uint64_t sw_cells =
+        query.length() * db.totalResidues();
+    EXPECT_LT(res.cellsComputed, sw_cells / 4)
+        << "BLAST must be an order of magnitude cheaper than SW";
+}
+
+} // namespace

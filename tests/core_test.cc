@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the core characterization framework: workload suite
+ * caching, simulate(), sweeps, and report formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/report.hh"
+#include "core/suite.hh"
+
+namespace
+{
+
+using namespace bioarch;
+
+TEST(WorkloadSuite, CachesTracedRuns)
+{
+    kernels::TraceSpec spec;
+    spec.dbSequences = 2;
+    core::WorkloadSuite suite(spec);
+    const trace::Trace &a = suite.trace(kernels::Workload::Blast);
+    const trace::Trace &b = suite.trace(kernels::Workload::Blast);
+    EXPECT_EQ(&a, &b) << "second access must reuse the cached run";
+    EXPECT_GT(a.size(), 0u);
+}
+
+TEST(WorkloadSuite, SpecIsHonored)
+{
+    kernels::TraceSpec spec;
+    spec.dbSequences = 3;
+    core::WorkloadSuite suite(spec);
+    EXPECT_EQ(suite.input().db.size(), 3u);
+    EXPECT_EQ(suite.spec().dbSequences, 3);
+}
+
+TEST(WorkloadSuite, BenchSpecReadsEnvironment)
+{
+    ::setenv("BIOARCH_DB_SEQS", "5", 1);
+    EXPECT_EQ(core::WorkloadSuite::benchSpec().dbSequences, 5);
+    ::setenv("BIOARCH_DB_SEQS", "garbage", 1);
+    EXPECT_GT(core::WorkloadSuite::benchSpec().dbSequences, 0);
+    ::unsetenv("BIOARCH_DB_SEQS");
+    EXPECT_GT(core::WorkloadSuite::benchSpec().dbSequences, 0);
+}
+
+TEST(Sweeps, MatchPaperPresets)
+{
+    const auto &cores = core::coreSweep();
+    EXPECT_EQ(cores[0].fetchWidth, 4);
+    EXPECT_EQ(cores[1].fetchWidth, 8);
+    EXPECT_EQ(cores[2].fetchWidth, 16);
+    const auto &mems = core::memorySweep();
+    EXPECT_EQ(mems[0].name, "me1");
+    EXPECT_EQ(mems[4].name, "meinf");
+    EXPECT_TRUE(mems[4].dl1.infinite());
+}
+
+TEST(Simulate, RunsFreshStateEachCall)
+{
+    kernels::TraceSpec spec;
+    spec.dbSequences = 2;
+    core::WorkloadSuite suite(spec);
+    const trace::Trace &tr =
+        suite.trace(kernels::Workload::Fasta34);
+    sim::SimConfig cfg;
+    const sim::SimStats a = core::simulate(tr, cfg);
+    const sim::SimStats b = core::simulate(tr, cfg);
+    // Deterministic and state-free across calls.
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dl1Misses, b.dl1Misses);
+    EXPECT_EQ(a.branchMispredictions, b.branchMispredictions);
+}
+
+TEST(Report, AlignsColumns)
+{
+    core::Table t({"name", "value"});
+    t.row().add("x").add(1);
+    t.row().add("longer-name").add(12345);
+    std::ostringstream out;
+    t.print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("longer-name"), std::string::npos);
+    EXPECT_NE(text.find("12345"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(text.find("----"), std::string::npos);
+    // All lines of a table end aligned: same number of lines as
+    // rows + header + separator.
+    const auto lines = std::count(text.begin(), text.end(), '\n');
+    EXPECT_EQ(lines, 4);
+}
+
+TEST(Report, FormatsNumbers)
+{
+    core::Table t({"a", "b", "c"});
+    t.row().add(3.14159, 2).add(std::uint64_t{42}).add(-7);
+    std::ostringstream out;
+    t.print(out);
+    EXPECT_NE(out.str().find("3.14"), std::string::npos);
+    EXPECT_NE(out.str().find("42"), std::string::npos);
+    EXPECT_NE(out.str().find("-7"), std::string::npos);
+}
+
+TEST(Report, EmitsCsv)
+{
+    core::Table t({"h1", "h2"});
+    t.row().add("a").add(1);
+    t.row().add("b").add(2);
+    std::ostringstream out;
+    t.printCsv(out);
+    EXPECT_EQ(out.str(), "h1,h2\na,1\nb,2\n");
+}
+
+TEST(Report, HeadingFormat)
+{
+    std::ostringstream out;
+    core::printHeading(out, "Title");
+    EXPECT_NE(out.str().find("== Title =="), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the FASTA heuristic pipeline: k-tuple index, diagonal
+ * scan, region rescoring, initn chaining, opt stage, and whole-search
+ * sensitivity/selectivity versus Smith-Waterman.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "align/fasta.hh"
+#include "align/smith_waterman.hh"
+#include "bio/random.hh"
+#include "bio/scoring.hh"
+#include "bio/synthetic.hh"
+
+namespace
+{
+
+using namespace bioarch;
+using bio::Sequence;
+
+const bio::ScoringMatrix &kMat = bio::blosum62();
+const bio::GapPenalties kGaps{};
+
+TEST(KtupIndex, FindsAllWordOccurrences)
+{
+    const Sequence q("Q", "", "ACACA"); // words: AC CA AC CA
+    const align::KtupIndex index(q, 2);
+    EXPECT_EQ(index.ktup(), 2);
+
+    const std::uint32_t ac = index.encode(q.residues().data());
+    const auto [ac_begin, ac_end] = index.positions(ac);
+    ASSERT_EQ(ac_end - ac_begin, 2);
+    EXPECT_EQ(ac_begin[0], 0);
+    EXPECT_EQ(ac_begin[1], 2);
+
+    const std::uint32_t ca = index.encode(q.residues().data() + 1);
+    const auto [ca_begin, ca_end] = index.positions(ca);
+    ASSERT_EQ(ca_end - ca_begin, 2);
+    EXPECT_EQ(ca_begin[0], 1);
+    EXPECT_EQ(ca_begin[1], 3);
+}
+
+TEST(KtupIndex, AbsentWordsHaveEmptyRange)
+{
+    const Sequence q("Q", "", "AAAA");
+    const align::KtupIndex index(q, 2);
+    const bio::Residue w[2] = {bio::Alphabet::encode('W'),
+                               bio::Alphabet::encode('W')};
+    const auto [begin, end] = index.positions(index.encode(w));
+    EXPECT_EQ(begin, end);
+}
+
+TEST(KtupIndex, ShortQueryYieldsNoWords)
+{
+    const Sequence q("Q", "", "A");
+    const align::KtupIndex index(q, 2);
+    EXPECT_EQ(index.queryLength(), 1);
+    // No crash, and nothing indexed anywhere: spot-check one word.
+    const bio::Residue w[2] = {0, 0};
+    const auto [begin, end] = index.positions(index.encode(w));
+    EXPECT_EQ(begin, end);
+}
+
+TEST(FastaScan, PerfectMatchScoresNearSelf)
+{
+    const Sequence q = bio::makeDefaultQuery();
+    const align::KtupIndex index(q, 2);
+    const align::FastaScores fs =
+        align::fastaScan(index, q, q, kMat, kGaps, {});
+    const int self = align::smithWatermanScore(q, q, kMat, kGaps).score;
+    EXPECT_EQ(fs.opt, self); // band includes the main diagonal
+    EXPECT_GT(fs.init1, 0);
+    EXPECT_GE(fs.initn, fs.init1);
+}
+
+TEST(FastaScan, NoHitsOnDissimilarSequences)
+{
+    // Sequences over disjoint residue sets share no 2-mers.
+    const Sequence q("Q", "", "ACACACACAC");
+    const Sequence s("S", "", "WYWYWYWYWY");
+    const align::KtupIndex index(q, 2);
+    const align::FastaScores fs =
+        align::fastaScan(index, q, s, kMat, kGaps, {});
+    EXPECT_EQ(fs.init1, 0);
+    EXPECT_EQ(fs.initn, 0);
+    EXPECT_EQ(fs.opt, 0);
+    EXPECT_TRUE(fs.regions.empty());
+}
+
+TEST(FastaScan, OptNeverExceedsSmithWaterman)
+{
+    bio::Rng rng(31337);
+    const align::FastaParams params;
+    for (int t = 0; t < 20; ++t) {
+        const Sequence q = bio::makeRandomSequence(
+            rng, static_cast<int>(30 + rng.below(100)));
+        const Sequence s =
+            bio::mutate(rng, q, 0.4 + rng.uniform() * 0.5, "S", "");
+        const align::KtupIndex index(q, params.ktup);
+        const align::FastaScores fs =
+            align::fastaScan(index, q, s, kMat, kGaps, params);
+        const int sw =
+            align::smithWatermanScore(q, s, kMat, kGaps).score;
+        EXPECT_LE(fs.opt, sw);
+        EXPECT_LE(fs.init1, fs.initn);
+    }
+}
+
+TEST(FastaScan, RegionsLieWithinSequences)
+{
+    bio::Rng rng(777);
+    const Sequence q = bio::makeRandomSequence(rng, 120);
+    const Sequence s = bio::mutate(rng, q, 0.8, "S", "");
+    const align::KtupIndex index(q, 2);
+    const align::FastaScores fs =
+        align::fastaScan(index, q, s, kMat, kGaps, {});
+    for (const align::FastaRegion &r : fs.regions) {
+        EXPECT_GE(r.queryStart, 0);
+        EXPECT_LE(r.queryEnd,
+                  static_cast<int>(q.length()) - 1);
+        EXPECT_LE(r.queryStart, r.queryEnd);
+        EXPECT_GE(r.queryStart + r.diag, 0);
+        EXPECT_LE(r.queryEnd + r.diag,
+                  static_cast<int>(s.length()) - 1);
+        EXPECT_GT(r.score, 0);
+    }
+}
+
+TEST(FastaSearch, FindsPlantedHomologs)
+{
+    const Sequence query = bio::makeDefaultQuery();
+    bio::DatabaseSpec spec;
+    spec.numSequences = 80;
+    const bio::SequenceDatabase db = bio::makeDatabase(spec, {query});
+    const align::SearchResults res =
+        align::fastaSearch(query, db, kMat, kGaps);
+
+    ASSERT_FALSE(res.hits.empty());
+    // The highest-identity homolog must rank first.
+    const Sequence &top = db[res.hits.front().dbIndex];
+    EXPECT_NE(top.description().find("homolog of P14942"),
+              std::string::npos);
+    // All 0.9-identity homologs must appear somewhere in the hits
+    // (FASTA trades sensitivity for speed, but not at 90% identity).
+    int planted_found = 0;
+    for (const align::SearchHit &h : res.hits) {
+        if (db[h.dbIndex].description().find("id=0.9")
+            != std::string::npos)
+            ++planted_found;
+    }
+    EXPECT_GE(planted_found, 1);
+}
+
+TEST(FastaSearch, DoesLessWorkThanSmithWaterman)
+{
+    const Sequence query = bio::makeDefaultQuery();
+    const bio::SequenceDatabase db = bio::makeDefaultDatabase(40);
+    const align::SearchResults fasta =
+        align::fastaSearch(query, db, kMat, kGaps);
+    // Full SW work = m * n cells.
+    const std::uint64_t sw_cells =
+        query.length() * db.totalResidues();
+    EXPECT_LT(fasta.cellsComputed, sw_cells / 2)
+        << "FASTA must prescreen away most DP work";
+}
+
+TEST(FastaSearch, HitsAreSortedAndBounded)
+{
+    const Sequence query = bio::makeDefaultQuery();
+    const bio::SequenceDatabase db = bio::makeDefaultDatabase(60);
+    const align::SearchResults res =
+        align::fastaSearch(query, db, kMat, kGaps, {}, 10);
+    EXPECT_LE(res.hits.size(), 10u);
+    for (std::size_t i = 1; i < res.hits.size(); ++i)
+        EXPECT_GE(res.hits[i - 1].score, res.hits[i].score);
+}
+
+} // namespace

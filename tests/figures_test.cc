@@ -1,0 +1,353 @@
+/**
+ * @file
+ * End-to-end integration tests: the qualitative claims of every
+ * figure in the paper's evaluation, asserted on freshly generated
+ * traces and simulations. These are the "shape" checks DESIGN.md
+ * promises — who wins, by roughly what factor, where the
+ * crossovers fall.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/suite.hh"
+#include "sim/bpred.hh"
+
+namespace
+{
+
+using namespace bioarch;
+using kernels::Workload;
+
+/** Shared suite (trace generation is the expensive part). */
+core::WorkloadSuite &
+suite()
+{
+    static core::WorkloadSuite s{[] {
+        kernels::TraceSpec spec;
+        spec.dbSequences = 8;
+        return spec;
+    }()};
+    return s;
+}
+
+sim::SimStats
+simulate(Workload w, const sim::SimConfig &cfg)
+{
+    return core::simulate(suite().trace(w), cfg);
+}
+
+// ---- Fig. 2: trauma structure ------------------------------------
+
+TEST(Fig2, SsearchIsBranchBound)
+{
+    const sim::SimConfig cfg; // 4-way, me1, real predictor
+    const sim::SimStats stats = simulate(Workload::Ssearch34, cfg);
+    const auto &t = stats.traumas;
+    // Branch mispredictions are a leading stall source, well ahead
+    // of any memory trauma.
+    EXPECT_GT(t.get(sim::Trauma::IfPred),
+              5 * (t.get(sim::Trauma::MmDl1)
+                   + t.get(sim::Trauma::MmDl2)));
+    EXPECT_GT(t.get(sim::Trauma::RgFix), 0u);
+}
+
+TEST(Fig2, SimdAppsStallOnVectorDependencies)
+{
+    const sim::SimConfig cfg;
+    const sim::SimStats s128 = simulate(Workload::SwVmx128, cfg);
+    const sim::SimStats s256 = simulate(Workload::SwVmx256, cfg);
+    // RG_VI dominates vmx128.
+    EXPECT_EQ(s128.traumas.dominant(), sim::Trauma::RgVi);
+    // For vmx256 the permute dependencies grow in importance
+    // (paper: "dependencies on SIMD permutation operations become
+    // more important").
+    const double vper_share_128 =
+        static_cast<double>(s128.traumas.get(sim::Trauma::RgVper))
+        / static_cast<double>(s128.traumas.total());
+    const double vper_share_256 =
+        static_cast<double>(s256.traumas.get(sim::Trauma::RgVper))
+        / static_cast<double>(s256.traumas.total());
+    EXPECT_GT(vper_share_256, vper_share_128);
+    // Branch traumas are negligible for the SIMD codes.
+    EXPECT_LT(s128.traumas.get(sim::Trauma::IfPred),
+              s128.traumas.total() / 50);
+}
+
+TEST(Fig2, BlastStallsOnIntegerChainsAndMemory)
+{
+    const sim::SimConfig cfg;
+    const sim::SimStats stats = simulate(Workload::Blast, cfg);
+    const auto &t = stats.traumas;
+    // rg_fix leads; memory traumas are substantial (unlike the
+    // other applications).
+    EXPECT_EQ(t.dominant(), sim::Trauma::RgFix);
+    const std::uint64_t mem =
+        t.get(sim::Trauma::MmDl1) + t.get(sim::Trauma::MmDl2)
+        + t.get(sim::Trauma::RgMem);
+    EXPECT_GT(mem, t.total() / 10);
+}
+
+// ---- Figs. 3/4: memory-configuration sweep -----------------------
+
+TEST(Fig4, OnlySimdCodesExceedTwoIpc)
+{
+    const sim::SimConfig cfg; // 4-way, me1
+    EXPECT_GT(simulate(Workload::SwVmx128, cfg).ipc(), 2.0);
+    EXPECT_GT(simulate(Workload::SwVmx256, cfg).ipc(), 2.0);
+    EXPECT_LT(simulate(Workload::Ssearch34, cfg).ipc(), 2.0);
+    EXPECT_LT(simulate(Workload::Fasta34, cfg).ipc(), 2.0);
+    EXPECT_LT(simulate(Workload::Blast, cfg).ipc(), 2.0);
+}
+
+TEST(Fig4, ScalarAppsAreInsensitiveToMemorySize)
+{
+    sim::SimConfig small; // me1
+    sim::SimConfig ideal;
+    ideal.memory = sim::memoryInf();
+    for (const Workload w :
+         {Workload::Ssearch34, Workload::Fasta34}) {
+        const double ipc_small = simulate(w, small).ipc();
+        const double ipc_ideal = simulate(w, ideal).ipc();
+        EXPECT_LT(ipc_ideal / ipc_small, 1.10)
+            << kernels::workloadName(w);
+    }
+}
+
+TEST(Fig4, BlastLosesHeavilyWithSmallCaches)
+{
+    sim::SimConfig small; // me1: 32K/32K/1M
+    sim::SimConfig ideal;
+    ideal.memory = sim::memoryInf();
+    const double ipc_small = simulate(Workload::Blast, small).ipc();
+    const double ipc_ideal = simulate(Workload::Blast, ideal).ipc();
+    // Paper: 52% slowdown. Assert a substantial (>25%) loss — by
+    // far the largest of the five applications.
+    EXPECT_LT(ipc_small, 0.75 * ipc_ideal);
+}
+
+TEST(Fig3, WiderCoresHelpModestly)
+{
+    sim::SimConfig w4;
+    sim::SimConfig w8;
+    w8.core = sim::core8Way();
+    for (const Workload w : kernels::allWorkloads) {
+        const std::uint64_t c4 = simulate(w, w4).cycles;
+        const std::uint64_t c8 = simulate(w, w8).cycles;
+        EXPECT_LE(c8, c4) << kernels::workloadName(w);
+        // Nothing doubles: the paper reports ~8% gains.
+        EXPECT_GT(static_cast<double>(c8),
+                  0.5 * static_cast<double>(c4))
+            << kernels::workloadName(w);
+    }
+}
+
+// ---- Fig. 5: cache-size sweep ------------------------------------
+
+TEST(Fig5, BlastHasTheWorstMissRateAtEverySize)
+{
+    for (const std::int64_t kb : {8, 32, 128}) {
+        sim::SimConfig cfg;
+        cfg.memory = sim::memoryMe2();
+        cfg.memory.dl1.sizeBytes = kb * 1024;
+        const double blast =
+            simulate(Workload::Blast, cfg).dl1MissRate();
+        for (const Workload w :
+             {Workload::Ssearch34, Workload::Fasta34}) {
+            EXPECT_GT(blast, simulate(w, cfg).dl1MissRate())
+                << kb << "K vs " << kernels::workloadName(w);
+        }
+    }
+}
+
+TEST(Fig5, BlastStillMissesAtThirtyTwoK)
+{
+    sim::SimConfig cfg; // me1 = 32K DL1
+    const double miss = simulate(Workload::Blast, cfg).dl1MissRate();
+    // Paper: "close to 4%".
+    EXPECT_GT(miss, 0.01);
+    EXPECT_LT(miss, 0.10);
+}
+
+TEST(Fig5, SsearchFitsInTinyCaches)
+{
+    sim::SimConfig cfg;
+    cfg.memory.dl1.sizeBytes = 4 * 1024;
+    const double miss =
+        simulate(Workload::Ssearch34, cfg).dl1MissRate();
+    EXPECT_LT(miss, 0.01);
+}
+
+TEST(Fig5, SimdCodesGainMostFromFittingWorkingSet)
+{
+    sim::SimConfig small;
+    small.memory.dl1.sizeBytes = 1024;
+    sim::SimConfig big;
+    big.memory.dl1.sizeBytes = 16 * 1024;
+    auto gain = [&](Workload w) {
+        return simulate(w, big).ipc() / simulate(w, small).ipc();
+    };
+    // SIMD codes gain the most once profile + row buffers fit
+    // (the paper reports the largest growth for them too).
+    const double simd128 = gain(Workload::SwVmx128);
+    const double simd256 = gain(Workload::SwVmx256);
+    EXPECT_GT(simd128, 1.08);
+    EXPECT_GT(simd256, 1.08);
+    EXPECT_GT(simd128, gain(Workload::Ssearch34));
+    EXPECT_GT(simd256, gain(Workload::Ssearch34));
+}
+
+// ---- Fig. 6: associativity ---------------------------------------
+
+TEST(Fig6, AssociativityOnlyMattersForBlast)
+{
+    sim::SimConfig direct;
+    direct.memory.dl1.associativity = 1;
+    sim::SimConfig assoc8;
+    assoc8.memory.dl1.associativity = 8;
+
+    // BLAST's misses drop with associativity...
+    const double blast_dm =
+        simulate(Workload::Blast, direct).dl1MissRate();
+    const double blast_a8 =
+        simulate(Workload::Blast, assoc8).dl1MissRate();
+    EXPECT_LT(blast_a8, blast_dm);
+    // ...but its IPC barely moves (32K is simply too small).
+    const double ipc_dm = simulate(Workload::Blast, direct).ipc();
+    const double ipc_a8 = simulate(Workload::Blast, assoc8).ipc();
+    EXPECT_LT(std::abs(ipc_a8 - ipc_dm) / ipc_dm, 0.15);
+}
+
+// ---- Fig. 7: L1 latency ------------------------------------------
+
+TEST(Fig7, SimdCodesAreMostLatencySensitive)
+{
+    auto loss = [&](Workload w) {
+        sim::SimConfig fast;
+        sim::SimConfig slow;
+        slow.memory.dl1.latency = 10;
+        const double f = simulate(w, fast).ipc();
+        const double s = simulate(w, slow).ipc();
+        return 1.0 - s / f;
+    };
+    const double simd = loss(Workload::SwVmx128);
+    EXPECT_GT(simd, loss(Workload::Ssearch34));
+    EXPECT_GT(simd, loss(Workload::Fasta34));
+    EXPECT_GT(simd, 0.10);
+}
+
+// ---- Fig. 8: 256-bit speedup -------------------------------------
+
+TEST(Fig8, WideRegistersGainFarLessThanInstructionReduction)
+{
+    const sim::SimConfig cfg; // 4-way
+    const auto &t128 = suite().trace(Workload::SwVmx128);
+    const auto &t256 = suite().trace(Workload::SwVmx256);
+    const double instr_ratio = static_cast<double>(t256.size())
+        / static_cast<double>(t128.size());
+    const double speedup =
+        static_cast<double>(core::simulate(t128, cfg).cycles)
+        / static_cast<double>(core::simulate(t256, cfg).cycles);
+    // ~17% fewer instructions...
+    EXPECT_LT(instr_ratio, 0.95);
+    // ...a real but sub-proportional speedup (paper: 18% fewer
+    // instructions -> 9% time).
+    EXPECT_GT(speedup, 1.0);
+    EXPECT_LT(speedup, 1.0 / instr_ratio + 0.6);
+    EXPECT_LT(speedup, 1.8);
+}
+
+TEST(Fig8, WideVersionStaysFasterWithLoadPenalty)
+{
+    const auto &t128 = suite().trace(Workload::SwVmx128);
+    const auto &t256 = suite().trace(Workload::SwVmx256);
+    sim::SimConfig cfg;
+    const std::uint64_t base = core::simulate(t128, cfg).cycles;
+    sim::SimConfig penal;
+    penal.memory.wideVectorLoadPenalty = 1;
+    const std::uint64_t fast = core::simulate(t256, cfg).cycles;
+    const std::uint64_t slow = core::simulate(t256, penal).cycles;
+    EXPECT_GE(slow, fast); // the penalty costs something
+    // Paper: "even with the added cycle latency, the 256-bit
+    // version is still 5% faster".
+    EXPECT_GT(static_cast<double>(base) / static_cast<double>(slow),
+              1.0);
+}
+
+// ---- Fig. 9: perfect branch prediction ---------------------------
+
+TEST(Fig9, PerfectPredictionTransformsScalarAppsOnly)
+{
+    sim::SimConfig real;
+    sim::SimConfig perfect;
+    perfect.bpred.kind = sim::PredictorKind::Perfect;
+
+    auto gain = [&](Workload w) {
+        return simulate(w, perfect).ipc() / simulate(w, real).ipc();
+    };
+    // Big wins for the branchy applications...
+    EXPECT_GT(gain(Workload::Ssearch34), 1.4);
+    EXPECT_GT(gain(Workload::Fasta34), 1.3);
+    EXPECT_GT(gain(Workload::Blast), 1.1);
+    // ...and nearly nothing for the SIMD codes.
+    EXPECT_LT(gain(Workload::SwVmx128), 1.05);
+    EXPECT_LT(gain(Workload::SwVmx256), 1.05);
+}
+
+// ---- Fig. 10: queue occupancy ------------------------------------
+
+TEST(Fig10, FastaQueuesNearEmptySimdViQueueBusy)
+{
+    const sim::SimConfig cfg;
+    const sim::SimStats fasta = simulate(Workload::Fasta34, cfg);
+    const sim::SimStats simd = simulate(Workload::SwVmx128, cfg);
+
+    const double fasta_fix = sim::SimStats::meanOccupancy(
+        fasta.queueOccupancy[static_cast<int>(sim::FuClass::Fix)]);
+    const double simd_vi = sim::SimStats::meanOccupancy(
+        simd.queueOccupancy[static_cast<int>(sim::FuClass::Vi)]);
+    // FASTA's flush-limited front end keeps queues shallow; the
+    // SIMD code keeps a deep VI queue.
+    EXPECT_LT(fasta_fix, 8.0);
+    EXPECT_GT(simd_vi, fasta_fix);
+    EXPECT_GT(simd_vi, 4.0);
+
+    // And many more instructions in flight for the SIMD code.
+    EXPECT_GT(
+        sim::SimStats::meanOccupancy(simd.inflightOccupancy),
+        sim::SimStats::meanOccupancy(fasta.inflightOccupancy));
+}
+
+// ---- Fig. 11: predictor sweep ------------------------------------
+
+TEST(Fig11, AccuracyPlateausBelowPerfect)
+{
+    const trace::Trace &tr = suite().trace(Workload::Ssearch34);
+    auto accuracy = [&](sim::PredictorKind kind, int entries) {
+        sim::BranchPredictorConfig cfg;
+        cfg.kind = kind;
+        cfg.tableEntries = entries;
+        auto p = sim::makePredictor(cfg);
+        for (const isa::Inst &inst : tr)
+            if (inst.isBranch() && inst.conditional)
+                p->predictAndUpdate(inst.pc, inst.taken);
+        return p->accuracy();
+    };
+
+    // Near-plateau by 512 entries...
+    const double small =
+        accuracy(sim::PredictorKind::Combined, 512);
+    const double large =
+        accuracy(sim::PredictorKind::Combined, 32768);
+    EXPECT_LT(large - small, 0.02);
+    // ...and the plateau is well below 100% (data-dependent
+    // branches), for every strategy.
+    for (const sim::PredictorKind kind :
+         {sim::PredictorKind::Bimodal, sim::PredictorKind::Gshare,
+          sim::PredictorKind::Combined}) {
+        const double acc = accuracy(kind, 16384);
+        EXPECT_GT(acc, 0.75);
+        EXPECT_LT(acc, 0.97);
+    }
+}
+
+} // namespace

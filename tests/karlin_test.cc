@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the Karlin-Altschul statistics solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "align/karlin.hh"
+#include "bio/scoring.hh"
+
+namespace
+{
+
+using namespace bioarch;
+
+TEST(Karlin, Blosum62LambdaMatchesPublishedValue)
+{
+    // The published ungapped lambda for BLOSUM62 with standard
+    // composition is ~0.318 (half-bit matrix: ln(2)/2 = 0.3466 is
+    // the infinite-data limit; real compositions give 0.31-0.32).
+    const align::KarlinParams &ka = align::blosum62Karlin();
+    EXPECT_GT(ka.lambda, 0.25);
+    EXPECT_LT(ka.lambda, 0.40);
+    EXPECT_GT(ka.h, 0.0);
+    EXPECT_GT(ka.k, 0.0);
+    EXPECT_LT(ka.k, 1.0);
+}
+
+TEST(Karlin, LambdaSatisfiesDefiningEquation)
+{
+    const align::KarlinParams ka = align::solveKarlin(
+        bio::blosum62(), bio::Alphabet::backgroundFrequencies());
+    // Recompute sum p_i p_j exp(lambda s_ij); must be ~1.
+    const auto &freqs = bio::Alphabet::backgroundFrequencies();
+    double sum = 0.0;
+    for (int a = 0; a < bio::Alphabet::numRealResidues; ++a)
+        for (int b = 0; b < bio::Alphabet::numRealResidues; ++b)
+            sum += freqs[static_cast<std::size_t>(a)]
+                * freqs[static_cast<std::size_t>(b)]
+                * std::exp(ka.lambda
+                           * bio::blosum62().score(
+                               static_cast<bio::Residue>(a),
+                               static_cast<bio::Residue>(b)));
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(Karlin, EvalueDecreasesWithScore)
+{
+    const align::KarlinParams &ka = align::blosum62Karlin();
+    const double e50 = ka.evalue(50, 222, 300000);
+    const double e100 = ka.evalue(100, 222, 300000);
+    EXPECT_GT(e50, e100);
+    EXPECT_GT(e100, 0.0);
+}
+
+TEST(Karlin, EvalueScalesLinearlyWithSearchSpace)
+{
+    const align::KarlinParams &ka = align::blosum62Karlin();
+    const double e1 = ka.evalue(80, 200, 1e5);
+    const double e2 = ka.evalue(80, 200, 2e5);
+    EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+}
+
+TEST(Karlin, BitScoreIsMonotonic)
+{
+    const align::KarlinParams &ka = align::blosum62Karlin();
+    EXPECT_LT(ka.bitScore(40), ka.bitScore(41));
+    EXPECT_GT(ka.bitScore(100), 0.0);
+}
+
+TEST(Karlin, MatchMismatchMatrixSolves)
+{
+    // +1/-1 match/mismatch over uniform-ish composition has negative
+    // expectation and a positive score: the solver must converge.
+    const bio::ScoringMatrix mm = bio::makeMatchMismatch(1, -1);
+    const align::KarlinParams ka = align::solveKarlin(
+        mm, bio::Alphabet::backgroundFrequencies());
+    EXPECT_GT(ka.lambda, 0.0);
+}
+
+TEST(Karlin, AllPositiveMatrixIsRejected)
+{
+    // A matrix with positive expected score has no positive lambda;
+    // the solver must return zeros rather than diverge.
+    const bio::ScoringMatrix good = bio::makeMatchMismatch(2, 1);
+    const align::KarlinParams ka = align::solveKarlin(
+        good, bio::Alphabet::backgroundFrequencies());
+    EXPECT_EQ(ka.lambda, 0.0);
+    EXPECT_EQ(ka.k, 0.0);
+}
+
+} // namespace

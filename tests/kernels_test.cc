@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the instrumented kernel twins: every twin must compute
+ * exactly the same scores as its untraced library counterpart (the
+ * trace really is the algorithm), and the traces must reproduce the
+ * paper's instruction-mix and size characteristics (Fig. 1,
+ * Table III) in shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "align/blast.hh"
+#include "align/fasta.hh"
+#include "align/smith_waterman.hh"
+#include "align/ssearch.hh"
+#include "bio/scoring.hh"
+#include "kernels/factory.hh"
+#include "trace/trace.hh"
+
+namespace
+{
+
+using namespace bioarch;
+using kernels::TraceInput;
+using kernels::TraceSpec;
+using kernels::Workload;
+
+const bio::ScoringMatrix &kMat = bio::blosum62();
+const bio::GapPenalties kGaps{};
+
+/** Small shared working set (built once; tracing all 5 apps). */
+const TraceInput &
+smallInput()
+{
+    static const TraceInput input = [] {
+        TraceSpec spec;
+        spec.dbSequences = 16;
+        return kernels::makeTraceInput(spec);
+    }();
+    return input;
+}
+
+TEST(Workloads, NamesMatchPaper)
+{
+    EXPECT_EQ(kernels::workloadName(Workload::Ssearch34),
+              "SSEARCH34");
+    EXPECT_EQ(kernels::workloadName(Workload::SwVmx128),
+              "SW_vmx128");
+    EXPECT_EQ(kernels::workloadName(Workload::Blast), "BLAST");
+}
+
+TEST(Workloads, TraceInputUsesRequestedQuery)
+{
+    const TraceInput &input = smallInput();
+    EXPECT_EQ(input.query.id(), "P14942");
+    EXPECT_EQ(input.query.length(), 222u);
+    EXPECT_EQ(input.db.size(), 16u);
+}
+
+TEST(SsearchTraced, ScoresEqualLibrary)
+{
+    const TraceInput &input = smallInput();
+    const kernels::TracedRun run =
+        kernels::traceWorkload(Workload::Ssearch34, input);
+    const align::QueryProfile profile(input.query, kMat);
+    ASSERT_EQ(run.scores.size(), input.db.size());
+    for (std::size_t i = 0; i < input.db.size(); ++i) {
+        const align::LocalScore ref =
+            align::ssearchScan(profile, input.db[i], kGaps);
+        EXPECT_EQ(run.scores[i], ref.score) << "sequence " << i;
+    }
+}
+
+TEST(SwVmxTraced, ScoresEqualSmithWatermanBothWidths)
+{
+    const TraceInput &input = smallInput();
+    const kernels::TracedRun v128 =
+        kernels::traceWorkload(Workload::SwVmx128, input);
+    const kernels::TracedRun v256 =
+        kernels::traceWorkload(Workload::SwVmx256, input);
+    ASSERT_EQ(v128.scores.size(), input.db.size());
+    ASSERT_EQ(v256.scores.size(), input.db.size());
+    for (std::size_t i = 0; i < input.db.size(); ++i) {
+        const int ref = align::smithWatermanScore(
+            input.query, input.db[i], kMat, kGaps).score;
+        EXPECT_EQ(v128.scores[i], ref) << "sequence " << i;
+        EXPECT_EQ(v256.scores[i], ref) << "sequence " << i;
+    }
+}
+
+TEST(FastaTraced, ScoresEqualLibrary)
+{
+    const TraceInput &input = smallInput();
+    const kernels::TracedRun run =
+        kernels::traceWorkload(Workload::Fasta34, input);
+    const align::KtupIndex index(input.query, 2);
+    ASSERT_EQ(run.scores.size(), input.db.size());
+    for (std::size_t i = 0; i < input.db.size(); ++i) {
+        const align::FastaScores ref = align::fastaScan(
+            index, input.query, input.db[i], kMat, kGaps, {});
+        EXPECT_EQ(run.scores[i], std::max(ref.opt, ref.initn))
+            << "sequence " << i;
+    }
+}
+
+TEST(BlastTraced, ScoresEqualLibrary)
+{
+    const TraceInput &input = smallInput();
+    const kernels::TracedRun run =
+        kernels::traceWorkload(Workload::Blast, input);
+    const align::BlastParams params;
+    const align::NeighborhoodIndex index(input.query, kMat, params);
+    ASSERT_EQ(run.scores.size(), input.db.size());
+    for (std::size_t i = 0; i < input.db.size(); ++i) {
+        const align::BlastScores ref = align::blastScan(
+            index, input.query, input.db[i], kMat, kGaps, params);
+        EXPECT_EQ(run.scores[i], ref.score) << "sequence " << i;
+    }
+}
+
+// ---- Fig. 1: instruction-mix shape ------------------------------
+
+TEST(Mix, SsearchMatchesPaperShape)
+{
+    const trace::InstructionMix mix =
+        kernels::traceWorkload(Workload::Ssearch34, smallInput())
+            .trace.mix();
+    // Paper: ~25% ctrl, ~22% loads, ~44% integer ALU.
+    EXPECT_NEAR(mix.ctrlFraction(), 0.25, 0.08);
+    EXPECT_NEAR(mix.loadFraction(), 0.22, 0.08);
+    EXPECT_NEAR(mix.fraction(isa::OpClass::IntAlu), 0.44, 0.10);
+    // No vector work at all in the scalar app.
+    EXPECT_EQ(mix.count(isa::OpClass::VecSimple), 0u);
+    EXPECT_EQ(mix.count(isa::OpClass::VecPerm), 0u);
+}
+
+TEST(Mix, SimdAppsHaveFewBranchesAndMuchVectorWork)
+{
+    const trace::InstructionMix m128 =
+        kernels::traceWorkload(Workload::SwVmx128, smallInput())
+            .trace.mix();
+    const trace::InstructionMix m256 =
+        kernels::traceWorkload(Workload::SwVmx256, smallInput())
+            .trace.mix();
+    // Paper: ~2% ctrl for the SIMD apps, ~16-17% loads.
+    EXPECT_LT(m128.ctrlFraction(), 0.05);
+    EXPECT_LT(m256.ctrlFraction(), 0.05);
+    EXPECT_NEAR(m128.loadFraction(), 0.16, 0.07);
+    EXPECT_NEAR(m256.loadFraction(), 0.17, 0.07);
+    // VI is a leading category in vmx128 (paper: 21%) and its share
+    // drops in vmx256 (paper: 14%) while ialu's share rises.
+    EXPECT_NEAR(m128.fraction(isa::OpClass::VecSimple), 0.21, 0.08);
+    EXPECT_LT(m256.fraction(isa::OpClass::VecSimple),
+              m128.fraction(isa::OpClass::VecSimple));
+    EXPECT_GT(m256.fraction(isa::OpClass::IntAlu),
+              m128.fraction(isa::OpClass::IntAlu));
+    // Plenty of permute work (alignment, shifts, fixup).
+    EXPECT_GT(m128.fraction(isa::OpClass::VecPerm), 0.10);
+}
+
+TEST(Mix, FastaMatchesPaperShape)
+{
+    const trace::InstructionMix mix =
+        kernels::traceWorkload(Workload::Fasta34, smallInput())
+            .trace.mix();
+    // Paper: ~18% ctrl, ~17% loads, ~48% integer ALU.
+    EXPECT_NEAR(mix.ctrlFraction(), 0.18, 0.08);
+    EXPECT_NEAR(mix.loadFraction(), 0.17, 0.08);
+    EXPECT_NEAR(mix.fraction(isa::OpClass::IntAlu), 0.48, 0.12);
+}
+
+TEST(Mix, BlastMatchesPaperShape)
+{
+    const trace::InstructionMix mix =
+        kernels::traceWorkload(Workload::Blast, smallInput())
+            .trace.mix();
+    // Paper: ~16% ctrl, ~21% loads, ~54% integer ALU.
+    EXPECT_NEAR(mix.ctrlFraction(), 0.16, 0.08);
+    EXPECT_NEAR(mix.loadFraction(), 0.21, 0.08);
+    EXPECT_NEAR(mix.fraction(isa::OpClass::IntAlu), 0.54, 0.12);
+}
+
+// ---- Table III: trace-size ordering and ratios -------------------
+
+TEST(TraceSizes, OrderingMatchesTableIII)
+{
+    const TraceInput &input = smallInput();
+    const std::size_t ssearch =
+        kernels::traceWorkload(Workload::Ssearch34, input)
+            .trace.size();
+    const std::size_t v128 =
+        kernels::traceWorkload(Workload::SwVmx128, input)
+            .trace.size();
+    const std::size_t v256 =
+        kernels::traceWorkload(Workload::SwVmx256, input)
+            .trace.size();
+    const std::size_t fasta =
+        kernels::traceWorkload(Workload::Fasta34, input)
+            .trace.size();
+    const std::size_t blast =
+        kernels::traceWorkload(Workload::Blast, input).trace.size();
+
+    // SSEARCH > vmx128 > vmx256 > FASTA > BLAST (Table III).
+    EXPECT_GT(ssearch, v128);
+    EXPECT_GT(v128, v256);
+    EXPECT_GT(v256, fasta);
+    EXPECT_GT(fasta, blast);
+
+    // vmx256 / vmx128 ~ 0.83 in the paper ("the instruction
+    // reduction using 256-bit SIMD (18% on average)").
+    const double r = static_cast<double>(v256)
+        / static_cast<double>(v128);
+    EXPECT_NEAR(r, 0.83, 0.08);
+
+    // vmx128 / SSEARCH ~ 0.247 in Table III.
+    const double r128 = static_cast<double>(v128)
+        / static_cast<double>(ssearch);
+    EXPECT_NEAR(r128, 0.247, 0.10);
+}
+
+TEST(TracedRuns, BranchDensityIsDataDependent)
+{
+    // The scalar apps' conditional branches must not be constant
+    // direction (that would make them trivially predictable and
+    // break the paper's branch-prediction story).
+    const trace::Trace tr =
+        kernels::traceWorkload(Workload::Ssearch34, smallInput())
+            .trace;
+    std::uint64_t taken = 0;
+    std::uint64_t cond = 0;
+    for (const isa::Inst &inst : tr) {
+        if (inst.isBranch() && inst.conditional) {
+            ++cond;
+            taken += inst.taken;
+        }
+    }
+    ASSERT_GT(cond, 0u);
+    const double taken_rate =
+        static_cast<double>(taken) / static_cast<double>(cond);
+    EXPECT_GT(taken_rate, 0.10);
+    EXPECT_LT(taken_rate, 0.90);
+}
+
+TEST(TracedRuns, WorkingSetsMatchApplicationCharacter)
+{
+    // The BLAST image must be dominated by the neighborhood table
+    // (>= 48 KB of heads alone); SSEARCH's live arrays are small.
+    // We check the static footprint through allocatedBytes by
+    // regenerating with tiny databases so the db region is small.
+    TraceSpec spec;
+    spec.dbSequences = 2;
+    const TraceInput input = kernels::makeTraceInput(spec);
+    // (Indirect check: BLAST's trace must touch far more distinct
+    // cache lines than SSEARCH's.)
+    const trace::Trace blast =
+        kernels::traceWorkload(Workload::Blast, input).trace;
+    const trace::Trace ssearch =
+        kernels::traceWorkload(Workload::Ssearch34, input).trace;
+    auto distinct_lines = [](const trace::Trace &tr) {
+        std::unordered_set<isa::Addr> lines;
+        for (const isa::Inst &inst : tr)
+            if (inst.isMemory())
+                lines.insert(inst.addr / 128);
+        return lines.size();
+    };
+    EXPECT_GT(distinct_lines(blast), distinct_lines(ssearch));
+}
+
+} // namespace

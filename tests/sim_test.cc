@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Micro-validation of the simulator components: cache behavior on
+ * hand-computed access sequences, branch predictor learning on
+ * crafted outcome patterns, and pipeline throughput limits on
+ * synthetic traces (independent ops ~ issue width; serial chains ~
+ * 1/latency; memory misses and mispredictions throttle as expected).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/bpred.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/pipeline.hh"
+#include "trace/tracer.hh"
+
+namespace
+{
+
+using namespace bioarch;
+using sim::CacheConfig;
+using sim::SimConfig;
+using trace::Reg;
+using trace::Tracer;
+
+// ---------------- cache ------------------------------------------
+
+TEST(Cache, DirectMappedConflictMisses)
+{
+    // 2 lines of 64 B, direct-mapped: addresses 0 and 128 collide.
+    sim::Cache c(CacheConfig{128, 1, 64, 1});
+    EXPECT_FALSE(c.access(0));    // compulsory
+    EXPECT_TRUE(c.access(32));    // same line
+    EXPECT_FALSE(c.access(128));  // conflicts with line 0
+    EXPECT_FALSE(c.access(0));    // evicted by 128
+    EXPECT_FALSE(c.access(64));   // set 1, first touch
+    EXPECT_TRUE(c.access(64));    // now resident
+    EXPECT_EQ(c.accesses(), 6u);
+    EXPECT_EQ(c.misses(), 4u);
+}
+
+TEST(Cache, TwoWayAssociativityAvoidsConflict)
+{
+    // Same capacity, 2-way: 0 and 128 coexist.
+    sim::Cache c(CacheConfig{128, 2, 64, 1});
+    c.access(0);
+    c.access(128);
+    EXPECT_TRUE(c.access(0));
+    EXPECT_TRUE(c.access(128));
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // One set, 2 ways, 64 B lines over a 128 B cache.
+    sim::Cache c(CacheConfig{128, 2, 64, 1});
+    c.access(0);    // A
+    c.access(128);  // B
+    c.access(0);    // touch A -> B is LRU
+    c.access(256);  // C evicts B
+    EXPECT_TRUE(c.access(0));
+    EXPECT_FALSE(c.access(128));
+}
+
+TEST(Cache, InfiniteCacheNeverMisses)
+{
+    sim::Cache c(CacheConfig{-1, 1, 128, 1});
+    for (std::uint64_t a = 0; a < 100; ++a)
+        EXPECT_TRUE(c.access(a * 4096));
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, MissRateOverWorkingSetLargerThanCache)
+{
+    // 4 KB cache, 8 KB working set, repeated sweep: after warmup
+    // every access misses (LRU with a cyclic sweep = worst case).
+    sim::Cache c(CacheConfig{4096, 2, 128, 1});
+    for (int pass = 0; pass < 4; ++pass)
+        for (std::uint64_t a = 0; a < 8192; a += 128)
+            c.access(a);
+    EXPECT_GT(c.missRate(), 0.9);
+}
+
+TEST(Cache, ProbeDoesNotFill)
+{
+    sim::Cache c(CacheConfig{4096, 2, 128, 1});
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_FALSE(c.probe(0));
+    c.access(0);
+    EXPECT_TRUE(c.probe(0));
+}
+
+TEST(Hierarchy, LatenciesStackThroughLevels)
+{
+    sim::MemoryConfig mem = sim::memoryMe1();
+    const int walk = mem.dataTranslation.tlb2Latency
+        + mem.dataTranslation.walkLatency;
+    sim::DataHierarchy h(mem);
+    // First touch misses both TLBs (page walk) and both caches.
+    const sim::MemAccess first = h.access(0, false);
+    EXPECT_EQ(first.level, sim::MemLevel::Memory);
+    EXPECT_EQ(first.tlbLevel, sim::TlbLevel::Walk);
+    EXPECT_EQ(first.latency, 1 + 12 + 300 + walk);
+    // Second touch: everything hits.
+    const sim::MemAccess second = h.access(0, false);
+    EXPECT_EQ(second.level, sim::MemLevel::L1);
+    EXPECT_EQ(second.tlbLevel, sim::TlbLevel::Tlb1);
+    EXPECT_EQ(second.latency, 1);
+    // Same page, different line: TLB hits, caches miss.
+    const sim::MemAccess l2 = h.access(256, false);
+    EXPECT_EQ(l2.level, sim::MemLevel::Memory);
+    EXPECT_EQ(l2.tlbLevel, sim::TlbLevel::Tlb1);
+    EXPECT_EQ(l2.latency, 1 + 12 + 300);
+}
+
+TEST(Tlb, CapacityAndLevels)
+{
+    sim::TranslationConfig cfg;
+    cfg.tlb1 = sim::TlbConfig{4, 4};
+    cfg.tlb2 = sim::TlbConfig{16, 4};
+    sim::TranslationUnit tu(cfg);
+
+    // Warm 4 pages: all fit TLB1.
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t p = 0; p < 4; ++p)
+            tu.translate(p * 4096);
+    EXPECT_EQ(tu.translate(0).level, sim::TlbLevel::Tlb1);
+
+    // 16 pages fit TLB2 but thrash TLB1.
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t p = 0; p < 16; ++p)
+            tu.translate(p * 4096);
+    const sim::Translation t2 = tu.translate(0);
+    EXPECT_EQ(t2.level, sim::TlbLevel::Tlb2);
+    EXPECT_EQ(t2.latency, cfg.tlb2Latency);
+
+    // A brand-new page walks.
+    const sim::Translation walk = tu.translate(999 * 4096);
+    EXPECT_EQ(walk.level, sim::TlbLevel::Walk);
+    EXPECT_EQ(walk.latency, cfg.tlb2Latency + cfg.walkLatency);
+}
+
+TEST(Tlb, InfiniteTlbNeverMisses)
+{
+    sim::TranslationConfig cfg;
+    cfg.tlb1 = sim::TlbConfig{-1, 1};
+    sim::TranslationUnit tu(cfg);
+    for (std::uint64_t p = 0; p < 1000; ++p)
+        EXPECT_EQ(tu.translate(p * 4096).level,
+                  sim::TlbLevel::Tlb1);
+}
+
+TEST(Tlb, TinyDataTlbCreatesTlbTraumas)
+{
+    // Stride over many pages with a 2-entry TLB: the pipeline must
+    // charge mm_tlb traumas.
+    Tracer t("tlb");
+    const isa::Addr buf = t.alloc(8u << 20, "pages");
+    Reg r = t.alu();
+    for (int i = 0; i < 2000; ++i) {
+        r = t.load(buf + static_cast<isa::Addr>(i % 512) * 8192,
+                   4, {r});
+        r = t.alu({r});
+    }
+    const trace::Trace tr = t.take();
+    SimConfig cfg;
+    cfg.memory = sim::memoryInf();
+    cfg.memory.dataTranslation.tlb1 = sim::TlbConfig{2, 2};
+    cfg.memory.dataTranslation.tlb2 = sim::TlbConfig{8, 4};
+    const sim::SimStats stats = sim::Simulator(cfg).run(tr);
+    EXPECT_GT(stats.traumas.get(sim::Trauma::MmTlb2), 0u);
+    EXPECT_GT(stats.dtlb1Misses, 1000u);
+}
+
+// ---------------- branch predictors ------------------------------
+
+TEST(Bpred, BimodalLearnsConstantDirection)
+{
+    sim::BimodalPredictor p(1024);
+    for (int i = 0; i < 100; ++i)
+        p.predictAndUpdate(0x40, true);
+    // After warmup the counter saturates: near-perfect accuracy.
+    EXPECT_GT(p.accuracy(), 0.95);
+}
+
+TEST(Bpred, BimodalStrugglesWithAlternation)
+{
+    sim::BimodalPredictor p(1024);
+    for (int i = 0; i < 1000; ++i)
+        p.predictAndUpdate(0x40, i % 2 == 0);
+    EXPECT_LT(p.accuracy(), 0.7);
+}
+
+TEST(Bpred, GshareLearnsAlternation)
+{
+    sim::GsharePredictor p(1024);
+    for (int i = 0; i < 1000; ++i)
+        p.predictAndUpdate(0x40, i % 2 == 0);
+    // History disambiguates the alternating pattern.
+    EXPECT_GT(p.accuracy(), 0.9);
+}
+
+TEST(Bpred, CombinedTracksBetterComponent)
+{
+    sim::CombinedPredictor p(1024);
+    // Pattern gshare handles but bimodal cannot.
+    for (int i = 0; i < 2000; ++i)
+        p.predictAndUpdate(0x40, (i % 4) < 2);
+    EXPECT_GT(p.accuracy(), 0.85);
+}
+
+TEST(Bpred, PerfectPredictorNeverMisses)
+{
+    sim::PerfectPredictor p;
+    for (int i = 0; i < 100; ++i) {
+        const bool outcome = (i * 7 % 3) == 0;
+        p.setOutcome(outcome);
+        p.predictAndUpdate(0x40 + i, outcome);
+    }
+    EXPECT_EQ(p.mispredictions(), 0u);
+    EXPECT_DOUBLE_EQ(p.accuracy(), 1.0);
+}
+
+TEST(Bpred, FactoryBuildsConfiguredKind)
+{
+    sim::BranchPredictorConfig cfg;
+    cfg.kind = sim::PredictorKind::Perfect;
+    auto p = sim::makePredictor(cfg);
+    EXPECT_NE(dynamic_cast<sim::PerfectPredictor *>(p.get()),
+              nullptr);
+}
+
+TEST(Btb, CapacityMissesOnWideFootprint)
+{
+    sim::Btb btb(16, 4);
+    // 16 branches fit; the first pass misses, later passes hit.
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t pc = 0; pc < 16; ++pc)
+            btb.lookup(pc);
+    EXPECT_EQ(btb.misses(), 16u);
+    // 64 branches thrash a 16-entry BTB.
+    sim::Btb small(16, 4);
+    for (int pass = 0; pass < 3; ++pass)
+        for (std::uint64_t pc = 0; pc < 64; ++pc)
+            small.lookup(pc);
+    EXPECT_GT(small.misses(), 100u);
+}
+
+// ---------------- pipeline ---------------------------------------
+
+/** Independent single-cycle ALU ops reach the FX-unit limit. */
+TEST(Pipeline, IndependentAluOpsReachUnitLimit)
+{
+    Tracer t("ind");
+    for (int i = 0; i < 20000; ++i)
+        t.alu();
+    const trace::Trace tr = t.take();
+
+    SimConfig cfg; // 4-way: 3 FX units, fetch/rename/dispatch 4
+    cfg.memory = sim::memoryInf();
+    sim::Simulator s(cfg);
+    const sim::SimStats stats = s.run(tr);
+    EXPECT_EQ(stats.instructions, 20000u);
+    EXPECT_GT(stats.ipc(), 2.5);
+    EXPECT_LE(stats.ipc(), 3.05); // 3 FX units bound it
+}
+
+/** A serial dependency chain runs at 1/latency. */
+TEST(Pipeline, SerialChainRunsAtOnePerCycle)
+{
+    Tracer t("chain");
+    Reg r = t.alu();
+    for (int i = 0; i < 10000; ++i)
+        r = t.alu({r});
+    const trace::Trace tr = t.take();
+
+    SimConfig cfg;
+    cfg.memory = sim::memoryInf();
+    sim::Simulator s(cfg);
+    const sim::SimStats stats = s.run(tr);
+    EXPECT_NEAR(stats.ipc(), 1.0, 0.05);
+    // Every stalled cycle is a FX register dependency.
+    EXPECT_GT(stats.traumas.get(sim::Trauma::RgFix), 0u);
+}
+
+/** A serial chain of 2-cycle vector ops runs at 1/2 IPC with
+ * RG_VI the dominant trauma. */
+TEST(Pipeline, VectorChainExposesViDependencies)
+{
+    Tracer t("vchain");
+    Reg r = t.vsimple();
+    for (int i = 0; i < 10000; ++i)
+        r = t.vsimple({r});
+    const trace::Trace tr = t.take();
+
+    SimConfig cfg;
+    cfg.memory = sim::memoryInf();
+    sim::Simulator s(cfg);
+    const sim::SimStats stats = s.run(tr);
+    EXPECT_NEAR(stats.ipc(), 0.5, 0.05);
+    EXPECT_EQ(stats.traumas.dominant(), sim::Trauma::RgVi);
+}
+
+/** Loads that miss to memory throttle a dependent chain. */
+TEST(Pipeline, MemoryMissesThrottleChain)
+{
+    Tracer t("mem");
+    const isa::Addr buf = t.alloc(16u << 20, "big");
+    Reg r = t.alu();
+    for (int i = 0; i < 2000; ++i) {
+        // Stride past the line size so every load misses DL1.
+        r = t.load(buf + static_cast<isa::Addr>(i) * 256, 4, {r});
+        r = t.alu({r});
+    }
+    const trace::Trace tr = t.take();
+
+    SimConfig fast;
+    fast.memory = sim::memoryInf();
+    SimConfig slow;
+    slow.memory = sim::memoryMe1(); // 32K/1M: 16 MB sweep misses L2
+    const sim::SimStats f = sim::Simulator(fast).run(tr);
+    const sim::SimStats s = sim::Simulator(slow).run(tr);
+    EXPECT_GT(f.ipc(), 5 * s.ipc());
+    EXPECT_GT(s.dl1MissRate(), 0.45);
+    // The L2-miss service time dominates the run; the dependent
+    // ALU/load waits behind each miss surface as rg_mem/rg_fix.
+    EXPECT_GT(s.traumas.get(sim::Trauma::MmDl2), s.cycles / 3);
+    EXPECT_GT(s.traumas.get(sim::Trauma::RgMem), 0u);
+    EXPECT_EQ(f.dl1Misses, 0u);
+}
+
+/** Mispredicted branches flush-throttle the front end. */
+TEST(Pipeline, MispredictionsCostCycles)
+{
+    // Data-dependent alternating-ish pattern the bimodal cannot
+    // learn; compare against a perfect predictor.
+    auto make = [] {
+        Tracer t("br");
+        Reg r = t.alu();
+        for (int i = 0; i < 8000; ++i) {
+            r = t.alu({r});
+            t.branch((i * 2654435761u >> 13) & 1, {r});
+        }
+        return t.take();
+    };
+    const trace::Trace tr = make();
+
+    SimConfig real;
+    real.memory = sim::memoryInf();
+    real.bpred.kind = sim::PredictorKind::Bimodal;
+    SimConfig perfect;
+    perfect.memory = sim::memoryInf();
+    perfect.bpred.kind = sim::PredictorKind::Perfect;
+
+    const sim::SimStats r1 = sim::Simulator(real).run(tr);
+    const sim::SimStats r2 = sim::Simulator(perfect).run(tr);
+    EXPECT_LT(r1.predictionAccuracy(), 0.8);
+    EXPECT_DOUBLE_EQ(r2.predictionAccuracy(), 1.0);
+    EXPECT_GT(r2.ipc(), 1.5 * r1.ipc());
+    EXPECT_GT(r1.traumas.get(sim::Trauma::IfPred), 0u);
+}
+
+/** Wider cores speed up parallel work. */
+TEST(Pipeline, WiderCoreRaisesIpcOnParallelWork)
+{
+    Tracer t("wide");
+    for (int i = 0; i < 30000; ++i) {
+        t.alu();
+        t.vsimple();
+        t.vperm();
+    }
+    const trace::Trace tr = t.take();
+
+    SimConfig w4;
+    w4.memory = sim::memoryInf();
+    SimConfig w8 = w4;
+    w8.core = sim::core8Way();
+    SimConfig w16 = w4;
+    w16.core = sim::core16Way();
+
+    const double ipc4 = sim::Simulator(w4).run(tr).ipc();
+    const double ipc8 = sim::Simulator(w8).run(tr).ipc();
+    const double ipc16 = sim::Simulator(w16).run(tr).ipc();
+    EXPECT_GT(ipc8, ipc4 * 1.2);
+    EXPECT_GE(ipc16, ipc8);
+}
+
+/** The retire stream preserves the program (all insts retire). */
+TEST(Pipeline, AllInstructionsRetireExactlyOnce)
+{
+    Tracer t("all");
+    const isa::Addr buf = t.alloc(4096, "buf");
+    Reg r = t.alu();
+    for (int i = 0; i < 500; ++i) {
+        r = t.load(buf + (i % 32) * 64u, 4, {r});
+        t.store(buf + (i % 32) * 64u, 4, r);
+        t.branch(i % 3 == 0, {r});
+        t.vperm({});
+    }
+    const trace::Trace tr = t.take();
+    SimConfig cfg;
+    const sim::SimStats stats = sim::Simulator(cfg).run(tr);
+    EXPECT_EQ(stats.instructions, tr.size());
+    EXPECT_GT(stats.cycles, 0u);
+}
+
+/** Empty traces are handled gracefully. */
+TEST(Pipeline, EmptyTraceYieldsZeroStats)
+{
+    const trace::Trace tr("empty");
+    SimConfig cfg;
+    const sim::SimStats stats = sim::Simulator(cfg).run(tr);
+    EXPECT_EQ(stats.cycles, 0u);
+    EXPECT_EQ(stats.instructions, 0u);
+    EXPECT_EQ(stats.ipc(), 0.0);
+}
+
+/** Occupancy histograms account for every cycle. */
+TEST(Pipeline, OccupancyHistogramsCoverAllCycles)
+{
+    Tracer t("occ");
+    for (int i = 0; i < 5000; ++i)
+        t.vsimple();
+    const trace::Trace tr = t.take();
+    SimConfig cfg;
+    const sim::SimStats stats = sim::Simulator(cfg).run(tr);
+
+    std::uint64_t vi_cycles = 0;
+    for (std::uint64_t c : stats.queueOccupancy[static_cast<int>(
+             sim::FuClass::Vi)])
+        vi_cycles += c;
+    EXPECT_EQ(vi_cycles, stats.cycles);
+    std::uint64_t inflight_cycles = 0;
+    for (std::uint64_t c : stats.inflightOccupancy)
+        inflight_cycles += c;
+    EXPECT_EQ(inflight_cycles, stats.cycles);
+    // With 1 VI unit and plenty of supply, the VI queue backs up.
+    EXPECT_GT(sim::SimStats::meanOccupancy(
+                  stats.queueOccupancy[static_cast<int>(
+                      sim::FuClass::Vi)]),
+              2.0);
+}
+
+TEST(Config, PresetsMatchTableIV)
+{
+    const sim::CoreConfig c4 = sim::core4Way();
+    const sim::CoreConfig c8 = sim::core8Way();
+    const sim::CoreConfig c16 = sim::core16Way();
+    EXPECT_EQ(c4.fetchWidth, 4);
+    EXPECT_EQ(c4.retireWidth, 6);
+    EXPECT_EQ(c4.inflightLimit, 160);
+    EXPECT_EQ(c4.fuUnits(sim::FuClass::Fix), 3);
+    EXPECT_EQ(c4.fuUnits(sim::FuClass::Vi), 1);
+    EXPECT_EQ(c8.fetchWidth, 8);
+    EXPECT_EQ(c8.queueSize(sim::FuClass::Fix), 40);
+    EXPECT_EQ(c16.fetchWidth, 16);
+    EXPECT_EQ(c16.fuUnits(sim::FuClass::Br), 7);
+}
+
+TEST(Config, MemoryPresetsMatchTableV)
+{
+    EXPECT_EQ(sim::memoryMe1().dl1.sizeBytes, 32 * 1024);
+    EXPECT_EQ(sim::memoryMe2().dl1.sizeBytes, 64 * 1024);
+    EXPECT_EQ(sim::memoryMe3().l2.sizeBytes, 4 * 1024 * 1024);
+    EXPECT_TRUE(sim::memoryMe4().l2.infinite());
+    EXPECT_TRUE(sim::memoryInf().dl1.infinite());
+    EXPECT_EQ(sim::memoryMe1().memLatency, 300);
+    EXPECT_EQ(sim::memoryMe1().l2.latency, 12);
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the SSEARCH-style optimized scalar Smith-Waterman: exact
+ * score equality with the reference implementation (including heavy
+ * property testing, since the computation-avoidance branches are
+ * easy to get subtly wrong) and database search behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.hh"
+#include "align/ssearch.hh"
+#include "bio/random.hh"
+#include "bio/scoring.hh"
+#include "bio/synthetic.hh"
+
+namespace
+{
+
+using namespace bioarch;
+using bio::Sequence;
+
+const bio::ScoringMatrix &kMat = bio::blosum62();
+const bio::GapPenalties kGaps{};
+
+TEST(QueryProfile, RowsMatchMatrix)
+{
+    const Sequence q("Q", "", "ACDW");
+    const align::QueryProfile profile(q, kMat);
+    EXPECT_EQ(profile.queryLength(), 4);
+    for (int r = 0; r < bio::Alphabet::numSymbols; ++r) {
+        const std::int16_t *row =
+            profile.row(static_cast<bio::Residue>(r));
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(row[i],
+                      kMat.score(q[static_cast<std::size_t>(i)],
+                                 static_cast<bio::Residue>(r)));
+    }
+}
+
+TEST(Ssearch, MatchesReferenceOnIdenticalSequences)
+{
+    const Sequence s("S", "", "ACDEFGHIKLMNPQRSTVWY");
+    const align::QueryProfile profile(s, kMat);
+    const align::LocalScore ls = align::ssearchScan(profile, s, kGaps);
+    const align::LocalScore ref =
+        align::smithWatermanScore(s, s, kMat, kGaps);
+    EXPECT_EQ(ls.score, ref.score);
+    EXPECT_EQ(ls.queryEnd, ref.queryEnd);
+    EXPECT_EQ(ls.subjectEnd, ref.subjectEnd);
+}
+
+TEST(Ssearch, EmptyInputsScoreZero)
+{
+    const Sequence q("Q", "", "ACD");
+    const Sequence e("E", "", "");
+    const align::QueryProfile profile(q, kMat);
+    EXPECT_EQ(align::ssearchScan(profile, e, kGaps).score, 0);
+    const align::QueryProfile empty_profile(e, kMat);
+    EXPECT_EQ(align::ssearchScan(empty_profile, q, kGaps).score, 0);
+}
+
+TEST(Ssearch, CountsCells)
+{
+    const Sequence q("Q", "", "ACDEF");
+    const Sequence s("S", "", "ACDEFGHIKL");
+    const align::QueryProfile profile(q, kMat);
+    std::uint64_t cells = 0;
+    align::ssearchScan(profile, s, kGaps, &cells);
+    EXPECT_EQ(cells, 50u);
+}
+
+/** The core property: exact equality with reference SW. */
+class SsearchRandomPairs : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SsearchRandomPairs, ScoreEqualsReference)
+{
+    bio::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+    for (int t = 0; t < 25; ++t) {
+        const int lq = static_cast<int>(1 + rng.below(120));
+        const int ls_len = static_cast<int>(1 + rng.below(120));
+        const Sequence q = bio::makeRandomSequence(rng, lq);
+        // Half the trials use a mutated homolog so high-scoring
+        // paths with gaps are exercised, not just noise.
+        const Sequence s = (t % 2 == 0)
+            ? bio::makeRandomSequence(rng, ls_len)
+            : bio::mutate(rng, q, 0.5 + rng.uniform() * 0.4, "S", "");
+        const align::QueryProfile profile(q, kMat);
+        const align::LocalScore got =
+            align::ssearchScan(profile, s, kGaps);
+        const align::LocalScore ref =
+            align::smithWatermanScore(q, s, kMat, kGaps);
+        ASSERT_EQ(got.score, ref.score)
+            << "q=" << q.toString() << " s=" << s.toString();
+        ASSERT_EQ(got.queryEnd, ref.queryEnd);
+        ASSERT_EQ(got.subjectEnd, ref.subjectEnd);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsearchRandomPairs,
+                         ::testing::Range(0, 8));
+
+/** Gap-penalty sweep: equality must hold for unusual penalties too. */
+class SsearchGapSweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(SsearchGapSweep, ScoreEqualsReferenceAcrossPenalties)
+{
+    const bio::GapPenalties gaps{GetParam().first, GetParam().second};
+    bio::Rng rng(4242);
+    for (int t = 0; t < 20; ++t) {
+        const Sequence q = bio::makeRandomSequence(
+            rng, static_cast<int>(5 + rng.below(60)));
+        const Sequence s =
+            bio::mutate(rng, q, 0.6, "S", "");
+        const align::QueryProfile profile(q, kMat);
+        ASSERT_EQ(align::ssearchScan(profile, s, gaps).score,
+                  align::smithWatermanScore(q, s, kMat, gaps).score);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Penalties, SsearchGapSweep,
+    ::testing::Values(std::pair{10, 1}, std::pair{4, 2},
+                      std::pair{12, 3}, std::pair{0, 1},
+                      std::pair{20, 1}));
+
+TEST(SsearchSearch, RanksPlantedHomologFirst)
+{
+    const Sequence query = bio::makeDefaultQuery();
+    bio::DatabaseSpec spec;
+    spec.numSequences = 60;
+    const bio::SequenceDatabase db =
+        bio::makeDatabase(spec, {query});
+    const align::SearchResults res =
+        align::ssearchSearch(query, db, kMat, kGaps);
+
+    ASSERT_FALSE(res.hits.empty());
+    EXPECT_EQ(res.sequencesSearched, db.size());
+    const Sequence &top = db[res.hits.front().dbIndex];
+    EXPECT_NE(top.description().find("homolog of P14942"),
+              std::string::npos)
+        << "top hit: " << top.description();
+    // Hits must be sorted by descending score.
+    for (std::size_t i = 1; i < res.hits.size(); ++i)
+        EXPECT_GE(res.hits[i - 1].score, res.hits[i].score);
+    // E-value of the top (planted, high-identity) hit is tiny.
+    EXPECT_LT(res.hits.front().evalue, 1e-6);
+}
+
+TEST(SsearchSearch, MaxHitsIsHonored)
+{
+    const Sequence query = bio::makeDefaultQuery();
+    const bio::SequenceDatabase db = bio::makeDefaultDatabase(50);
+    const align::SearchResults res =
+        align::ssearchSearch(query, db, kMat, kGaps, 5);
+    EXPECT_LE(res.hits.size(), 5u);
+}
+
+} // namespace

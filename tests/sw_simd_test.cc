@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the SIMD Smith-Waterman kernels: exact score equality
+ * with the scalar reference at every lane count, profile layout,
+ * strip-boundary correctness, and search-level equivalence with
+ * SSEARCH.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.hh"
+#include "align/ssearch.hh"
+#include "align/sw_simd.hh"
+#include "bio/random.hh"
+#include "bio/scoring.hh"
+#include "bio/synthetic.hh"
+
+namespace
+{
+
+using namespace bioarch;
+using bio::Sequence;
+
+const bio::ScoringMatrix &kMat = bio::blosum62();
+const bio::GapPenalties kGaps{};
+
+TEST(VectorProfile, StripLayoutMatchesMatrix)
+{
+    const Sequence q("Q", "", "ACDEFGHIKLMN"); // 12 residues, 2 strips
+    const align::VectorProfile<8> profile(q, kMat);
+    EXPECT_EQ(profile.queryLength(), 12);
+    EXPECT_EQ(profile.numStrips(), 2);
+    const bio::Residue r = bio::Alphabet::encode('W');
+    const std::int16_t *s0 = profile.strip(r, 0);
+    const std::int16_t *s1 = profile.strip(r, 1);
+    for (int l = 0; l < 8; ++l)
+        EXPECT_EQ(s0[l], kMat.score(q[static_cast<std::size_t>(l)], r));
+    for (int l = 0; l < 4; ++l)
+        EXPECT_EQ(s1[l],
+                  kMat.score(q[static_cast<std::size_t>(8 + l)], r));
+    // Pad rows carry the sentinel.
+    for (int l = 4; l < 8; ++l)
+        EXPECT_EQ(s1[l], align::VectorProfile<8>::padScore);
+}
+
+TEST(SwSimd, MatchesScalarOnIdenticalSequences)
+{
+    const Sequence s("S", "", "ACDEFGHIKLMNPQRSTVWY");
+    const align::VectorProfile<8> profile(s, kMat);
+    const align::LocalScore simd =
+        align::swSimdScan<8>(profile, s, kGaps);
+    const align::LocalScore ref =
+        align::smithWatermanScore(s, s, kMat, kGaps);
+    EXPECT_EQ(simd.score, ref.score);
+    EXPECT_EQ(simd.queryEnd, ref.queryEnd);
+    EXPECT_EQ(simd.subjectEnd, ref.subjectEnd);
+}
+
+TEST(SwSimd, HandlesQueryShorterThanOneStrip)
+{
+    const Sequence q("Q", "", "WWC"); // 3 residues < 8 lanes
+    const Sequence s("S", "", "AAWWCAA");
+    const align::VectorProfile<8> profile(q, kMat);
+    EXPECT_EQ(align::swSimdScan<8>(profile, q, kGaps).score,
+              align::smithWatermanScore(q, q, kMat, kGaps).score);
+    EXPECT_EQ(align::swSimdScan<8>(profile, s, kGaps).score,
+              align::smithWatermanScore(q, s, kMat, kGaps).score);
+}
+
+TEST(SwSimd, HandlesSubjectShorterThanLanes)
+{
+    const Sequence q = bio::makeDefaultQuery(); // 222 residues
+    const Sequence s("S", "", "WC");
+    const align::VectorProfile<16> profile(q, kMat);
+    EXPECT_EQ(align::swSimdScan<16>(profile, s, kGaps).score,
+              align::smithWatermanScore(q, s, kMat, kGaps).score);
+}
+
+TEST(SwSimd, EmptyInputsScoreZero)
+{
+    const Sequence q("Q", "", "ACD");
+    const Sequence e("E", "", "");
+    const align::VectorProfile<8> profile(q, kMat);
+    EXPECT_EQ(align::swSimdScan<8>(profile, e, kGaps).score, 0);
+}
+
+TEST(SwSimd, CountsCells)
+{
+    const Sequence q("Q", "", "ACDEFGHI"); // exactly one strip
+    const Sequence s("S", "", "ACDEFGHIKL");
+    const align::VectorProfile<8> profile(q, kMat);
+    std::uint64_t cells = 0;
+    align::swSimdScan<8>(profile, s, kGaps, &cells);
+    EXPECT_EQ(cells, 80u); // n * N per strip
+}
+
+/**
+ * The core cross-width property: vmx128, vmx256 and every other lane
+ * count produce exactly the scalar SW score.
+ */
+template <int N>
+void
+checkLaneCount(std::uint64_t seed)
+{
+    bio::Rng rng(seed);
+    for (int t = 0; t < 20; ++t) {
+        const int lq = static_cast<int>(1 + rng.below(100));
+        const Sequence q = bio::makeRandomSequence(rng, lq);
+        const Sequence s = (t % 2 == 0)
+            ? bio::makeRandomSequence(
+                  rng, static_cast<int>(1 + rng.below(100)))
+            : bio::mutate(rng, q, 0.5 + rng.uniform() * 0.4, "S", "");
+        const align::VectorProfile<N> profile(q, kMat);
+        const align::LocalScore got =
+            align::swSimdScan<N>(profile, s, kGaps);
+        const align::LocalScore ref =
+            align::smithWatermanScore(q, s, kMat, kGaps);
+        ASSERT_EQ(got.score, ref.score)
+            << "N=" << N << " q=" << q.toString()
+            << " s=" << s.toString();
+    }
+}
+
+TEST(SwSimdProperty, Lanes4MatchesScalar) { checkLaneCount<4>(101); }
+TEST(SwSimdProperty, Lanes8MatchesScalar) { checkLaneCount<8>(202); }
+TEST(SwSimdProperty, Lanes16MatchesScalar) { checkLaneCount<16>(303); }
+TEST(SwSimdProperty, Lanes32MatchesScalar) { checkLaneCount<32>(404); }
+
+/** Both paper widths agree with each other cell-for-cell. */
+TEST(SwSimdProperty, Vmx128EqualsVmx256)
+{
+    bio::Rng rng(999);
+    for (int t = 0; t < 25; ++t) {
+        const Sequence q = bio::makeRandomSequence(
+            rng, static_cast<int>(10 + rng.below(150)));
+        const Sequence s =
+            bio::mutate(rng, q, 0.4 + rng.uniform() * 0.5, "S", "");
+        const align::VectorProfile<8> p128(q, kMat);
+        const align::VectorProfile<16> p256(q, kMat);
+        EXPECT_EQ(align::swVmx128Scan(p128, s, kGaps).score,
+                  align::swVmx256Scan(p256, s, kGaps).score);
+    }
+}
+
+/** Gap-penalty sweep at both paper widths. */
+class SwSimdGapSweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(SwSimdGapSweep, MatchesScalarAcrossPenalties)
+{
+    const bio::GapPenalties gaps{GetParam().first, GetParam().second};
+    bio::Rng rng(5150);
+    for (int t = 0; t < 15; ++t) {
+        const Sequence q = bio::makeRandomSequence(
+            rng, static_cast<int>(5 + rng.below(80)));
+        const Sequence s = bio::mutate(rng, q, 0.6, "S", "");
+        const align::VectorProfile<8> p8(q, kMat);
+        const align::VectorProfile<16> p16(q, kMat);
+        const int ref =
+            align::smithWatermanScore(q, s, kMat, gaps).score;
+        ASSERT_EQ((align::swSimdScan<8>(p8, s, gaps).score), ref);
+        ASSERT_EQ((align::swSimdScan<16>(p16, s, gaps).score), ref);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Penalties, SwSimdGapSweep,
+    ::testing::Values(std::pair{10, 1}, std::pair{4, 2},
+                      std::pair{12, 3}, std::pair{20, 1}));
+
+TEST(SwSimdSearch, AgreesWithSsearchOnDatabase)
+{
+    const Sequence query = bio::makeDefaultQuery();
+    const bio::SequenceDatabase db = bio::makeDefaultDatabase(40);
+    const align::SearchResults scalar =
+        align::ssearchSearch(query, db, kMat, kGaps);
+    const align::SearchResults v128 =
+        align::swSimdSearch<8>(query, db, kMat, kGaps);
+    const align::SearchResults v256 =
+        align::swSimdSearch<16>(query, db, kMat, kGaps);
+
+    ASSERT_EQ(v128.hits.size(), scalar.hits.size());
+    ASSERT_EQ(v256.hits.size(), scalar.hits.size());
+    for (std::size_t i = 0; i < scalar.hits.size(); ++i) {
+        EXPECT_EQ(v128.hits[i].score, scalar.hits[i].score);
+        EXPECT_EQ(v256.hits[i].score, scalar.hits[i].score);
+        EXPECT_EQ(v128.hits[i].dbIndex, scalar.hits[i].dbIndex);
+    }
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the striped (Farrar) SIMD Smith-Waterman: exact score
+ * equality with the scalar reference — including heavy property
+ * testing across gap penalties, since the lazy-F shortcut is the
+ * classic source of subtle bugs — and agreement with the other
+ * SIMD kernels at the search level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/smith_waterman.hh"
+#include "align/ssearch.hh"
+#include "align/sw_simd.hh"
+#include "align/sw_striped.hh"
+#include "bio/random.hh"
+#include "bio/scoring.hh"
+#include "bio/synthetic.hh"
+
+namespace
+{
+
+using namespace bioarch;
+using bio::Sequence;
+
+const bio::ScoringMatrix &kMat = bio::blosum62();
+const bio::GapPenalties kGaps{};
+
+TEST(StripedProfile, LayoutMatchesMatrix)
+{
+    const Sequence q("Q", "", "ACDEFGHIKLMNPQRS"); // 16 aa, S = 2
+    const align::StripedProfile<8> profile(q, kMat);
+    EXPECT_EQ(profile.segmentLength(), 2);
+    const bio::Residue r = bio::Alphabet::encode('W');
+    // Position s, lane l -> row s + l*S.
+    for (int s = 0; s < 2; ++s) {
+        const auto v = profile.vector(r, s);
+        for (int l = 0; l < 8; ++l) {
+            const int i = s + l * 2;
+            EXPECT_EQ(v[l],
+                      kMat.score(q[static_cast<std::size_t>(i)], r))
+                << "s=" << s << " l=" << l;
+        }
+    }
+}
+
+TEST(StripedProfile, PadRowsCarrySentinel)
+{
+    const Sequence q("Q", "", "ACD"); // 3 aa over 8 lanes: S = 1
+    const align::StripedProfile<8> profile(q, kMat);
+    EXPECT_EQ(profile.segmentLength(), 1);
+    const auto v = profile.vector(0, 0);
+    for (int l = 3; l < 8; ++l)
+        EXPECT_EQ(v[l], align::StripedProfile<8>::padScore);
+}
+
+TEST(Striped, MatchesScalarOnIdenticalSequences)
+{
+    const Sequence s("S", "", "ACDEFGHIKLMNPQRSTVWY");
+    const align::StripedProfile<8> profile(s, kMat);
+    const align::LocalScore got =
+        align::swStripedScan<8>(profile, s, kGaps);
+    const align::LocalScore ref =
+        align::smithWatermanScore(s, s, kMat, kGaps);
+    EXPECT_EQ(got.score, ref.score);
+    EXPECT_EQ(got.subjectEnd, ref.subjectEnd);
+}
+
+TEST(Striped, EmptyInputsScoreZero)
+{
+    const Sequence q("Q", "", "ACD");
+    const Sequence e("E", "", "");
+    const align::StripedProfile<8> profile(q, kMat);
+    EXPECT_EQ(align::swStripedScan<8>(profile, e, kGaps).score, 0);
+}
+
+TEST(Striped, LazyFTriggersOnGapHeavyAlignments)
+{
+    // A subject that deletes a large block from the query forces
+    // vertical-gap paths: the lazy loop must run and the score must
+    // still be exact.
+    bio::Rng rng(99);
+    const Sequence q = bio::makeRandomSequence(rng, 120);
+    std::vector<bio::Residue> res(q.residues().begin(),
+                                  q.residues().begin() + 40);
+    res.insert(res.end(), q.residues().begin() + 90,
+               q.residues().end());
+    const Sequence s("S", "", std::move(res));
+
+    const align::StripedProfile<8> profile(q, kMat);
+    std::uint64_t lazy = 0;
+    const align::LocalScore got =
+        align::swStripedScan<8>(profile, s, kGaps, &lazy);
+    EXPECT_EQ(got.score,
+              align::smithWatermanScore(q, s, kMat, kGaps).score);
+    EXPECT_GT(lazy, 0u) << "gap-heavy input must exercise lazy F";
+}
+
+/** The core property, at both register widths. */
+template <int N>
+void
+checkStriped(std::uint64_t seed)
+{
+    bio::Rng rng(seed);
+    for (int t = 0; t < 30; ++t) {
+        const Sequence q = bio::makeRandomSequence(
+            rng, static_cast<int>(1 + rng.below(150)));
+        const Sequence s = (t % 2 == 0)
+            ? bio::makeRandomSequence(
+                  rng, static_cast<int>(1 + rng.below(150)))
+            : bio::mutate(rng, q, 0.4 + rng.uniform() * 0.5, "S",
+                          "");
+        const align::StripedProfile<N> profile(q, kMat);
+        const int got =
+            align::swStripedScan<N>(profile, s, kGaps).score;
+        const int ref =
+            align::smithWatermanScore(q, s, kMat, kGaps).score;
+        ASSERT_EQ(got, ref)
+            << "N=" << N << " q=" << q.toString()
+            << " s=" << s.toString();
+    }
+}
+
+TEST(StripedProperty, Lanes8MatchesScalar) { checkStriped<8>(11); }
+TEST(StripedProperty, Lanes16MatchesScalar) { checkStriped<16>(22); }
+
+/** Gap-penalty sweep, including the degenerate extend-0 case the
+ * lazy loop must survive. */
+class StripedGapSweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(StripedGapSweep, MatchesScalarAcrossPenalties)
+{
+    const bio::GapPenalties gaps{GetParam().first,
+                                 GetParam().second};
+    bio::Rng rng(3131);
+    for (int t = 0; t < 15; ++t) {
+        const Sequence q = bio::makeRandomSequence(
+            rng, static_cast<int>(5 + rng.below(90)));
+        const Sequence s = bio::mutate(rng, q, 0.6, "S", "");
+        const align::StripedProfile<8> profile(q, kMat);
+        ASSERT_EQ(align::swStripedScan<8>(profile, s, gaps).score,
+                  align::smithWatermanScore(q, s, kMat, gaps)
+                      .score)
+            << "open=" << gaps.open << " ext=" << gaps.extend;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Penalties, StripedGapSweep,
+    ::testing::Values(std::pair{10, 1}, std::pair{4, 2},
+                      std::pair{12, 3}, std::pair{20, 1},
+                      std::pair{10, 0}));
+
+TEST(StripedSearch, AgreesWithSsearchScores)
+{
+    const Sequence query = bio::makeDefaultQuery();
+    const bio::SequenceDatabase db = bio::makeDefaultDatabase(40);
+    const align::SearchResults scalar =
+        align::ssearchSearch(query, db, kMat, kGaps);
+    const align::SearchResults striped =
+        align::swStripedSearch<8>(query, db, kMat, kGaps);
+    ASSERT_EQ(striped.hits.size(), scalar.hits.size());
+    for (std::size_t i = 0; i < scalar.hits.size(); ++i) {
+        EXPECT_EQ(striped.hits[i].score, scalar.hits[i].score);
+        EXPECT_EQ(striped.hits[i].dbIndex, scalar.hits[i].dbIndex);
+    }
+}
+
+TEST(StripedSearch, AgreesWithAntiDiagonalKernel)
+{
+    const Sequence query = bio::makeDefaultQuery();
+    const bio::SequenceDatabase db = bio::makeDefaultDatabase(20);
+    const align::SearchResults diag =
+        align::swSimdSearch<8>(query, db, kMat, kGaps);
+    const align::SearchResults striped =
+        align::swStripedSearch<8>(query, db, kMat, kGaps);
+    ASSERT_EQ(striped.hits.size(), diag.hits.size());
+    for (std::size_t i = 0; i < diag.hits.size(); ++i)
+        EXPECT_EQ(striped.hits[i].score, diag.hits[i].score);
+}
+
+} // namespace

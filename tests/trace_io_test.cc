@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the binary trace file format: round-trips, error
+ * handling, and compatibility with generated workload traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "kernels/factory.hh"
+#include "trace/trace_io.hh"
+#include "trace/tracer.hh"
+
+namespace
+{
+
+using namespace bioarch;
+using trace::Reg;
+using trace::Tracer;
+
+trace::Trace
+makeSample()
+{
+    Tracer t("sample");
+    const isa::Addr buf = t.alloc(256, "buf");
+    Reg a = t.alu();
+    for (int i = 0; i < 100; ++i) {
+        a = t.load(buf + (i % 8) * 16u, 4, {a});
+        t.store(buf + 128, 8, a);
+        t.branch(i % 3 == 0, {a});
+        t.vsimple({a});
+    }
+    return t.take();
+}
+
+TEST(TraceIo, RoundTripsThroughStream)
+{
+    const trace::Trace original = makeSample();
+    std::stringstream buffer;
+    trace::writeTrace(buffer, original);
+    const trace::Trace back = trace::readTrace(buffer);
+
+    EXPECT_EQ(back.name(), original.name());
+    ASSERT_EQ(back.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(back[i].pc, original[i].pc);
+        EXPECT_EQ(back[i].cls, original[i].cls);
+        EXPECT_EQ(back[i].dst, original[i].dst);
+        EXPECT_EQ(back[i].src[0], original[i].src[0]);
+        EXPECT_EQ(back[i].src[1], original[i].src[1]);
+        EXPECT_EQ(back[i].addr, original[i].addr);
+        EXPECT_EQ(back[i].size, original[i].size);
+        EXPECT_EQ(back[i].taken, original[i].taken);
+        EXPECT_EQ(back[i].conditional, original[i].conditional);
+    }
+}
+
+TEST(TraceIo, RoundTripsThroughFile)
+{
+    const trace::Trace original = makeSample();
+    const std::string path = "/tmp/bioarch_trace_io_test.trc";
+    trace::writeTraceFile(path, original);
+    const trace::Trace back = trace::readTraceFile(path);
+    EXPECT_EQ(back.size(), original.size());
+    EXPECT_EQ(back.mix().counts, original.mix().counts);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream buffer;
+    buffer << "this is not a trace file at all, not even close";
+    EXPECT_THROW(trace::readTrace(buffer), trace::TraceIoError);
+}
+
+TEST(TraceIo, RejectsTruncatedFile)
+{
+    const trace::Trace original = makeSample();
+    std::stringstream buffer;
+    trace::writeTrace(buffer, original);
+    const std::string full = buffer.str();
+    std::stringstream truncated(
+        full.substr(0, full.size() / 2));
+    EXPECT_THROW(trace::readTrace(truncated), trace::TraceIoError);
+}
+
+TEST(TraceIo, RejectsMissingFile)
+{
+    EXPECT_THROW(
+        trace::readTraceFile("/nonexistent/dir/trace.trc"),
+        trace::TraceIoError);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips)
+{
+    const trace::Trace empty("nothing");
+    std::stringstream buffer;
+    trace::writeTrace(buffer, empty);
+    const trace::Trace back = trace::readTrace(buffer);
+    EXPECT_EQ(back.name(), "nothing");
+    EXPECT_TRUE(back.empty());
+}
+
+TEST(TraceIo, WorkloadTraceRoundTripsExactly)
+{
+    kernels::TraceSpec spec;
+    spec.dbSequences = 2;
+    const kernels::TracedRun run =
+        kernels::traceWorkload(kernels::Workload::Fasta34, spec);
+    std::stringstream buffer;
+    trace::writeTrace(buffer, run.trace);
+    const trace::Trace back = trace::readTrace(buffer);
+    ASSERT_EQ(back.size(), run.trace.size());
+    EXPECT_EQ(back.mix().counts, run.trace.mix().counts);
+    EXPECT_EQ(back.conditionalBranches(),
+              run.trace.conditionalBranches());
+    EXPECT_EQ(back.staticFootprint(),
+              run.trace.staticFootprint());
+}
+
+} // namespace

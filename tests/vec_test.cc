@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for the software Altivec vector model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vec/simd.hh"
+
+namespace
+{
+
+using bioarch::vec::Vec128;
+using bioarch::vec::Vec256;
+using bioarch::vec::VecI16;
+
+TEST(Vec, SplatFillsAllLanes)
+{
+    const Vec128 v = Vec128::splat(7);
+    for (int i = 0; i < Vec128::lanes; ++i)
+        EXPECT_EQ(v[i], 7);
+    EXPECT_EQ(Vec128::bits, 128);
+    EXPECT_EQ(Vec256::bits, 256);
+}
+
+TEST(Vec, LoadStoreRoundTrip)
+{
+    std::int16_t data[8] = {1, -2, 3, -4, 5, -6, 7, -8};
+    const Vec128 v = Vec128::load(data);
+    std::int16_t out[8] = {};
+    v.store(out);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(out[i], data[i]);
+}
+
+TEST(Vec, SaturatingAdd)
+{
+    const Vec128 a = Vec128::splat(32000);
+    const Vec128 b = Vec128::splat(1000);
+    const Vec128 sum = adds(a, b);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(sum[i], 32767); // saturated, no wraparound
+}
+
+TEST(Vec, SaturatingSub)
+{
+    const Vec128 a = Vec128::splat(-32000);
+    const Vec128 b = Vec128::splat(1000);
+    const Vec128 diff = subs(a, b);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(diff[i], -32768);
+}
+
+TEST(Vec, AddSubSmallValues)
+{
+    Vec128 a;
+    Vec128 b;
+    for (int i = 0; i < 8; ++i) {
+        a.set(i, static_cast<std::int16_t>(i * 3));
+        b.set(i, static_cast<std::int16_t>(i - 4));
+    }
+    const Vec128 sum = adds(a, b);
+    const Vec128 diff = subs(a, b);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(sum[i], i * 3 + (i - 4));
+        EXPECT_EQ(diff[i], i * 3 - (i - 4));
+    }
+}
+
+TEST(Vec, MaxMinLanewise)
+{
+    Vec128 a;
+    Vec128 b;
+    for (int i = 0; i < 8; ++i) {
+        a.set(i, static_cast<std::int16_t>(i));
+        b.set(i, static_cast<std::int16_t>(7 - i));
+    }
+    const Vec128 mx = vmax(a, b);
+    const Vec128 mn = vmin(a, b);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(mx[i], std::max(i, 7 - i));
+        EXPECT_EQ(mn[i], std::min(i, 7 - i));
+    }
+}
+
+TEST(Vec, CompareAndSelect)
+{
+    Vec128 a;
+    Vec128 b;
+    for (int i = 0; i < 8; ++i) {
+        a.set(i, static_cast<std::int16_t>(i));
+        b.set(i, 4);
+    }
+    const Vec128 mask = cmpgt(a, b); // lanes 5..7 true
+    const Vec128 sel = select(mask, a, b);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(mask[i], i > 4 ? -1 : 0);
+        EXPECT_EQ(sel[i], i > 4 ? i : 4);
+    }
+}
+
+TEST(Vec, ShiftInLowMovesLanesUp)
+{
+    Vec128 a;
+    for (int i = 0; i < 8; ++i)
+        a.set(i, static_cast<std::int16_t>(i + 1));
+    const Vec128 shifted = shiftInLow(a, 99);
+    EXPECT_EQ(shifted[0], 99);
+    for (int i = 1; i < 8; ++i)
+        EXPECT_EQ(shifted[i], i); // old lane i-1 == i
+}
+
+TEST(Vec, ShiftInHighMovesLanesDown)
+{
+    Vec128 a;
+    for (int i = 0; i < 8; ++i)
+        a.set(i, static_cast<std::int16_t>(i + 1));
+    const Vec128 shifted = shiftInHigh(a, 99);
+    EXPECT_EQ(shifted[7], 99);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(shifted[i], i + 2);
+}
+
+TEST(Vec, ShiftsAreInverseAtBoundaryLanes)
+{
+    Vec128 a;
+    for (int i = 0; i < 8; ++i)
+        a.set(i, static_cast<std::int16_t>(10 * i));
+    const Vec128 up_down = shiftInHigh(shiftInLow(a, 0), 0);
+    for (int i = 0; i < 7; ++i)
+        EXPECT_EQ(up_down[i], a[i]);
+    EXPECT_EQ(up_down[7], 0);
+}
+
+TEST(Vec, HorizontalMax)
+{
+    Vec256 a;
+    for (int i = 0; i < 16; ++i)
+        a.set(i, static_cast<std::int16_t>(i == 11 ? 500 : i));
+    EXPECT_EQ(horizontalMax(a), 500);
+}
+
+TEST(Vec, AnyGreater)
+{
+    Vec128 a = Vec128::splat(3);
+    EXPECT_FALSE(anyGreater(a, 3));
+    a.set(5, 4);
+    EXPECT_TRUE(anyGreater(a, 3));
+}
+
+TEST(Vec, DefaultConstructedIsZero)
+{
+    const Vec256 v;
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(v[i], 0);
+}
+
+TEST(Vec, EqualityComparesAllLanes)
+{
+    Vec128 a = Vec128::splat(1);
+    Vec128 b = Vec128::splat(1);
+    EXPECT_EQ(a, b);
+    b.set(7, 2);
+    EXPECT_NE(a, b);
+}
+
+} // namespace

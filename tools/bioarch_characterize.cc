@@ -1,0 +1,236 @@
+/**
+ * @file
+ * bioarch-characterize: command-line front end to the whole stack.
+ *
+ * Examples:
+ *   bioarch-characterize --workload blast
+ *   bioarch-characterize --workload sw_vmx128 --width 8 \
+ *       --memory meinf --bpred perfect --db-seqs 24
+ *   bioarch-characterize --workload fasta34 --save-trace f.trc
+ *   bioarch-characterize --trace f.trc --width 16 --csv
+ *
+ * Prints the characterization the paper reports per application:
+ * instruction mix, IPC, cache and branch statistics, and the top
+ * stall reasons.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/report.hh"
+#include "core/suite.hh"
+#include "trace/trace_io.hh"
+
+using namespace bioarch;
+
+namespace
+{
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: bioarch-characterize [options]\n"
+           "\n"
+           "workload selection (one of):\n"
+           "  --workload NAME   ssearch34 | sw_vmx128 | sw_vmx256 |\n"
+           "                    fasta34 | blast\n"
+           "  --trace FILE      simulate a saved trace file\n"
+           "\n"
+           "working set (with --workload):\n"
+           "  --db-seqs N       database sequences (default 8)\n"
+           "  --query ACC       query accession (default P14942)\n"
+           "  --save-trace FILE write the generated trace and exit\n"
+           "\n"
+           "machine:\n"
+           "  --width W         4 | 8 | 16 (default 4)\n"
+           "  --memory M        me1 | me2 | me3 | me4 | meinf\n"
+           "  --bpred P         bimodal | gshare | gp | perfect\n"
+           "\n"
+           "output:\n"
+           "  --csv             machine-readable output\n"
+           "  --help            this text\n";
+}
+
+std::optional<kernels::Workload>
+parseWorkload(const std::string &name)
+{
+    for (const kernels::Workload w : kernels::allWorkloads) {
+        std::string n(kernels::workloadName(w));
+        for (char &c : n)
+            c = static_cast<char>(std::tolower(c));
+        if (n == name)
+            return w;
+    }
+    return std::nullopt;
+}
+
+std::optional<sim::MemoryConfig>
+parseMemory(const std::string &name)
+{
+    for (const sim::MemoryConfig &m : core::memorySweep())
+        if (m.name == name)
+            return m;
+    return std::nullopt;
+}
+
+std::optional<sim::PredictorKind>
+parsePredictor(const std::string &name)
+{
+    if (name == "bimodal")
+        return sim::PredictorKind::Bimodal;
+    if (name == "gshare")
+        return sim::PredictorKind::Gshare;
+    if (name == "gp" || name == "combined")
+        return sim::PredictorKind::Combined;
+    if (name == "perfect")
+        return sim::PredictorKind::Perfect;
+    return std::nullopt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::optional<kernels::Workload> workload;
+    std::string trace_path;
+    std::string save_path;
+    kernels::TraceSpec spec;
+    spec.dbSequences = 8;
+    sim::SimConfig cfg;
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--workload") {
+            workload = parseWorkload(value());
+            if (!workload) {
+                std::cerr << "unknown workload\n";
+                return 2;
+            }
+        } else if (arg == "--trace") {
+            trace_path = value();
+        } else if (arg == "--save-trace") {
+            save_path = value();
+        } else if (arg == "--db-seqs") {
+            spec.dbSequences = std::atoi(value().c_str());
+            if (spec.dbSequences <= 0) {
+                std::cerr << "--db-seqs must be positive\n";
+                return 2;
+            }
+        } else if (arg == "--query") {
+            spec.queryAccession = value();
+        } else if (arg == "--width") {
+            const std::string w = value();
+            if (w == "4")
+                cfg.core = sim::core4Way();
+            else if (w == "8")
+                cfg.core = sim::core8Way();
+            else if (w == "16")
+                cfg.core = sim::core16Way();
+            else {
+                std::cerr << "--width must be 4, 8 or 16\n";
+                return 2;
+            }
+        } else if (arg == "--memory") {
+            const auto mem = parseMemory(value());
+            if (!mem) {
+                std::cerr << "unknown memory preset\n";
+                return 2;
+            }
+            cfg.memory = *mem;
+        } else if (arg == "--bpred") {
+            const auto bp = parsePredictor(value());
+            if (!bp) {
+                std::cerr << "unknown predictor\n";
+                return 2;
+            }
+            cfg.bpred.kind = *bp;
+        } else if (arg == "--csv") {
+            csv = true;
+        } else {
+            std::cerr << "unknown option " << arg << " (--help)\n";
+            return 2;
+        }
+    }
+
+    if (!workload && trace_path.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+
+    // Obtain the trace.
+    trace::Trace tr;
+    try {
+        if (!trace_path.empty()) {
+            tr = trace::readTraceFile(trace_path);
+        } else {
+            tr = kernels::traceWorkload(*workload, spec).trace;
+        }
+        if (!save_path.empty()) {
+            trace::writeTraceFile(save_path, tr);
+            std::cout << "wrote " << tr.size()
+                      << " instructions to " << save_path << "\n";
+            return 0;
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    // Simulate and report.
+    const sim::SimStats stats = core::simulate(tr, cfg);
+    const trace::InstructionMix mix = tr.mix();
+
+    core::Table summary({"metric", "value"});
+    summary.row().add("trace").add(tr.name());
+    summary.row().add("instructions").add(
+        static_cast<std::uint64_t>(tr.size()));
+    summary.row().add("core").add(cfg.core.name);
+    summary.row().add("memory").add(cfg.memory.name);
+    summary.row().add("predictor").add(
+        std::string(sim::predictorKindName(cfg.bpred.kind)));
+    summary.row().add("cycles").add(stats.cycles);
+    summary.row().add("IPC").add(stats.ipc(), 3);
+    summary.row().add("DL1 miss rate %").add(
+        100.0 * stats.dl1MissRate(), 2);
+    summary.row().add("L2 misses").add(stats.l2Misses);
+    summary.row().add("BP accuracy %").add(
+        100.0 * stats.predictionAccuracy(), 2);
+    summary.row().add("ctrl %").add(100.0 * mix.ctrlFraction(), 1);
+    summary.row().add("load %").add(100.0 * mix.loadFraction(), 1);
+
+    core::Table traumas({"trauma", "cycles"});
+    sim::TraumaCounts copy = stats.traumas;
+    for (int k = 0; k < 5; ++k) {
+        const sim::Trauma t = copy.dominant();
+        if (copy.get(t) == 0)
+            break;
+        traumas.row()
+            .add(std::string(sim::traumaName(t)))
+            .add(copy.get(t));
+        copy.cycles[static_cast<int>(t)] = 0;
+    }
+
+    if (csv) {
+        summary.printCsv(std::cout);
+        traumas.printCsv(std::cout);
+    } else {
+        summary.print(std::cout);
+        std::cout << "\ntop stall reasons:\n";
+        traumas.print(std::cout);
+    }
+    return 0;
+}
