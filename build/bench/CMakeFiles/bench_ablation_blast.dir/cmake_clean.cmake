@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_blast.dir/bench_ablation_blast.cc.o"
+  "CMakeFiles/bench_ablation_blast.dir/bench_ablation_blast.cc.o.d"
+  "bench_ablation_blast"
+  "bench_ablation_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aligners.dir/bench_aligners.cc.o"
+  "CMakeFiles/bench_aligners.dir/bench_aligners.cc.o.d"
+  "bench_aligners"
+  "bench_aligners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aligners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blastn.dir/bench_blastn.cc.o"
+  "CMakeFiles/bench_blastn.dir/bench_blastn.cc.o.d"
+  "bench_blastn"
+  "bench_blastn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blastn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig01_instr_breakdown.cc" "bench/CMakeFiles/bench_fig01_instr_breakdown.dir/bench_fig01_instr_breakdown.cc.o" "gcc" "bench/CMakeFiles/bench_fig01_instr_breakdown.dir/bench_fig01_instr_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bioarch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/bioarch_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/bioarch_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/bioarch_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bioarch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bioarch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bioarch_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

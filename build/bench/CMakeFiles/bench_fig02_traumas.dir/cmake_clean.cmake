@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_traumas.dir/bench_fig02_traumas.cc.o"
+  "CMakeFiles/bench_fig02_traumas.dir/bench_fig02_traumas.cc.o.d"
+  "bench_fig02_traumas"
+  "bench_fig02_traumas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_traumas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

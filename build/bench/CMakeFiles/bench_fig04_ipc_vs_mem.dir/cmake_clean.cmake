@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_ipc_vs_mem.dir/bench_fig04_ipc_vs_mem.cc.o"
+  "CMakeFiles/bench_fig04_ipc_vs_mem.dir/bench_fig04_ipc_vs_mem.cc.o.d"
+  "bench_fig04_ipc_vs_mem"
+  "bench_fig04_ipc_vs_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_ipc_vs_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

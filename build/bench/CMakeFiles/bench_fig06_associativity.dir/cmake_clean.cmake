@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_associativity.dir/bench_fig06_associativity.cc.o"
+  "CMakeFiles/bench_fig06_associativity.dir/bench_fig06_associativity.cc.o.d"
+  "bench_fig06_associativity"
+  "bench_fig06_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

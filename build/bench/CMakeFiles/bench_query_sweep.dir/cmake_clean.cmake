@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_sweep.dir/bench_query_sweep.cc.o"
+  "CMakeFiles/bench_query_sweep.dir/bench_query_sweep.cc.o.d"
+  "bench_query_sweep"
+  "bench_query_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

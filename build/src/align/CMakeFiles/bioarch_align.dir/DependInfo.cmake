@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/banded.cc" "src/align/CMakeFiles/bioarch_align.dir/banded.cc.o" "gcc" "src/align/CMakeFiles/bioarch_align.dir/banded.cc.o.d"
+  "/root/repo/src/align/blast.cc" "src/align/CMakeFiles/bioarch_align.dir/blast.cc.o" "gcc" "src/align/CMakeFiles/bioarch_align.dir/blast.cc.o.d"
+  "/root/repo/src/align/blastn.cc" "src/align/CMakeFiles/bioarch_align.dir/blastn.cc.o" "gcc" "src/align/CMakeFiles/bioarch_align.dir/blastn.cc.o.d"
+  "/root/repo/src/align/fasta.cc" "src/align/CMakeFiles/bioarch_align.dir/fasta.cc.o" "gcc" "src/align/CMakeFiles/bioarch_align.dir/fasta.cc.o.d"
+  "/root/repo/src/align/karlin.cc" "src/align/CMakeFiles/bioarch_align.dir/karlin.cc.o" "gcc" "src/align/CMakeFiles/bioarch_align.dir/karlin.cc.o.d"
+  "/root/repo/src/align/needleman_wunsch.cc" "src/align/CMakeFiles/bioarch_align.dir/needleman_wunsch.cc.o" "gcc" "src/align/CMakeFiles/bioarch_align.dir/needleman_wunsch.cc.o.d"
+  "/root/repo/src/align/smith_waterman.cc" "src/align/CMakeFiles/bioarch_align.dir/smith_waterman.cc.o" "gcc" "src/align/CMakeFiles/bioarch_align.dir/smith_waterman.cc.o.d"
+  "/root/repo/src/align/ssearch.cc" "src/align/CMakeFiles/bioarch_align.dir/ssearch.cc.o" "gcc" "src/align/CMakeFiles/bioarch_align.dir/ssearch.cc.o.d"
+  "/root/repo/src/align/sw_simd.cc" "src/align/CMakeFiles/bioarch_align.dir/sw_simd.cc.o" "gcc" "src/align/CMakeFiles/bioarch_align.dir/sw_simd.cc.o.d"
+  "/root/repo/src/align/sw_striped.cc" "src/align/CMakeFiles/bioarch_align.dir/sw_striped.cc.o" "gcc" "src/align/CMakeFiles/bioarch_align.dir/sw_striped.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/bioarch_bio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

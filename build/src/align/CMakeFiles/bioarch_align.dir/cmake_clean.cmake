@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioarch_align.dir/banded.cc.o"
+  "CMakeFiles/bioarch_align.dir/banded.cc.o.d"
+  "CMakeFiles/bioarch_align.dir/blast.cc.o"
+  "CMakeFiles/bioarch_align.dir/blast.cc.o.d"
+  "CMakeFiles/bioarch_align.dir/blastn.cc.o"
+  "CMakeFiles/bioarch_align.dir/blastn.cc.o.d"
+  "CMakeFiles/bioarch_align.dir/fasta.cc.o"
+  "CMakeFiles/bioarch_align.dir/fasta.cc.o.d"
+  "CMakeFiles/bioarch_align.dir/karlin.cc.o"
+  "CMakeFiles/bioarch_align.dir/karlin.cc.o.d"
+  "CMakeFiles/bioarch_align.dir/needleman_wunsch.cc.o"
+  "CMakeFiles/bioarch_align.dir/needleman_wunsch.cc.o.d"
+  "CMakeFiles/bioarch_align.dir/smith_waterman.cc.o"
+  "CMakeFiles/bioarch_align.dir/smith_waterman.cc.o.d"
+  "CMakeFiles/bioarch_align.dir/ssearch.cc.o"
+  "CMakeFiles/bioarch_align.dir/ssearch.cc.o.d"
+  "CMakeFiles/bioarch_align.dir/sw_simd.cc.o"
+  "CMakeFiles/bioarch_align.dir/sw_simd.cc.o.d"
+  "CMakeFiles/bioarch_align.dir/sw_striped.cc.o"
+  "CMakeFiles/bioarch_align.dir/sw_striped.cc.o.d"
+  "libbioarch_align.a"
+  "libbioarch_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioarch_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/alphabet.cc" "src/bio/CMakeFiles/bioarch_bio.dir/alphabet.cc.o" "gcc" "src/bio/CMakeFiles/bioarch_bio.dir/alphabet.cc.o.d"
+  "/root/repo/src/bio/database.cc" "src/bio/CMakeFiles/bioarch_bio.dir/database.cc.o" "gcc" "src/bio/CMakeFiles/bioarch_bio.dir/database.cc.o.d"
+  "/root/repo/src/bio/fasta_io.cc" "src/bio/CMakeFiles/bioarch_bio.dir/fasta_io.cc.o" "gcc" "src/bio/CMakeFiles/bioarch_bio.dir/fasta_io.cc.o.d"
+  "/root/repo/src/bio/nucleotide.cc" "src/bio/CMakeFiles/bioarch_bio.dir/nucleotide.cc.o" "gcc" "src/bio/CMakeFiles/bioarch_bio.dir/nucleotide.cc.o.d"
+  "/root/repo/src/bio/scoring.cc" "src/bio/CMakeFiles/bioarch_bio.dir/scoring.cc.o" "gcc" "src/bio/CMakeFiles/bioarch_bio.dir/scoring.cc.o.d"
+  "/root/repo/src/bio/sequence.cc" "src/bio/CMakeFiles/bioarch_bio.dir/sequence.cc.o" "gcc" "src/bio/CMakeFiles/bioarch_bio.dir/sequence.cc.o.d"
+  "/root/repo/src/bio/synthetic.cc" "src/bio/CMakeFiles/bioarch_bio.dir/synthetic.cc.o" "gcc" "src/bio/CMakeFiles/bioarch_bio.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioarch_bio.dir/alphabet.cc.o"
+  "CMakeFiles/bioarch_bio.dir/alphabet.cc.o.d"
+  "CMakeFiles/bioarch_bio.dir/database.cc.o"
+  "CMakeFiles/bioarch_bio.dir/database.cc.o.d"
+  "CMakeFiles/bioarch_bio.dir/fasta_io.cc.o"
+  "CMakeFiles/bioarch_bio.dir/fasta_io.cc.o.d"
+  "CMakeFiles/bioarch_bio.dir/nucleotide.cc.o"
+  "CMakeFiles/bioarch_bio.dir/nucleotide.cc.o.d"
+  "CMakeFiles/bioarch_bio.dir/scoring.cc.o"
+  "CMakeFiles/bioarch_bio.dir/scoring.cc.o.d"
+  "CMakeFiles/bioarch_bio.dir/sequence.cc.o"
+  "CMakeFiles/bioarch_bio.dir/sequence.cc.o.d"
+  "CMakeFiles/bioarch_bio.dir/synthetic.cc.o"
+  "CMakeFiles/bioarch_bio.dir/synthetic.cc.o.d"
+  "libbioarch_bio.a"
+  "libbioarch_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioarch_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

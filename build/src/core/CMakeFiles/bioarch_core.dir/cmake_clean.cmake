@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioarch_core.dir/report.cc.o"
+  "CMakeFiles/bioarch_core.dir/report.cc.o.d"
+  "CMakeFiles/bioarch_core.dir/suite.cc.o"
+  "CMakeFiles/bioarch_core.dir/suite.cc.o.d"
+  "libbioarch_core.a"
+  "libbioarch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioarch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioarch_isa.dir/opclass.cc.o"
+  "CMakeFiles/bioarch_isa.dir/opclass.cc.o.d"
+  "libbioarch_isa.a"
+  "libbioarch_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioarch_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/blast_traced.cc" "src/kernels/CMakeFiles/bioarch_kernels.dir/blast_traced.cc.o" "gcc" "src/kernels/CMakeFiles/bioarch_kernels.dir/blast_traced.cc.o.d"
+  "/root/repo/src/kernels/blastn_traced.cc" "src/kernels/CMakeFiles/bioarch_kernels.dir/blastn_traced.cc.o" "gcc" "src/kernels/CMakeFiles/bioarch_kernels.dir/blastn_traced.cc.o.d"
+  "/root/repo/src/kernels/factory.cc" "src/kernels/CMakeFiles/bioarch_kernels.dir/factory.cc.o" "gcc" "src/kernels/CMakeFiles/bioarch_kernels.dir/factory.cc.o.d"
+  "/root/repo/src/kernels/fasta_traced.cc" "src/kernels/CMakeFiles/bioarch_kernels.dir/fasta_traced.cc.o" "gcc" "src/kernels/CMakeFiles/bioarch_kernels.dir/fasta_traced.cc.o.d"
+  "/root/repo/src/kernels/ssearch_traced.cc" "src/kernels/CMakeFiles/bioarch_kernels.dir/ssearch_traced.cc.o" "gcc" "src/kernels/CMakeFiles/bioarch_kernels.dir/ssearch_traced.cc.o.d"
+  "/root/repo/src/kernels/sw_vmx_traced.cc" "src/kernels/CMakeFiles/bioarch_kernels.dir/sw_vmx_traced.cc.o" "gcc" "src/kernels/CMakeFiles/bioarch_kernels.dir/sw_vmx_traced.cc.o.d"
+  "/root/repo/src/kernels/workload.cc" "src/kernels/CMakeFiles/bioarch_kernels.dir/workload.cc.o" "gcc" "src/kernels/CMakeFiles/bioarch_kernels.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/bioarch_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bioarch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/bioarch_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/bioarch_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

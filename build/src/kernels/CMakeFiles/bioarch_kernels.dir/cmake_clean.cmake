@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioarch_kernels.dir/blast_traced.cc.o"
+  "CMakeFiles/bioarch_kernels.dir/blast_traced.cc.o.d"
+  "CMakeFiles/bioarch_kernels.dir/blastn_traced.cc.o"
+  "CMakeFiles/bioarch_kernels.dir/blastn_traced.cc.o.d"
+  "CMakeFiles/bioarch_kernels.dir/factory.cc.o"
+  "CMakeFiles/bioarch_kernels.dir/factory.cc.o.d"
+  "CMakeFiles/bioarch_kernels.dir/fasta_traced.cc.o"
+  "CMakeFiles/bioarch_kernels.dir/fasta_traced.cc.o.d"
+  "CMakeFiles/bioarch_kernels.dir/ssearch_traced.cc.o"
+  "CMakeFiles/bioarch_kernels.dir/ssearch_traced.cc.o.d"
+  "CMakeFiles/bioarch_kernels.dir/sw_vmx_traced.cc.o"
+  "CMakeFiles/bioarch_kernels.dir/sw_vmx_traced.cc.o.d"
+  "CMakeFiles/bioarch_kernels.dir/workload.cc.o"
+  "CMakeFiles/bioarch_kernels.dir/workload.cc.o.d"
+  "libbioarch_kernels.a"
+  "libbioarch_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioarch_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

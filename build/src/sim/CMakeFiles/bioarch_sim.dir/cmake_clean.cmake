@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioarch_sim.dir/bpred.cc.o"
+  "CMakeFiles/bioarch_sim.dir/bpred.cc.o.d"
+  "CMakeFiles/bioarch_sim.dir/cache.cc.o"
+  "CMakeFiles/bioarch_sim.dir/cache.cc.o.d"
+  "CMakeFiles/bioarch_sim.dir/config.cc.o"
+  "CMakeFiles/bioarch_sim.dir/config.cc.o.d"
+  "CMakeFiles/bioarch_sim.dir/pipeline.cc.o"
+  "CMakeFiles/bioarch_sim.dir/pipeline.cc.o.d"
+  "CMakeFiles/bioarch_sim.dir/tlb.cc.o"
+  "CMakeFiles/bioarch_sim.dir/tlb.cc.o.d"
+  "CMakeFiles/bioarch_sim.dir/trauma.cc.o"
+  "CMakeFiles/bioarch_sim.dir/trauma.cc.o.d"
+  "libbioarch_sim.a"
+  "libbioarch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioarch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

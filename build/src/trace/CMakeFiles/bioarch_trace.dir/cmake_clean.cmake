@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioarch_trace.dir/trace.cc.o"
+  "CMakeFiles/bioarch_trace.dir/trace.cc.o.d"
+  "CMakeFiles/bioarch_trace.dir/trace_io.cc.o"
+  "CMakeFiles/bioarch_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/bioarch_trace.dir/tracer.cc.o"
+  "CMakeFiles/bioarch_trace.dir/tracer.cc.o.d"
+  "libbioarch_trace.a"
+  "libbioarch_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioarch_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

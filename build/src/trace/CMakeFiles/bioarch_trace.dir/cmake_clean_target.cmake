@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbioarch_trace.a"
+)

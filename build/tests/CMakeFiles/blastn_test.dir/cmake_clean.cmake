@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blastn_test.dir/blastn_test.cc.o"
+  "CMakeFiles/blastn_test.dir/blastn_test.cc.o.d"
+  "blastn_test"
+  "blastn_test.pdb"
+  "blastn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blastn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

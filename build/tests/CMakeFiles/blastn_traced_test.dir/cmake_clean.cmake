@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blastn_traced_test.dir/blastn_traced_test.cc.o"
+  "CMakeFiles/blastn_traced_test.dir/blastn_traced_test.cc.o.d"
+  "blastn_traced_test"
+  "blastn_traced_test.pdb"
+  "blastn_traced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blastn_traced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

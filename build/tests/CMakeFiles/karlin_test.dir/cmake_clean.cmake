@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/karlin_test.dir/karlin_test.cc.o"
+  "CMakeFiles/karlin_test.dir/karlin_test.cc.o.d"
+  "karlin_test"
+  "karlin_test.pdb"
+  "karlin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/karlin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

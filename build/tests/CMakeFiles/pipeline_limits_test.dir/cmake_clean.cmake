@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_limits_test.dir/pipeline_limits_test.cc.o"
+  "CMakeFiles/pipeline_limits_test.dir/pipeline_limits_test.cc.o.d"
+  "pipeline_limits_test"
+  "pipeline_limits_test.pdb"
+  "pipeline_limits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

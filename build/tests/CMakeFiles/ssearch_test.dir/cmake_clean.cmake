@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssearch_test.dir/ssearch_test.cc.o"
+  "CMakeFiles/ssearch_test.dir/ssearch_test.cc.o.d"
+  "ssearch_test"
+  "ssearch_test.pdb"
+  "ssearch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssearch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_simd_test.dir/sw_simd_test.cc.o"
+  "CMakeFiles/sw_simd_test.dir/sw_simd_test.cc.o.d"
+  "sw_simd_test"
+  "sw_simd_test.pdb"
+  "sw_simd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_simd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_striped_test.dir/sw_striped_test.cc.o"
+  "CMakeFiles/sw_striped_test.dir/sw_striped_test.cc.o.d"
+  "sw_striped_test"
+  "sw_striped_test.pdb"
+  "sw_striped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_striped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bio_test[1]_include.cmake")
+include("/root/repo/build/tests/vec_test[1]_include.cmake")
+include("/root/repo/build/tests/align_test[1]_include.cmake")
+include("/root/repo/build/tests/ssearch_test[1]_include.cmake")
+include("/root/repo/build/tests/sw_simd_test[1]_include.cmake")
+include("/root/repo/build/tests/fasta_test[1]_include.cmake")
+include("/root/repo/build/tests/blast_test[1]_include.cmake")
+include("/root/repo/build/tests/karlin_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/figures_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/sw_striped_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_limits_test[1]_include.cmake")
+include("/root/repo/build/tests/blastn_test[1]_include.cmake")
+include("/root/repo/build/tests/blastn_traced_test[1]_include.cmake")

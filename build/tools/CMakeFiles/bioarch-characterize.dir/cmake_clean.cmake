@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bioarch-characterize.dir/bioarch_characterize.cc.o"
+  "CMakeFiles/bioarch-characterize.dir/bioarch_characterize.cc.o.d"
+  "bioarch-characterize"
+  "bioarch-characterize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bioarch-characterize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
