@@ -12,9 +12,12 @@
 #define BIOARCH_BENCH_COMMON_HH
 
 #include <iostream>
+#include <sstream>
+#include <vector>
 
 #include "core/report.hh"
 #include "core/suite.hh"
+#include "core/sweep.hh"
 
 namespace bioarch::bench
 {
@@ -25,6 +28,53 @@ suite()
 {
     static core::WorkloadSuite s;
     return s;
+}
+
+/** Worker count for the harnesses (BIOARCH_JOBS overrides). */
+inline unsigned
+jobs()
+{
+    return core::ThreadPool::defaultJobs();
+}
+
+/**
+ * Fan the harness's simulation points out across jobs() threads.
+ * Results come back in submission order, bit-for-bit identical to
+ * simulating serially, so callers index them with the same loop
+ * nest that built the points.
+ */
+inline core::SweepResult
+runSweep(const std::vector<core::SweepPoint> &points)
+{
+    return core::runSweep(suite(), points, jobs());
+}
+
+/**
+ * One-line JSON footer with the sweep's timing so BENCH_*.json
+ * captures the perf trajectory: jobs count, wall/cpu milliseconds,
+ * throughput, and per-point elapsed milliseconds in submission
+ * order.
+ */
+inline void
+printSweepJson(const std::string &bench,
+               const core::SweepResult &result)
+{
+    const core::SweepSummary &s = result.summary;
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    out << "{\"bench\":\"" << bench << "\",\"jobs\":" << s.jobs
+        << ",\"points\":" << s.points << ",\"wall_ms\":" << s.wallMs
+        << ",\"cpu_ms\":" << s.cpuMs
+        << ",\"points_per_sec\":" << s.pointsPerSec()
+        << ",\"parallel_efficiency\":" << s.parallelEfficiency()
+        << ",\"total_cycles\":" << s.totalCycles
+        << ",\"total_instructions\":" << s.totalInstructions
+        << ",\"point_ms\":[";
+    for (std::size_t i = 0; i < result.points.size(); ++i)
+        out << (i ? "," : "") << result.points[i].elapsedMs;
+    out << "]}";
+    std::cout << "\n" << out.str() << "\n";
 }
 
 /** Banner printed by every harness. */

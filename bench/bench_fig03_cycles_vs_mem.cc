@@ -17,23 +17,34 @@ main()
         "bigger memories; ~8% speedup from 4-way to 8-way; "
         "SSEARCH/BLAST flat beyond 8-way");
 
+    std::vector<core::SweepPoint> points;
+    for (const kernels::Workload w : kernels::allWorkloads)
+        for (const sim::MemoryConfig &mem : core::memorySweep())
+            for (const sim::CoreConfig &core_cfg :
+                 core::coreSweep()) {
+                core::SweepPoint p;
+                p.workload = w;
+                p.config.core = core_cfg;
+                p.config.memory = mem;
+                p.label = mem.name + "/" + core_cfg.name;
+                points.push_back(std::move(p));
+            }
+    const core::SweepResult sweep = bench::runSweep(points);
+
+    std::size_t i = 0;
     for (const kernels::Workload w : kernels::allWorkloads) {
         core::printHeading(
             std::cout, std::string(kernels::workloadName(w)));
         core::Table t({"memory", "4-way", "8-way", "16-way"});
         for (const sim::MemoryConfig &mem : core::memorySweep()) {
             auto &row = t.row().add(mem.name);
-            for (const sim::CoreConfig &core_cfg :
-                 core::coreSweep()) {
-                sim::SimConfig cfg;
-                cfg.core = core_cfg;
-                cfg.memory = mem;
-                const sim::SimStats stats =
-                    core::simulate(bench::suite().trace(w), cfg);
-                row.add(stats.cycles);
-            }
+            for (std::size_t c = 0; c < core::coreSweep().size();
+                 ++c)
+                row.add(sweep.stats(i++).cycles);
         }
         t.print(std::cout);
     }
+
+    bench::printSweepJson("fig03_cycles_vs_mem", sweep);
     return 0;
 }

@@ -17,37 +17,54 @@ main()
         "vs memory; BLAST ~52% slower with 32K L1s than with ideal "
         "memory");
 
+    std::vector<core::SweepPoint> points;
+    for (const kernels::Workload w : kernels::allWorkloads)
+        for (const sim::MemoryConfig &mem : core::memorySweep())
+            for (const sim::CoreConfig &core_cfg :
+                 core::coreSweep()) {
+                core::SweepPoint p;
+                p.workload = w;
+                p.config.core = core_cfg;
+                p.config.memory = mem;
+                p.label = mem.name + "/" + core_cfg.name;
+                points.push_back(std::move(p));
+            }
+    // The headline BLAST pair: small (me1) vs ideal memory on the
+    // 4-way core, appended as two extra points of the same sweep.
+    {
+        core::SweepPoint small;
+        small.workload = kernels::Workload::Blast;
+        small.label = "blast-small";
+        points.push_back(small);
+        core::SweepPoint ideal;
+        ideal.workload = kernels::Workload::Blast;
+        ideal.config.memory = sim::memoryInf();
+        ideal.label = "blast-ideal";
+        points.push_back(ideal);
+    }
+    const core::SweepResult sweep = bench::runSweep(points);
+
+    std::size_t i = 0;
     for (const kernels::Workload w : kernels::allWorkloads) {
         core::printHeading(
             std::cout, std::string(kernels::workloadName(w)));
         core::Table t({"memory", "4-way", "8-way", "16-way"});
         for (const sim::MemoryConfig &mem : core::memorySweep()) {
             auto &row = t.row().add(mem.name);
-            for (const sim::CoreConfig &core_cfg :
-                 core::coreSweep()) {
-                sim::SimConfig cfg;
-                cfg.core = core_cfg;
-                cfg.memory = mem;
-                const sim::SimStats stats =
-                    core::simulate(bench::suite().trace(w), cfg);
-                row.add(stats.ipc(), 3);
-            }
+            for (std::size_t c = 0; c < core::coreSweep().size();
+                 ++c)
+                row.add(sweep.stats(i++).ipc(), 3);
         }
         t.print(std::cout);
     }
 
-    // The headline BLAST number: slowdown from ideal memory to me1
-    // on the 4-way core.
-    sim::SimConfig small;
-    sim::SimConfig ideal;
-    ideal.memory = sim::memoryInf();
-    const auto &blast =
-        bench::suite().trace(kernels::Workload::Blast);
-    const double ipc_small = core::simulate(blast, small).ipc();
-    const double ipc_ideal = core::simulate(blast, ideal).ipc();
+    const double ipc_small = sweep.stats(i++).ipc();
+    const double ipc_ideal = sweep.stats(i++).ipc();
     std::cout << "\nBLAST slowdown, ideal -> 32K/32K/1M: "
               << static_cast<int>(100.0
                                   * (1.0 - ipc_small / ipc_ideal))
               << "% (paper: 52%)\n";
+
+    bench::printSweepJson("fig04_ipc_vs_mem", sweep);
     return 0;
 }

@@ -20,20 +20,29 @@ main()
     const std::int64_t sizes_kb[] = {1,  2,  4,   8,   16,  32,
                                      64, 128, 256, 512, 1024, 2048};
 
+    std::vector<core::SweepPoint> points;
+    for (const std::int64_t kb : sizes_kb)
+        for (const kernels::Workload w : kernels::allWorkloads) {
+            core::SweepPoint p;
+            p.workload = w;
+            p.config.memory = sim::memoryMe2(); // 2M L2 (paper)
+            p.config.memory.dl1.sizeBytes = kb * 1024;
+            p.config.memory.il1.sizeBytes = kb * 1024;
+            p.label = std::to_string(kb) + "K";
+            points.push_back(std::move(p));
+        }
+    const core::SweepResult sweep = bench::runSweep(points);
+
     core::Table miss({"size", "SSEARCH34", "SW_vmx128", "SW_vmx256",
                       "FASTA34", "BLAST"});
     core::Table ipc = miss;
 
+    std::size_t i = 0;
     for (const std::int64_t kb : sizes_kb) {
         auto &rm = miss.row().add(std::to_string(kb) + "K");
         auto &ri = ipc.row().add(std::to_string(kb) + "K");
-        for (const kernels::Workload w : kernels::allWorkloads) {
-            sim::SimConfig cfg; // 4-way
-            cfg.memory = sim::memoryMe2(); // 2M L2 (paper's setup)
-            cfg.memory.dl1.sizeBytes = kb * 1024;
-            cfg.memory.il1.sizeBytes = kb * 1024;
-            const sim::SimStats stats =
-                core::simulate(bench::suite().trace(w), cfg);
+        for (int w = 0; w < kernels::numWorkloads; ++w) {
+            const sim::SimStats &stats = sweep.stats(i++);
             rm.add(100.0 * stats.dl1MissRate(), 2);
             ri.add(stats.ipc(), 3);
         }
@@ -43,5 +52,7 @@ main()
     miss.print(std::cout);
     core::printHeading(std::cout, "(b) IPC");
     ipc.print(std::cout);
+
+    bench::printSweepJson("fig05_cache_size", sweep);
     return 0;
 }

@@ -19,18 +19,27 @@ main()
 
     const int assocs[] = {1, 2, 4, 8};
 
+    std::vector<core::SweepPoint> points;
+    for (const int assoc : assocs)
+        for (const kernels::Workload w : kernels::allWorkloads) {
+            core::SweepPoint p; // 4-way, me1 (32K/32K/1M)
+            p.workload = w;
+            p.config.memory.dl1.associativity = assoc;
+            p.label = std::to_string(assoc) + "-way";
+            points.push_back(std::move(p));
+        }
+    const core::SweepResult sweep = bench::runSweep(points);
+
     core::Table miss({"assoc", "SSEARCH34", "SW_vmx128",
                       "SW_vmx256", "FASTA34", "BLAST"});
     core::Table ipc = miss;
 
+    std::size_t i = 0;
     for (const int assoc : assocs) {
         auto &rm = miss.row().add(assoc);
         auto &ri = ipc.row().add(assoc);
-        for (const kernels::Workload w : kernels::allWorkloads) {
-            sim::SimConfig cfg; // 4-way, me1 (32K/32K/1M)
-            cfg.memory.dl1.associativity = assoc;
-            const sim::SimStats stats =
-                core::simulate(bench::suite().trace(w), cfg);
+        for (int w = 0; w < kernels::numWorkloads; ++w) {
+            const sim::SimStats &stats = sweep.stats(i++);
             rm.add(100.0 * stats.dl1MissRate(), 2);
             ri.add(stats.ipc(), 3);
         }
@@ -40,5 +49,7 @@ main()
     miss.print(std::cout);
     core::printHeading(std::cout, "(b) IPC");
     ipc.print(std::cout);
+
+    bench::printSweepJson("fig06_associativity", sweep);
     return 0;
 }

@@ -18,19 +18,28 @@ main()
 
     const int lats[] = {1, 2, 4, 6, 8, 10};
 
+    std::vector<core::SweepPoint> points;
+    for (const int lat : lats)
+        for (const kernels::Workload w : kernels::allWorkloads) {
+            core::SweepPoint p;
+            p.workload = w;
+            p.config.memory.dl1.latency = lat;
+            p.config.memory.il1.latency = 1; // data-side experiment
+            p.label = "lat" + std::to_string(lat);
+            points.push_back(std::move(p));
+        }
+    const core::SweepResult sweep = bench::runSweep(points);
+
     core::Table ipc({"L1 latency", "SSEARCH34", "SW_vmx128",
                      "SW_vmx256", "FASTA34", "BLAST"});
     std::array<double, kernels::numWorkloads> first{};
     std::array<double, kernels::numWorkloads> last{};
 
+    std::size_t i = 0;
     for (const int lat : lats) {
         auto &row = ipc.row().add(lat);
-        for (const kernels::Workload w : kernels::allWorkloads) {
-            sim::SimConfig cfg;
-            cfg.memory.dl1.latency = lat;
-            cfg.memory.il1.latency = 1; // data-side experiment
-            const sim::SimStats stats =
-                core::simulate(bench::suite().trace(w), cfg);
+        for (int w = 0; w < kernels::numWorkloads; ++w) {
+            const sim::SimStats &stats = sweep.stats(i++);
             row.add(stats.ipc(), 3);
             if (lat == lats[0])
                 first[static_cast<std::size_t>(w)] = stats.ipc();
@@ -41,11 +50,13 @@ main()
 
     std::cout << "\nIPC loss from latency 1 to 10:\n";
     for (const kernels::Workload w : kernels::allWorkloads) {
-        const std::size_t i = static_cast<std::size_t>(w);
+        const std::size_t i_w = static_cast<std::size_t>(w);
         std::cout << "  " << kernels::workloadName(w) << ": "
                   << static_cast<int>(
-                         100.0 * (1.0 - last[i] / first[i]))
+                         100.0 * (1.0 - last[i_w] / first[i_w]))
                   << "%\n";
     }
+
+    bench::printSweepJson("fig07_l1_latency", sweep);
     return 0;
 }

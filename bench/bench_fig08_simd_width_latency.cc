@@ -42,28 +42,42 @@ main()
         "only ~9% time; with +1 cycle on wide vector loads it "
         "stays ~5% faster than 128-bit");
 
-    const auto &v128 =
-        bench::suite().trace(kernels::Workload::SwVmx128);
-    const auto &v256 =
-        bench::suite().trace(kernels::Workload::SwVmx256);
-
     std::vector<sim::CoreConfig> widths = {
         sim::core4Way(), sim::core8Way(), core12Way(),
         sim::core16Way()};
 
+    // Three points per width: the 128-bit baseline, the 256-bit
+    // kernel, and the 256-bit kernel with the load penalty.
+    std::vector<core::SweepPoint> points;
+    for (const sim::CoreConfig &core_cfg : widths) {
+        core::SweepPoint base;
+        base.workload = kernels::Workload::SwVmx128;
+        base.config.core = core_cfg;
+        base.label = core_cfg.name + "/vmx128";
+        points.push_back(std::move(base));
+
+        core::SweepPoint fast;
+        fast.workload = kernels::Workload::SwVmx256;
+        fast.config.core = core_cfg;
+        fast.label = core_cfg.name + "/vmx256";
+        points.push_back(std::move(fast));
+
+        core::SweepPoint slow;
+        slow.workload = kernels::Workload::SwVmx256;
+        slow.config.core = core_cfg;
+        slow.config.memory.wideVectorLoadPenalty = 1;
+        slow.label = core_cfg.name + "/vmx256+1lat";
+        points.push_back(std::move(slow));
+    }
+    const core::SweepResult sweep = bench::runSweep(points);
+
     core::Table t({"width", "SW_vmx128", "SW_vmx256",
                    "SW_vmx256 + 1 lat"});
+    std::size_t i = 0;
     for (const sim::CoreConfig &core_cfg : widths) {
-        sim::SimConfig cfg;
-        cfg.core = core_cfg;
-        const std::uint64_t base =
-            core::simulate(v128, cfg).cycles;
-        const std::uint64_t fast =
-            core::simulate(v256, cfg).cycles;
-        sim::SimConfig penal = cfg;
-        penal.memory.wideVectorLoadPenalty = 1;
-        const std::uint64_t slow =
-            core::simulate(v256, penal).cycles;
+        const std::uint64_t base = sweep.stats(i++).cycles;
+        const std::uint64_t fast = sweep.stats(i++).cycles;
+        const std::uint64_t slow = sweep.stats(i++).cycles;
 
         t.row()
             .add(core_cfg.name)
@@ -76,5 +90,7 @@ main()
                  3);
     }
     t.print(std::cout);
+
+    bench::printSweepJson("fig08_simd_width_latency", sweep);
     return 0;
 }

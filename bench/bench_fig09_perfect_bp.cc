@@ -16,28 +16,40 @@ main()
         "negligible for the SIMD codes; critical for SSEARCH34, "
         "FASTA and BLAST");
 
+    const sim::PredictorKind kinds[] = {sim::PredictorKind::Perfect,
+                                        sim::PredictorKind::Combined};
+
+    std::vector<core::SweepPoint> points;
+    for (const kernels::Workload w : kernels::allWorkloads)
+        for (const sim::PredictorKind kind : kinds)
+            for (const sim::CoreConfig &core_cfg :
+                 core::coreSweep()) {
+                core::SweepPoint p;
+                p.workload = w;
+                p.config.core = core_cfg;
+                p.config.bpred.kind = kind;
+                p.label = std::string(sim::predictorKindName(kind))
+                    + "/" + core_cfg.name;
+                points.push_back(std::move(p));
+            }
+    const core::SweepResult sweep = bench::runSweep(points);
+
+    std::size_t i = 0;
     for (const kernels::Workload w : kernels::allWorkloads) {
         core::printHeading(
             std::cout, std::string(kernels::workloadName(w)));
         core::Table t({"predictor", "4-way", "8-way", "16-way"});
-        for (const sim::PredictorKind kind :
-             {sim::PredictorKind::Perfect,
-              sim::PredictorKind::Combined}) {
+        for (const sim::PredictorKind kind : kinds) {
             auto &row = t.row().add(
-                kind == sim::PredictorKind::Perfect
-                    ? "Perfect-BP"
-                    : "Real-BP");
-            for (const sim::CoreConfig &core_cfg :
-                 core::coreSweep()) {
-                sim::SimConfig cfg;
-                cfg.core = core_cfg;
-                cfg.bpred.kind = kind;
-                const sim::SimStats stats =
-                    core::simulate(bench::suite().trace(w), cfg);
-                row.add(stats.ipc(), 3);
-            }
+                kind == sim::PredictorKind::Perfect ? "Perfect-BP"
+                                                    : "Real-BP");
+            for (std::size_t c = 0; c < core::coreSweep().size();
+                 ++c)
+                row.add(sweep.stats(i++).ipc(), 3);
         }
         t.print(std::cout);
     }
+
+    bench::printSweepJson("fig09_perfect_bp", sweep);
     return 0;
 }

@@ -6,7 +6,10 @@
  *
  * This harness replays only the conditional-branch stream of each
  * trace through the direction predictors (the full pipeline is not
- * needed to measure accuracy).
+ * needed to measure accuracy). The (workload, size, kind) cells are
+ * independent replays of immutable traces, so they fan out over
+ * the same work-stealing pool the simulation sweeps use; each cell
+ * writes its own slot, keeping the output deterministic.
  */
 
 #include "bench_common.hh"
@@ -44,37 +47,41 @@ main()
 
     const int sizes[] = {16,  32,  64,   128,  256,  512,
                          1024, 2048, 4096, 8192, 16384, 32768};
+    const sim::PredictorKind kinds[] = {
+        sim::PredictorKind::Bimodal, sim::PredictorKind::Gshare,
+        sim::PredictorKind::Combined};
 
     // Fig. 11 shows SSEARCH34, SW_vmx128, FASTA34 and BLAST.
-    for (const kernels::Workload w :
-         {kernels::Workload::Ssearch34, kernels::Workload::SwVmx128,
-          kernels::Workload::Fasta34, kernels::Workload::Blast}) {
-        const trace::Trace &tr = bench::suite().trace(w);
+    const kernels::Workload apps[] = {
+        kernels::Workload::Ssearch34, kernels::Workload::SwVmx128,
+        kernels::Workload::Fasta34, kernels::Workload::Blast};
+
+    const std::size_t per_app = std::size(sizes) * std::size(kinds);
+    std::vector<double> acc(std::size(apps) * per_app);
+
+    core::ThreadPool pool(bench::jobs());
+    pool.parallelFor(acc.size(), [&](std::size_t cell) {
+        const std::size_t a = cell / per_app;
+        const std::size_t s = (cell % per_app) / std::size(kinds);
+        const std::size_t k = cell % std::size(kinds);
+        acc[cell] = accuracy(bench::suite().trace(apps[a]),
+                             kinds[k], sizes[s]);
+    });
+
+    std::size_t cell = 0;
+    for (const kernels::Workload w : apps) {
         core::printHeading(
             std::cout,
             std::string(kernels::workloadName(w))
                 + " - prediction rate [%]");
         core::Table t({"entries", "BIMODAL", "GSHARE", "GP"});
         for (const int size : sizes) {
-            t.row()
-                .add(size)
-                .add(100.0
-                         * accuracy(tr,
-                                    sim::PredictorKind::Bimodal,
-                                    size),
-                     2)
-                .add(100.0
-                         * accuracy(tr,
-                                    sim::PredictorKind::Gshare,
-                                    size),
-                     2)
-                .add(100.0
-                         * accuracy(tr,
-                                    sim::PredictorKind::Combined,
-                                    size),
-                     2);
+            auto &row = t.row().add(size);
+            for (std::size_t k = 0; k < std::size(kinds); ++k)
+                row.add(100.0 * acc[cell++], 2);
         }
         t.print(std::cout);
     }
+    std::cout << "\n# jobs: " << pool.size() << "\n";
     return 0;
 }

@@ -13,10 +13,20 @@ WorkloadSuite::WorkloadSuite(kernels::TraceSpec spec)
 const kernels::TracedRun &
 WorkloadSuite::run(kernels::Workload w)
 {
+    std::lock_guard lock(_mutex);
     auto &slot = _runs[static_cast<std::size_t>(w)];
     if (!slot)
         slot = kernels::traceWorkload(w, _input);
+    // Safe to hand out past the unlock: slots are only ever filled,
+    // never reset, and std::array storage is stable.
     return *slot;
+}
+
+void
+WorkloadSuite::prepareAll()
+{
+    for (const kernels::Workload w : kernels::allWorkloads)
+        run(w);
 }
 
 kernels::TraceSpec

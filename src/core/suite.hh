@@ -10,6 +10,7 @@
 #define BIOARCH_CORE_SUITE_HH
 
 #include <array>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -23,6 +24,14 @@ namespace bioarch::core
  * Generates and caches the dynamic traces of all five applications
  * over one shared working set, so a sweep over N configurations
  * pays trace generation once, not N times.
+ *
+ * Thread safety: run()/trace() may be called concurrently — the
+ * cache is mutex-guarded, each trace is generated exactly once,
+ * and the returned references stay valid for the suite's lifetime
+ * (the cached runs are never moved or evicted). Historically this
+ * class was single-thread only (the lazy fill of `_runs` was
+ * unsynchronized); the sweep engine (`core/sweep.hh`) now replays
+ * one suite from N workers, so the contract is load-bearing.
  */
 class WorkloadSuite
 {
@@ -32,6 +41,9 @@ class WorkloadSuite
 
     /** The traced run of @p w (generated on first use). */
     const kernels::TracedRun &run(kernels::Workload w);
+
+    /** Materialize all five traces now (e.g. before a fan-out). */
+    void prepareAll();
 
     /** The instruction trace of @p w. */
     const trace::Trace &
@@ -53,6 +65,10 @@ class WorkloadSuite
   private:
     kernels::TraceSpec _spec;
     kernels::TraceInput _input;
+    /** Guards `_runs`. Generation holds the lock (concurrent first
+     * touches of one workload serialize); readers of an
+     * already-filled slot only pay an uncontended lock. */
+    std::mutex _mutex;
     std::array<std::optional<kernels::TracedRun>,
                kernels::numWorkloads>
         _runs;

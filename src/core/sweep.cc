@@ -1,0 +1,72 @@
+#include "sweep.hh"
+
+#include <chrono>
+
+namespace bioarch::core
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now()
+                                                     - start)
+        .count();
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(WorkloadSuite &suite, unsigned jobs)
+    : _suite(suite), _jobs(jobs == 0 ? 1 : jobs)
+{
+}
+
+SweepResult
+SweepRunner::run(const std::vector<SweepPoint> &points)
+{
+    // Materialize every referenced trace before fanning out: trace
+    // generation happens exactly once per workload, on this thread,
+    // so the workers only ever *read* the suite.
+    for (const SweepPoint &p : points)
+        _suite.run(p.workload);
+
+    SweepResult result;
+    result.points.resize(points.size());
+
+    const Clock::time_point sweep_start = Clock::now();
+    {
+        ThreadPool pool(_jobs);
+        pool.parallelFor(points.size(), [&](std::size_t i) {
+            SweepPointResult &slot = result.points[i];
+            slot.point = points[i];
+            const Clock::time_point start = Clock::now();
+            slot.stats = simulate(_suite.trace(points[i].workload),
+                                  points[i].config);
+            slot.elapsedMs = msSince(start);
+        });
+    }
+
+    SweepSummary &s = result.summary;
+    s.jobs = _jobs;
+    s.points = points.size();
+    s.wallMs = msSince(sweep_start);
+    for (const SweepPointResult &r : result.points) {
+        s.cpuMs += r.elapsedMs;
+        s.totalCycles += r.stats.cycles;
+        s.totalInstructions += r.stats.instructions;
+    }
+    return result;
+}
+
+SweepResult
+runSweep(WorkloadSuite &suite, const std::vector<SweepPoint> &points,
+         unsigned jobs)
+{
+    return SweepRunner(suite, jobs).run(points);
+}
+
+} // namespace bioarch::core

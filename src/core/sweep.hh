@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The design-space sweep engine: fan simulation points
+ * {workload, SimConfig} out across hardware threads and return the
+ * results in deterministic submission order.
+ *
+ * The paper's evaluation is a large cross product — five workloads
+ * x core widths x memory hierarchies x branch predictors — and
+ * every point is an independent replay of an immutable trace on a
+ * fresh Simulator, so the sweep parallelizes embarrassingly: trace
+ * once (WorkloadSuite), replay many (SweepRunner). Results are
+ * bit-for-bit identical to running the same points serially; the
+ * schedule only decides *when* a point runs, never *what* it
+ * computes.
+ */
+
+#ifndef BIOARCH_CORE_SWEEP_HH
+#define BIOARCH_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "suite.hh"
+#include "thread_pool.hh"
+
+namespace bioarch::core
+{
+
+/** One point of a design-space sweep. */
+struct SweepPoint
+{
+    kernels::Workload workload = kernels::Workload::Ssearch34;
+    sim::SimConfig config;
+    /** Free-form tag echoed into the result (e.g. "me2/8-way"). */
+    std::string label;
+};
+
+/** One simulated point, in submission order. */
+struct SweepPointResult
+{
+    SweepPoint point;
+    sim::SimStats stats;
+    /** Wall-clock cost of this point's simulation. */
+    double elapsedMs = 0.0;
+};
+
+/** Aggregate accounting for one sweep invocation. */
+struct SweepSummary
+{
+    unsigned jobs = 1;
+    std::size_t points = 0;
+    /** End-to-end wall clock of the fan-out (excludes tracing). */
+    double wallMs = 0.0;
+    /** Sum of per-point simulation times (the serial-equivalent). */
+    double cpuMs = 0.0;
+    std::uint64_t totalCycles = 0;
+    std::uint64_t totalInstructions = 0;
+
+    double
+    pointsPerSec() const
+    {
+        return wallMs <= 0.0
+            ? 0.0
+            : 1000.0 * static_cast<double>(points) / wallMs;
+    }
+    /** cpuMs / (wallMs * jobs): 1.0 = perfect scaling. */
+    double
+    parallelEfficiency() const
+    {
+        return wallMs <= 0.0 || jobs == 0
+            ? 0.0
+            : cpuMs / (wallMs * static_cast<double>(jobs));
+    }
+};
+
+/** Everything a sweep returns. */
+struct SweepResult
+{
+    /** Per-point results, index-aligned with the submitted points. */
+    std::vector<SweepPointResult> points;
+    SweepSummary summary;
+
+    const sim::SimStats &
+    stats(std::size_t i) const
+    {
+        return points[i].stats;
+    }
+};
+
+/**
+ * Runs sweeps over one WorkloadSuite. Traces are materialized
+ * up front (serially, so trace generation itself stays
+ * deterministic and is never attributed to a point's time), then
+ * the points are fanned out over a work-stealing ThreadPool.
+ *
+ * jobs == 1 degenerates to the serial path on a single worker;
+ * any jobs value produces identical SimStats.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(WorkloadSuite &suite,
+                         unsigned jobs = ThreadPool::defaultJobs());
+
+    /** Simulate every point; results come back in @p points order. */
+    SweepResult run(const std::vector<SweepPoint> &points);
+
+    unsigned jobs() const { return _jobs; }
+
+  private:
+    WorkloadSuite &_suite;
+    unsigned _jobs;
+};
+
+/** Convenience: one-shot sweep over @p suite. */
+SweepResult runSweep(WorkloadSuite &suite,
+                     const std::vector<SweepPoint> &points,
+                     unsigned jobs = ThreadPool::defaultJobs());
+
+} // namespace bioarch::core
+
+#endif // BIOARCH_CORE_SWEEP_HH

@@ -1,0 +1,133 @@
+#include "thread_pool.hh"
+
+#include <cstdlib>
+
+namespace bioarch::core
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    _queues.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        _queues.push_back(std::make_unique<WorkQueue>());
+    _workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        _workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard lock(_mutex);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread &t : _workers)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    std::size_t target;
+    {
+        std::lock_guard lock(_mutex);
+        target = _nextQueue;
+        _nextQueue = (_nextQueue + 1) % _queues.size();
+        ++_queued;
+        ++_pending;
+    }
+    {
+        std::lock_guard lock(_queues[target]->mutex);
+        _queues[target]->tasks.push_back(std::move(task));
+    }
+    _wake.notify_one();
+}
+
+bool
+ThreadPool::takeTask(unsigned self, Task &out)
+{
+    // Own queue first (front: LIFO-ish locality for the owner)...
+    {
+        WorkQueue &q = *_queues[self];
+        std::lock_guard lock(q.mutex);
+        if (!q.tasks.empty()) {
+            out = std::move(q.tasks.front());
+            q.tasks.pop_front();
+            return true;
+        }
+    }
+    // ...then steal from the back of the others.
+    for (std::size_t i = 1; i < _queues.size(); ++i) {
+        WorkQueue &q = *_queues[(self + i) % _queues.size()];
+        std::lock_guard lock(q.mutex);
+        if (!q.tasks.empty()) {
+            out = std::move(q.tasks.back());
+            q.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        {
+            std::unique_lock lock(_mutex);
+            _wake.wait(lock,
+                       [this] { return _stop || _queued > 0; });
+            if (_stop && _queued == 0)
+                return;
+        }
+        Task task;
+        if (!takeTask(self, task))
+            continue; // lost the race; re-check the predicate
+        {
+            std::lock_guard lock(_mutex);
+            --_queued;
+        }
+        task();
+        bool drained;
+        {
+            std::lock_guard lock(_mutex);
+            drained = --_pending == 0;
+        }
+        if (drained)
+            _idle.notify_all();
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(_mutex);
+    _idle.wait(lock, [this] { return _pending == 0; });
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        submit([&body, i] { body(i); });
+    wait();
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("BIOARCH_JOBS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace bioarch::core

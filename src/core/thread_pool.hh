@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A small work-stealing thread pool for fanning simulation points
+ * out across hardware threads.
+ *
+ * Each worker owns a deque: it pops its own work LIFO (cache-warm)
+ * and steals FIFO from the other workers when it runs dry, so a
+ * sweep whose points have very different costs (a meinf point is
+ * many times cheaper than an me1 point) still keeps every core
+ * busy. Tasks are closures; determinism is the *submitter's*
+ * responsibility — the sweep engine achieves it by writing each
+ * result to a preallocated slot keyed by submission index.
+ */
+
+#ifndef BIOARCH_CORE_THREAD_POOL_HH
+#define BIOARCH_CORE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bioarch::core
+{
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** Spawn @p threads workers (clamped to >= 1). */
+    explicit ThreadPool(unsigned threads = defaultJobs());
+
+    /** Blocks until all submitted work has finished. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(_workers.size());
+    }
+
+    /** Enqueue @p task; returns immediately. */
+    void submit(Task task);
+
+    /** Block until every submitted task has completed. */
+    void wait();
+
+    /**
+     * Run body(0) .. body(n-1), distributing indices across the
+     * workers, and block until all have completed. Exceptions
+     * escaping @p body terminate (tasks run on pool threads), so
+     * bodies must be noexcept in practice.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * The default worker count: the BIOARCH_JOBS environment
+     * variable if set to a positive integer, otherwise
+     * std::thread::hardware_concurrency() (at least 1).
+     */
+    static unsigned defaultJobs();
+
+  private:
+    /** One worker's deque. Owner pops front; thieves take back. */
+    struct WorkQueue
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    bool takeTask(unsigned self, Task &out);
+
+    std::vector<std::unique_ptr<WorkQueue>> _queues;
+    std::vector<std::thread> _workers;
+
+    std::mutex _mutex;            ///< guards the counters below
+    std::condition_variable _wake; ///< work available / stopping
+    std::condition_variable _idle; ///< all work drained
+    std::size_t _queued = 0;      ///< submitted, not yet started
+    std::size_t _pending = 0;     ///< submitted, not yet finished
+    std::size_t _nextQueue = 0;   ///< round-robin submission cursor
+    bool _stop = false;
+};
+
+} // namespace bioarch::core
+
+#endif // BIOARCH_CORE_THREAD_POOL_HH

@@ -97,6 +97,10 @@ struct SimStats
 
     /** Mean of an occupancy histogram. */
     static double meanOccupancy(const std::vector<std::uint64_t> &h);
+
+    /** Every counter and histogram equal — the bit-for-bit
+     * determinism contract the parallel sweep is tested against. */
+    bool operator==(const SimStats &) const = default;
 };
 
 /**

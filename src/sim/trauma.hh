@@ -55,6 +55,8 @@ struct TraumaCounts
 {
     std::array<std::uint64_t, numTraumas> cycles{};
 
+    bool operator==(const TraumaCounts &) const = default;
+
     void add(Trauma t, std::uint64_t n = 1)
     {
         cycles[static_cast<int>(t)] += n;

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the parallel design-space sweep engine: the
+ * work-stealing thread pool, the thread-safe WorkloadSuite cache,
+ * and — the load-bearing contract — that a parallel sweep's
+ * SimStats are bit-for-bit identical to the serial path at every
+ * worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "core/thread_pool.hh"
+
+namespace
+{
+
+using namespace bioarch;
+
+kernels::TraceSpec
+smallSpec()
+{
+    kernels::TraceSpec spec;
+    spec.dbSequences = 3;
+    return spec;
+}
+
+/** Shared across tests so trace generation is paid once. */
+core::WorkloadSuite &
+sharedSuite()
+{
+    static core::WorkloadSuite s(smallSpec());
+    return s;
+}
+
+/** All five workloads x three configurations (15 points). */
+std::vector<core::SweepPoint>
+determinismPoints()
+{
+    sim::SimConfig narrow; // 4-way, me1, combined predictor
+
+    sim::SimConfig wide;
+    wide.core = sim::core8Way();
+    wide.memory = sim::memoryMe3();
+    wide.bpred.kind = sim::PredictorKind::Gshare;
+
+    sim::SimConfig ideal;
+    ideal.core = sim::core16Way();
+    ideal.memory = sim::memoryInf();
+    ideal.bpred.kind = sim::PredictorKind::Perfect;
+
+    std::vector<core::SweepPoint> points;
+    for (const kernels::Workload w : kernels::allWorkloads)
+        for (const sim::SimConfig &cfg : {narrow, wide, ideal})
+            points.push_back({w, cfg, {}});
+    return points;
+}
+
+TEST(SweepDeterminism, ParallelMatchesSerialBitForBit)
+{
+    const std::vector<core::SweepPoint> points =
+        determinismPoints();
+
+    // The serial reference: the exact pre-sweep code path.
+    std::vector<sim::SimStats> reference;
+    for (const core::SweepPoint &p : points)
+        reference.push_back(core::simulate(
+            sharedSuite().trace(p.workload), p.config));
+
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+        core::SweepRunner runner(sharedSuite(), jobs);
+        const core::SweepResult result = runner.run(points);
+        ASSERT_EQ(result.points.size(), points.size());
+        EXPECT_EQ(result.summary.jobs, jobs);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const sim::SimStats &got = result.stats(i);
+            // operator== covers every counter and histogram
+            // (cycles, traumas, cache/TLB, branches, occupancy).
+            EXPECT_EQ(got, reference[i])
+                << "jobs=" << jobs << " point=" << i;
+            // Spot-check the derived metrics the figures print.
+            EXPECT_EQ(got.ipc(), reference[i].ipc());
+            EXPECT_EQ(got.dl1MissRate(),
+                      reference[i].dl1MissRate());
+            EXPECT_EQ(got.predictionAccuracy(),
+                      reference[i].predictionAccuracy());
+            EXPECT_EQ(got.traumas.total(),
+                      reference[i].traumas.total());
+        }
+    }
+}
+
+TEST(SweepDeterminism, ResultsKeepSubmissionOrder)
+{
+    std::vector<core::SweepPoint> points = determinismPoints();
+    for (std::size_t i = 0; i < points.size(); ++i)
+        points[i].label = "point-" + std::to_string(i);
+
+    core::SweepRunner runner(sharedSuite(), 4);
+    const core::SweepResult result = runner.run(points);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(result.points[i].point.label, points[i].label);
+        EXPECT_EQ(result.points[i].point.workload,
+                  points[i].workload);
+    }
+}
+
+TEST(SweepSummary, AccountsForEveryPoint)
+{
+    const std::vector<core::SweepPoint> points =
+        determinismPoints();
+    const core::SweepResult result =
+        core::runSweep(sharedSuite(), points, 2);
+
+    const core::SweepSummary &s = result.summary;
+    EXPECT_EQ(s.points, points.size());
+    EXPECT_EQ(s.jobs, 2u);
+    EXPECT_GT(s.wallMs, 0.0);
+    EXPECT_GT(s.pointsPerSec(), 0.0);
+
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    double cpu_ms = 0.0;
+    for (const core::SweepPointResult &r : result.points) {
+        EXPECT_GE(r.elapsedMs, 0.0);
+        cycles += r.stats.cycles;
+        instructions += r.stats.instructions;
+        cpu_ms += r.elapsedMs;
+    }
+    EXPECT_EQ(s.totalCycles, cycles);
+    EXPECT_EQ(s.totalInstructions, instructions);
+    EXPECT_DOUBLE_EQ(s.cpuMs, cpu_ms);
+    EXPECT_GT(s.totalCycles, 0u);
+}
+
+TEST(SweepRunner, EmptySweepIsFine)
+{
+    core::SweepRunner runner(sharedSuite(), 4);
+    const core::SweepResult result = runner.run({});
+    EXPECT_TRUE(result.points.empty());
+    EXPECT_EQ(result.summary.points, 0u);
+    EXPECT_EQ(result.summary.totalCycles, 0u);
+}
+
+TEST(ThreadPool, ParallelForTouchesEveryIndexOnce)
+{
+    core::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const std::atomic<int> &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves)
+{
+    core::ThreadPool pool(3);
+    std::atomic<int> sum{0};
+    for (int wave = 0; wave < 5; ++wave) {
+        pool.parallelFor(
+            17, [&](std::size_t) { sum.fetch_add(1); });
+        pool.wait(); // idempotent after parallelFor
+    }
+    EXPECT_EQ(sum.load(), 5 * 17);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne)
+{
+    core::ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    int ran = 0;
+    pool.parallelFor(4, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 4); // single worker: no data race
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvironment)
+{
+    ::setenv("BIOARCH_JOBS", "3", 1);
+    EXPECT_EQ(core::ThreadPool::defaultJobs(), 3u);
+    ::setenv("BIOARCH_JOBS", "garbage", 1);
+    EXPECT_GE(core::ThreadPool::defaultJobs(), 1u);
+    ::unsetenv("BIOARCH_JOBS");
+    EXPECT_GE(core::ThreadPool::defaultJobs(), 1u);
+}
+
+/**
+ * The regression test for the old unsynchronized lazy fill of
+ * WorkloadSuite::_runs: hammer run() from many threads on a fresh
+ * suite and check that every thread sees the same cached trace
+ * (generated exactly once per workload).
+ */
+TEST(WorkloadSuiteThreads, ConcurrentRunIsSafeAndCachedOnce)
+{
+    core::WorkloadSuite suite(smallSpec());
+
+    constexpr int numThreads = 8;
+    std::vector<std::array<const trace::Trace *,
+                           kernels::numWorkloads>>
+        seen(numThreads);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < numThreads; ++t)
+        threads.emplace_back([&suite, &seen, t] {
+            // Different threads start on different workloads so
+            // first-touch generation really does collide.
+            for (int k = 0; k < kernels::numWorkloads; ++k) {
+                const int w = (t + k) % kernels::numWorkloads;
+                seen[static_cast<std::size_t>(t)]
+                    [static_cast<std::size_t>(w)] = &suite.trace(
+                        static_cast<kernels::Workload>(w));
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (int w = 0; w < kernels::numWorkloads; ++w) {
+        const trace::Trace *first =
+            seen[0][static_cast<std::size_t>(w)];
+        ASSERT_NE(first, nullptr);
+        EXPECT_GT(first->size(), 0u);
+        for (int t = 1; t < numThreads; ++t)
+            EXPECT_EQ(seen[static_cast<std::size_t>(t)]
+                          [static_cast<std::size_t>(w)],
+                      first)
+                << "thread " << t << " saw a different cached "
+                << "trace for workload " << w;
+    }
+}
+
+} // namespace

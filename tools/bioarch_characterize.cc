@@ -11,16 +11,20 @@
  *
  * Prints the characterization the paper reports per application:
  * instruction mix, IPC, cache and branch statistics, and the top
- * stall reasons.
+ * stall reasons. With --sweep it instead fans the full
+ * width x memory x predictor cross out over --jobs threads and
+ * prints one row per design point plus the sweep's throughput.
  */
 
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/report.hh"
 #include "core/suite.hh"
+#include "core/sweep.hh"
 #include "trace/trace_io.hh"
 
 using namespace bioarch;
@@ -47,6 +51,14 @@ usage(std::ostream &out)
            "  --width W         4 | 8 | 16 (default 4)\n"
            "  --memory M        me1 | me2 | me3 | me4 | meinf\n"
            "  --bpred P         bimodal | gshare | gp | perfect\n"
+           "\n"
+           "design-space sweep:\n"
+           "  --sweep           simulate the full width x memory x\n"
+           "                    predictor cross (for --workload, or\n"
+           "                    all five applications) in parallel\n"
+           "  --jobs N          worker threads for --sweep (default:\n"
+           "                    BIOARCH_JOBS, else all hardware\n"
+           "                    threads)\n"
            "\n"
            "output:\n"
            "  --csv             machine-readable output\n"
@@ -89,6 +101,87 @@ parsePredictor(const std::string &name)
     return std::nullopt;
 }
 
+/**
+ * --sweep: the paper's whole design space in one invocation. One
+ * row per (workload, width, memory, predictor) point, simulated
+ * across @p jobs threads, plus the throughput summary.
+ */
+int
+runFullSweep(const std::optional<kernels::Workload> &only,
+             const kernels::TraceSpec &spec, unsigned jobs,
+             bool csv)
+{
+    core::WorkloadSuite suite(spec);
+
+    std::vector<kernels::Workload> apps;
+    if (only)
+        apps.push_back(*only);
+    else
+        apps.assign(std::begin(kernels::allWorkloads),
+                    std::end(kernels::allWorkloads));
+
+    const sim::PredictorKind kinds[] = {
+        sim::PredictorKind::Bimodal, sim::PredictorKind::Gshare,
+        sim::PredictorKind::Combined, sim::PredictorKind::Perfect};
+
+    std::vector<core::SweepPoint> points;
+    for (const kernels::Workload w : apps)
+        for (const sim::CoreConfig &core_cfg : core::coreSweep())
+            for (const sim::MemoryConfig &mem : core::memorySweep())
+                for (const sim::PredictorKind kind : kinds) {
+                    core::SweepPoint p;
+                    p.workload = w;
+                    p.config.core = core_cfg;
+                    p.config.memory = mem;
+                    p.config.bpred.kind = kind;
+                    points.push_back(std::move(p));
+                }
+
+    core::SweepRunner runner(suite, jobs);
+    const core::SweepResult sweep = runner.run(points);
+
+    core::Table t({"workload", "core", "memory", "bpred", "cycles",
+                   "IPC", "DL1 miss %", "BP acc %", "ms"});
+    for (std::size_t i = 0; i < sweep.points.size(); ++i) {
+        const core::SweepPointResult &r = sweep.points[i];
+        t.row()
+            .add(std::string(kernels::workloadName(r.point.workload)))
+            .add(r.point.config.core.name)
+            .add(r.point.config.memory.name)
+            .add(std::string(
+                sim::predictorKindName(r.point.config.bpred.kind)))
+            .add(r.stats.cycles)
+            .add(r.stats.ipc(), 3)
+            .add(100.0 * r.stats.dl1MissRate(), 2)
+            .add(100.0 * r.stats.predictionAccuracy(), 2)
+            .add(r.elapsedMs, 1);
+    }
+
+    const core::SweepSummary &s = sweep.summary;
+    core::Table summary({"metric", "value"});
+    summary.row().add("points").add(
+        static_cast<std::uint64_t>(s.points));
+    summary.row().add("jobs").add(static_cast<int>(s.jobs));
+    summary.row().add("wall ms").add(s.wallMs, 1);
+    summary.row().add("serial-equivalent ms").add(s.cpuMs, 1);
+    summary.row().add("points/sec").add(s.pointsPerSec(), 1);
+    summary.row().add("parallel efficiency").add(
+        s.parallelEfficiency(), 2);
+    summary.row().add("total cycles simulated").add(s.totalCycles);
+    summary.row().add("total instructions").add(
+        s.totalInstructions);
+
+    if (csv) {
+        t.printCsv(std::cout);
+        summary.printCsv(std::cout);
+    } else {
+        t.print(std::cout);
+        std::cout << "\nsweep summary:\n";
+        summary.print(std::cout);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -101,6 +194,8 @@ main(int argc, char **argv)
     spec.dbSequences = 8;
     sim::SimConfig cfg;
     bool csv = false;
+    bool sweep = false;
+    unsigned jobs = core::ThreadPool::defaultJobs();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -158,12 +253,30 @@ main(int argc, char **argv)
                 return 2;
             }
             cfg.bpred.kind = *bp;
+        } else if (arg == "--sweep") {
+            sweep = true;
+        } else if (arg == "--jobs") {
+            const int n = std::atoi(value().c_str());
+            if (n <= 0) {
+                std::cerr << "--jobs must be positive\n";
+                return 2;
+            }
+            jobs = static_cast<unsigned>(n);
         } else if (arg == "--csv") {
             csv = true;
         } else {
             std::cerr << "unknown option " << arg << " (--help)\n";
             return 2;
         }
+    }
+
+    if (sweep) {
+        if (!trace_path.empty()) {
+            std::cerr << "--sweep generates its own traces; it "
+                         "cannot be combined with --trace\n";
+            return 2;
+        }
+        return runFullSweep(workload, spec, jobs, csv);
     }
 
     if (!workload && trace_path.empty()) {
