@@ -13,8 +13,11 @@
 
 #include <iostream>
 #include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/percentile.hh"
 #include "core/report.hh"
 #include "core/suite.hh"
 #include "core/sweep.hh"
@@ -50,31 +53,67 @@ runSweep(const std::vector<core::SweepPoint> &points)
 }
 
 /**
- * One-line JSON footer with the sweep's timing so BENCH_*.json
- * captures the perf trajectory: jobs count, wall/cpu milliseconds,
- * throughput, and per-point elapsed milliseconds in submission
- * order.
+ * The one-line JSON footer every harness ends with, so archived
+ * BENCH_*.json files capture the perf trajectory: jobs count,
+ * wall/cpu milliseconds, throughput, p50/p95/p99 of the per-point
+ * times (core/percentile.hh — the same helper the serving engine's
+ * latency report uses), harness-specific extras, and the raw
+ * per-point milliseconds in submission order.
+ *
+ * @param extra preformatted (key, value) pairs appended verbatim
+ *        (values must already be valid JSON)
  */
+inline void
+printJsonFooter(
+    const std::string &bench, unsigned jobs, std::size_t points,
+    double wall_ms, double cpu_ms,
+    const std::vector<std::pair<std::string, std::string>> &extra,
+    const std::vector<double> &point_ms)
+{
+    const double throughput =
+        wall_ms <= 0.0
+        ? 0.0
+        : 1000.0 * static_cast<double>(points) / wall_ms;
+    const double efficiency = wall_ms <= 0.0 || jobs == 0
+        ? 0.0
+        : cpu_ms / (wall_ms * static_cast<double>(jobs));
+
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    out << "{\"bench\":\"" << bench << "\",\"jobs\":" << jobs
+        << ",\"points\":" << points << ",\"wall_ms\":" << wall_ms
+        << ",\"cpu_ms\":" << cpu_ms
+        << ",\"points_per_sec\":" << throughput
+        << ",\"parallel_efficiency\":" << efficiency
+        << ",\"p50_ms\":" << core::percentile(point_ms, 50.0)
+        << ",\"p95_ms\":" << core::percentile(point_ms, 95.0)
+        << ",\"p99_ms\":" << core::percentile(point_ms, 99.0);
+    for (const auto &[key, value] : extra)
+        out << ",\"" << key << "\":" << value;
+    out << ",\"point_ms\":[";
+    for (std::size_t i = 0; i < point_ms.size(); ++i)
+        out << (i ? "," : "") << point_ms[i];
+    out << "]}";
+    std::cout << "\n" << out.str() << "\n";
+}
+
+/** printJsonFooter() over a sweep's result. */
 inline void
 printSweepJson(const std::string &bench,
                const core::SweepResult &result)
 {
     const core::SweepSummary &s = result.summary;
-    std::ostringstream out;
-    out.setf(std::ios::fixed);
-    out.precision(3);
-    out << "{\"bench\":\"" << bench << "\",\"jobs\":" << s.jobs
-        << ",\"points\":" << s.points << ",\"wall_ms\":" << s.wallMs
-        << ",\"cpu_ms\":" << s.cpuMs
-        << ",\"points_per_sec\":" << s.pointsPerSec()
-        << ",\"parallel_efficiency\":" << s.parallelEfficiency()
-        << ",\"total_cycles\":" << s.totalCycles
-        << ",\"total_instructions\":" << s.totalInstructions
-        << ",\"point_ms\":[";
-    for (std::size_t i = 0; i < result.points.size(); ++i)
-        out << (i ? "," : "") << result.points[i].elapsedMs;
-    out << "]}";
-    std::cout << "\n" << out.str() << "\n";
+    std::vector<double> point_ms;
+    point_ms.reserve(result.points.size());
+    for (const core::SweepPointResult &p : result.points)
+        point_ms.push_back(p.elapsedMs);
+    printJsonFooter(
+        bench, s.jobs, s.points, s.wallMs, s.cpuMs,
+        {{"total_cycles", std::to_string(s.totalCycles)},
+         {"total_instructions",
+          std::to_string(s.totalInstructions)}},
+        point_ms);
 }
 
 /** Banner printed by every harness. */

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Throughput/latency harness for the batched query-serving engine
+ * (src/serve): replays a deterministic 64-request stream of all
+ * five applications against a synthetic SwissProt stand-in and
+ * reports requests/sec plus the p50/p95/p99 latency distribution.
+ * Ends with the standard JSON footer (bench_common.hh) so archived
+ * BENCH_*.json files track the serving-path perf trajectory
+ * alongside the simulation sweeps.
+ *
+ * Knobs: BIOARCH_JOBS (worker threads), BIOARCH_DB_SEQS (database
+ * size, default 200 here).
+ */
+
+#include <cstdlib>
+
+#include "bench_common.hh"
+#include "bio/synthetic.hh"
+#include "serve/engine.hh"
+
+using namespace bioarch;
+
+namespace
+{
+
+int
+envInt(const char *name, int fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return fallback;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int db_seqs = envInt("BIOARCH_DB_SEQS", 200);
+
+    serve::StreamSpec stream;
+    stream.requests = 64;
+
+    serve::EngineConfig cfg;
+    cfg.jobs = bench::jobs();
+    cfg.shards = 4;
+    cfg.batch = 8;
+    cfg.topK = 10;
+
+    const std::vector<bio::Sequence> pool = bio::makeQuerySet();
+    const bio::SequenceDatabase db =
+        bio::makeDefaultDatabase(db_seqs);
+    const std::vector<serve::Request> requests =
+        serve::makeRequestStream(stream, pool);
+
+    std::cout << "# bench_serve_throughput - batched sharded "
+                 "query serving\n"
+              << "# stream: " << requests.size()
+              << " requests (five-application mix) vs "
+              << db.size() << " sequences / " << db.totalResidues()
+              << " residues (BIOARCH_DB_SEQS to scale)\n";
+
+    serve::Engine engine(db, cfg);
+    const serve::StreamReport report =
+        engine.serveStream(requests);
+    const serve::LatencySummary lat = report.latency.summary();
+
+    core::Table t({"metric", "value"});
+    t.row().add("requests").add(
+        static_cast<std::uint64_t>(report.responses.size()));
+    t.row().add("jobs").add(static_cast<int>(report.jobs));
+    t.row().add("shards").add(
+        static_cast<std::uint64_t>(report.shards));
+    t.row().add("batch size").add(
+        static_cast<std::uint64_t>(report.batchSize));
+    t.row().add("wall ms").add(report.wallMs, 2);
+    t.row().add("requests/sec").add(report.requestsPerSec(), 1);
+    t.row().add("p50 latency ms").add(lat.p50Us / 1000.0, 3);
+    t.row().add("p95 latency ms").add(lat.p95Us / 1000.0, 3);
+    t.row().add("p99 latency ms").add(lat.p99Us / 1000.0, 3);
+    t.row().add("scan cpu ms").add(report.cpuMs, 2);
+    t.row().add("parallel efficiency").add(
+        report.parallelEfficiency(), 2);
+    t.row().add("total cells").add(report.totalCells);
+    t.print(std::cout);
+
+    std::vector<double> point_ms;
+    point_ms.reserve(report.responses.size());
+    for (const serve::Response &r : report.responses)
+        point_ms.push_back(r.latencyUs() / 1000.0);
+
+    bench::printJsonFooter(
+        "bench_serve_throughput", report.jobs,
+        report.responses.size(), report.wallMs, report.cpuMs,
+        {{"shards", std::to_string(report.shards)},
+         {"batch", std::to_string(report.batchSize)},
+         {"total_cells", std::to_string(report.totalCells)}},
+        point_ms);
+    return 0;
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # CI job: build with ThreadSanitizer and run the concurrency-
-# sensitive tests (the sweep engine / thread pool, and the traced
-# kernels the sweep replays concurrently). Keeps the pool race-free.
+# sensitive tests (the sweep engine / thread pool, the traced
+# kernels the sweep replays concurrently, and the query-serving
+# engine's batched fan-out). Keeps the pool race-free.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -9,6 +10,7 @@ set -eu
 BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." -DBIOARCH_TSAN=ON
-cmake --build "$BUILD_DIR" -j --target sweep_test kernels_test
-ctest --test-dir "$BUILD_DIR" -L 'sweep_test|kernels_test' \
+cmake --build "$BUILD_DIR" -j --target sweep_test kernels_test \
+    serve_test
+ctest --test-dir "$BUILD_DIR" -L 'sweep_test|kernels_test|serve_test' \
     --output-on-failure -j

@@ -1,6 +1,7 @@
 #include "thread_pool.hh"
 
 #include <cstdlib>
+#include <utility>
 
 namespace bioarch::core
 {
@@ -19,9 +20,12 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool()
 {
-    wait();
+    // Drain without rethrowing: a task exception nobody waited for
+    // must not escape a destructor.
     {
-        std::lock_guard lock(_mutex);
+        std::unique_lock lock(_mutex);
+        _idle.wait(lock, [this] { return _pending == 0; });
+        _error = nullptr;
         _stop = true;
     }
     _wake.notify_all();
@@ -91,10 +95,17 @@ ThreadPool::workerLoop(unsigned self)
             std::lock_guard lock(_mutex);
             --_queued;
         }
-        task();
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
         bool drained;
         {
             std::lock_guard lock(_mutex);
+            if (err && !_error)
+                _error = err;
             drained = --_pending == 0;
         }
         if (drained)
@@ -105,8 +116,14 @@ ThreadPool::workerLoop(unsigned self)
 void
 ThreadPool::wait()
 {
-    std::unique_lock lock(_mutex);
-    _idle.wait(lock, [this] { return _pending == 0; });
+    std::exception_ptr err;
+    {
+        std::unique_lock lock(_mutex);
+        _idle.wait(lock, [this] { return _pending == 0; });
+        err = std::exchange(_error, nullptr);
+    }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 void

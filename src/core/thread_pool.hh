@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -50,14 +51,21 @@ class ThreadPool
     /** Enqueue @p task; returns immediately. */
     void submit(Task task);
 
-    /** Block until every submitted task has completed. */
+    /**
+     * Block until every submitted task has completed. If any task
+     * threw, the *first* captured exception is rethrown here (the
+     * rest of the wave still runs to completion first) and the
+     * pool remains usable for further submissions. With several
+     * concurrent waiters, exactly one of them receives the
+     * exception.
+     */
     void wait();
 
     /**
      * Run body(0) .. body(n-1), distributing indices across the
-     * workers, and block until all have completed. Exceptions
-     * escaping @p body terminate (tasks run on pool threads), so
-     * bodies must be noexcept in practice.
+     * workers, and block until all have completed. An exception
+     * thrown by @p body is rethrown to the caller after the wave
+     * drains (see wait()); the remaining indices still execute.
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
@@ -89,6 +97,7 @@ class ThreadPool
     std::size_t _queued = 0;      ///< submitted, not yet started
     std::size_t _pending = 0;     ///< submitted, not yet finished
     std::size_t _nextQueue = 0;   ///< round-robin submission cursor
+    std::exception_ptr _error;    ///< first task exception, if any
     bool _stop = false;
 };
 

@@ -1,0 +1,151 @@
+#include "engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+namespace bioarch::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedUs(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::micro>(to - from)
+        .count();
+}
+
+} // namespace
+
+Engine::Engine(const bio::SequenceDatabase &db, EngineConfig config)
+    : _db(&db),
+      _cfg(config),
+      _sharded(db, config.shards == 0 ? 1 : config.shards),
+      _matrix(&bio::blosum62()),
+      _karlin(align::blosum62Karlin()),
+      _pool(config.jobs)
+{
+    _cfg.shards = _sharded.numShards();
+    if (_cfg.batch == 0)
+        _cfg.batch = 1;
+    _cfg.jobs = _pool.size();
+}
+
+std::vector<Response>
+Engine::runBatch(const Request *requests, std::size_t count)
+{
+    const std::size_t shards = _sharded.numShards();
+    const double total =
+        static_cast<double>(_db->totalResidues());
+
+    // Phase 1: build each request's query state (profile / word
+    // index) once, in parallel across requests.
+    std::vector<std::unique_ptr<PreparedQuery>> prepared(count);
+    _pool.parallelFor(count, [&](std::size_t r) {
+        prepared[r] = std::make_unique<PreparedQuery>(
+            requests[r], *_matrix, _cfg.gaps, _cfg.fasta,
+            _cfg.blast);
+    });
+
+    // Phase 2: fan (request x shard) scans out; each task writes
+    // its preallocated slot, so the schedule cannot reorder
+    // results.
+    std::vector<ShardScan> scans(count * shards);
+    _pool.parallelFor(count * shards, [&](std::size_t u) {
+        const std::size_t r = u / shards;
+        const std::size_t s = u % shards;
+        const std::size_t top_k = requests[r].topK
+            ? requests[r].topK
+            : _cfg.topK;
+        const Clock::time_point t0 = Clock::now();
+        scans[u] = scanShard(*prepared[r], *_db,
+                             _sharded.shard(s), top_k, _karlin,
+                             total);
+        scans[u].elapsedUs = elapsedUs(t0, Clock::now());
+    });
+
+    // Phase 3: merge per-shard top-K lists, in request order.
+    std::vector<Response> out(count);
+    for (std::size_t r = 0; r < count; ++r) {
+        Response &resp = out[r];
+        resp.id = requests[r].id;
+        resp.kind = requests[r].kind;
+        const std::size_t top_k = requests[r].topK
+            ? requests[r].topK
+            : _cfg.topK;
+        std::vector<std::vector<align::SearchHit>> lists;
+        lists.reserve(shards);
+        for (std::size_t s = 0; s < shards; ++s) {
+            ShardScan &scan = scans[r * shards + s];
+            resp.cellsComputed += scan.cells;
+            resp.sequencesSearched += scan.sequences;
+            resp.scanUs += scan.elapsedUs;
+            lists.push_back(std::move(scan.hits));
+        }
+        resp.hits = mergeRanked(lists, top_k);
+    }
+    return out;
+}
+
+Response
+Engine::serve(const Request &request)
+{
+    const Clock::time_point t0 = Clock::now();
+    std::vector<Response> batch = runBatch(&request, 1);
+    batch.front().serviceUs = elapsedUs(t0, Clock::now());
+    return std::move(batch.front());
+}
+
+std::vector<Response>
+Engine::serveBatch(const std::vector<Request> &requests)
+{
+    const Clock::time_point t0 = Clock::now();
+    std::vector<Response> out =
+        runBatch(requests.data(), requests.size());
+    const double service = elapsedUs(t0, Clock::now());
+    for (Response &r : out)
+        r.serviceUs = service;
+    return out;
+}
+
+StreamReport
+Engine::serveStream(const std::vector<Request> &requests)
+{
+    StreamReport report;
+    report.jobs = _pool.size();
+    report.shards = _sharded.numShards();
+    report.batchSize = _cfg.batch;
+    report.responses.reserve(requests.size());
+
+    const Clock::time_point arrival = Clock::now();
+    for (std::size_t begin = 0; begin < requests.size();
+         begin += _cfg.batch) {
+        const std::size_t count =
+            std::min(_cfg.batch, requests.size() - begin);
+        const Clock::time_point dispatch = Clock::now();
+        std::vector<Response> batch =
+            runBatch(requests.data() + begin, count);
+        const Clock::time_point done = Clock::now();
+
+        const double queue = elapsedUs(arrival, dispatch);
+        const double service = elapsedUs(dispatch, done);
+        for (Response &r : batch) {
+            r.queueUs = queue;
+            r.serviceUs = service;
+            report.latency.record(r.latencyUs());
+            report.totalCells += r.cellsComputed;
+            report.cpuMs += r.scanUs / 1000.0;
+            report.responses.push_back(std::move(r));
+        }
+        ++report.batches;
+    }
+    report.wallMs =
+        elapsedUs(arrival, Clock::now()) / 1000.0;
+    return report;
+}
+
+} // namespace bioarch::serve

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The batched query-serving engine: accepts a stream of alignment
+ * requests, groups them into batches, fans (request x shard) scan
+ * tasks across a core::ThreadPool, merges per-shard top-K heaps
+ * into one ranked hit list per request, and records per-request
+ * latency plus engine-level throughput.
+ *
+ * Determinism contract (asserted by tests/serve_test.cc): the
+ * ranked hit list of a request — ids, scores, bit scores, E-values
+ * — is bit-for-bit identical regardless of shard count, batch
+ * size, or worker count, and equal to a serial scan of the whole
+ * database under the (score desc, db index asc) order. The
+ * schedule only decides *when* a scan runs, never *what* it
+ * computes: every task writes to a preallocated (request, shard)
+ * slot and the merge walks those slots in submission order.
+ */
+
+#ifndef BIOARCH_SERVE_ENGINE_HH
+#define BIOARCH_SERVE_ENGINE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "align/blast.hh"
+#include "align/fasta.hh"
+#include "align/karlin.hh"
+#include "bio/database.hh"
+#include "bio/scoring.hh"
+#include "core/thread_pool.hh"
+#include "latency.hh"
+#include "request.hh"
+#include "shard.hh"
+
+namespace bioarch::serve
+{
+
+/** Engine tunables. */
+struct EngineConfig
+{
+    /** Worker threads (BIOARCH_JOBS / hardware default). */
+    unsigned jobs = core::ThreadPool::defaultJobs();
+    /** Database shards scanned as independent tasks. */
+    std::size_t shards = 4;
+    /** Requests grouped per batch by serveStream(). */
+    std::size_t batch = 8;
+    /** Default hits per response (requests may override). */
+    std::size_t topK = 10;
+    bio::GapPenalties gaps;
+    align::FastaParams fasta;
+    align::BlastParams blast;
+};
+
+/** Engine-level accounting for one served stream. */
+struct StreamReport
+{
+    std::vector<Response> responses; ///< in request order
+    unsigned jobs = 1;
+    std::size_t shards = 1;
+    std::size_t batchSize = 1;
+    std::size_t batches = 0;
+    /** End-to-end wall clock of the stream (ms). */
+    double wallMs = 0.0;
+    /** Serial-equivalent scan work: sum of shard-scan times (ms). */
+    double cpuMs = 0.0;
+    std::uint64_t totalCells = 0;
+    /** Per-request end-to-end latencies. */
+    LatencyRecorder latency;
+
+    double
+    requestsPerSec() const
+    {
+        return wallMs <= 0.0
+            ? 0.0
+            : 1000.0 * static_cast<double>(responses.size())
+                / wallMs;
+    }
+    /** cpuMs / (wallMs * jobs): 1.0 = perfect scan scaling. */
+    double
+    parallelEfficiency() const
+    {
+        return wallMs <= 0.0 || jobs == 0
+            ? 0.0
+            : cpuMs / (wallMs * static_cast<double>(jobs));
+    }
+};
+
+/**
+ * Serves alignment requests against one sharded database. The
+ * database must outlive the engine; the engine owns its thread
+ * pool and shard layout. serve()/serveBatch()/serveStream() are
+ * intended to be called from one thread (the pool parallelizes
+ * inside a batch).
+ */
+class Engine
+{
+  public:
+    explicit Engine(const bio::SequenceDatabase &db,
+                    EngineConfig config = {});
+
+    const EngineConfig &config() const { return _cfg; }
+    const ShardedDatabase &sharded() const { return _sharded; }
+    const bio::SequenceDatabase &db() const { return *_db; }
+
+    /** Serve one request (a batch of one). */
+    Response serve(const Request &request);
+
+    /**
+     * Serve @p requests as a single batch: all (request, shard)
+     * scans are in flight together. Responses come back in request
+     * order with serviceUs = the batch's wall time (queueUs = 0).
+     */
+    std::vector<Response>
+    serveBatch(const std::vector<Request> &requests);
+
+    /**
+     * Replay a whole stream: cut it into config().batch-sized
+     * batches, serve them in order, and account per-request
+     * latency as if every request arrived when the stream started
+     * (closed-loop replay: queueUs is the time spent behind
+     * earlier batches).
+     */
+    StreamReport
+    serveStream(const std::vector<Request> &requests);
+
+  private:
+    std::vector<Response> runBatch(const Request *requests,
+                                   std::size_t count);
+
+    const bio::SequenceDatabase *_db;
+    EngineConfig _cfg;
+    ShardedDatabase _sharded;
+    const bio::ScoringMatrix *_matrix;
+    align::KarlinParams _karlin;
+    core::ThreadPool _pool;
+};
+
+} // namespace bioarch::serve
+
+#endif // BIOARCH_SERVE_ENGINE_HH

@@ -1,0 +1,66 @@
+#include "latency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/percentile.hh"
+
+namespace bioarch::serve
+{
+
+LatencySummary
+LatencyRecorder::summary() const
+{
+    LatencySummary s;
+    s.count = _samplesUs.size();
+    if (_samplesUs.empty())
+        return s;
+    double sum = 0.0;
+    double max = _samplesUs.front();
+    for (const double v : _samplesUs) {
+        sum += v;
+        max = std::max(max, v);
+    }
+    s.meanUs = sum / static_cast<double>(s.count);
+    s.maxUs = max;
+    s.p50Us = core::percentile(_samplesUs, 50.0);
+    s.p95Us = core::percentile(_samplesUs, 95.0);
+    s.p99Us = core::percentile(_samplesUs, 99.0);
+    return s;
+}
+
+std::vector<LatencyBucket>
+LatencyRecorder::histogram() const
+{
+    if (_samplesUs.empty())
+        return {};
+
+    auto bucketOf = [](double us) {
+        if (us < 1.0)
+            return 0;
+        return static_cast<int>(std::floor(std::log2(us)));
+    };
+
+    int lo = bucketOf(_samplesUs.front());
+    int hi = lo;
+    for (const double v : _samplesUs) {
+        lo = std::min(lo, bucketOf(v));
+        hi = std::max(hi, bucketOf(v));
+    }
+
+    std::vector<LatencyBucket> buckets(
+        static_cast<std::size_t>(hi - lo + 1));
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        const int b = lo + static_cast<int>(i);
+        buckets[i].loUs = std::exp2(b);
+        buckets[i].hiUs = std::exp2(b + 1);
+        buckets[i].count = 0;
+    }
+    // The first bucket also collects sub-microsecond samples.
+    buckets.front().loUs = lo == 0 ? 0.0 : buckets.front().loUs;
+    for (const double v : _samplesUs)
+        buckets[static_cast<std::size_t>(bucketOf(v) - lo)].count++;
+    return buckets;
+}
+
+} // namespace bioarch::serve

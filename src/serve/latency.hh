@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Latency accounting for the serving engine: per-request samples,
+ * percentile summaries (p50/p95/p99 via core/percentile.hh), and a
+ * power-of-two bucketed histogram for the CLI report.
+ */
+
+#ifndef BIOARCH_SERVE_LATENCY_HH
+#define BIOARCH_SERVE_LATENCY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace bioarch::serve
+{
+
+/** Percentile summary of a set of latency samples. */
+struct LatencySummary
+{
+    std::size_t count = 0;
+    double meanUs = 0.0;
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    double maxUs = 0.0;
+};
+
+/** One bar of the latency histogram: [loUs, hiUs) microseconds. */
+struct LatencyBucket
+{
+    double loUs = 0.0;
+    double hiUs = 0.0;
+    std::size_t count = 0;
+};
+
+/**
+ * Records one latency sample per request. Samples are kept (a
+ * request stream is bounded), so percentiles are exact, not
+ * sketched.
+ */
+class LatencyRecorder
+{
+  public:
+    void record(double us) { _samplesUs.push_back(us); }
+
+    std::size_t count() const { return _samplesUs.size(); }
+    const std::vector<double> &samplesUs() const
+    {
+        return _samplesUs;
+    }
+
+    LatencySummary summary() const;
+
+    /**
+     * Power-of-two bucketed histogram: bucket i spans
+     * [2^i, 2^(i+1)) us, with leading/trailing empty buckets
+     * trimmed. Empty recorder => empty histogram.
+     */
+    std::vector<LatencyBucket> histogram() const;
+
+  private:
+    std::vector<double> _samplesUs;
+};
+
+} // namespace bioarch::serve
+
+#endif // BIOARCH_SERVE_LATENCY_HH

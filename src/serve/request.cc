@@ -1,0 +1,106 @@
+#include "request.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bio/random.hh"
+
+namespace bioarch::serve
+{
+
+PreparedQuery::PreparedQuery(const Request &request,
+                             const bio::ScoringMatrix &matrix,
+                             const bio::GapPenalties &gaps,
+                             const align::FastaParams &fasta,
+                             const align::BlastParams &blast)
+    : _kind(request.kind),
+      _query(&request.query),
+      _matrix(&matrix),
+      _gaps(gaps),
+      _fasta(fasta),
+      _blast(blast)
+{
+    switch (_kind) {
+    case kernels::Workload::Ssearch34:
+        _profile =
+            std::make_unique<align::QueryProfile>(*_query, matrix);
+        break;
+    case kernels::Workload::SwVmx128:
+        _vmx128 = std::make_unique<align::VectorProfile<8>>(*_query,
+                                                            matrix);
+        break;
+    case kernels::Workload::SwVmx256:
+        _vmx256 = std::make_unique<align::VectorProfile<16>>(
+            *_query, matrix);
+        break;
+    case kernels::Workload::Fasta34:
+        _ktup = std::make_unique<align::KtupIndex>(*_query,
+                                                   _fasta.ktup);
+        break;
+    case kernels::Workload::Blast:
+        _neighborhood = std::make_unique<align::NeighborhoodIndex>(
+            *_query, matrix, _blast);
+        break;
+    default:
+        throw std::invalid_argument("unknown workload kind");
+    }
+}
+
+align::LocalScore
+PreparedQuery::scan(const bio::Sequence &subject,
+                    std::uint64_t *cells) const
+{
+    align::LocalScore ls;
+    switch (_kind) {
+    case kernels::Workload::Ssearch34:
+        return align::ssearchScan(*_profile, subject, _gaps, cells);
+    case kernels::Workload::SwVmx128:
+        return align::swSimdScan<8>(*_vmx128, subject, _gaps, cells);
+    case kernels::Workload::SwVmx256:
+        return align::swSimdScan<16>(*_vmx256, subject, _gaps,
+                                     cells);
+    case kernels::Workload::Fasta34: {
+        const align::FastaScores fs = align::fastaScan(
+            *_ktup, *_query, subject, *_matrix, _gaps, _fasta,
+            cells);
+        ls.score = std::max(fs.opt, fs.initn);
+        return ls;
+    }
+    case kernels::Workload::Blast: {
+        const align::BlastScores bs = align::blastScan(
+            *_neighborhood, *_query, subject, *_matrix, _gaps,
+            _blast, cells);
+        ls.score = std::max(bs.score, 0);
+        return ls;
+    }
+    default:
+        return ls;
+    }
+}
+
+std::vector<Request>
+makeRequestStream(const StreamSpec &spec,
+                  const std::vector<bio::Sequence> &query_pool)
+{
+    if (query_pool.empty())
+        throw std::invalid_argument(
+            "makeRequestStream: empty query pool");
+    if (spec.kinds.empty())
+        throw std::invalid_argument(
+            "makeRequestStream: empty workload mix");
+
+    bio::Rng rng(spec.seed);
+    std::vector<Request> stream;
+    stream.reserve(spec.requests);
+    for (std::size_t i = 0; i < spec.requests; ++i) {
+        Request r;
+        r.id = i;
+        r.kind = spec.kinds[rng.below(spec.kinds.size())];
+        r.query = query_pool[rng.below(query_pool.size())];
+        r.topK = spec.topK;
+        stream.push_back(std::move(r));
+    }
+    return stream;
+}
+
+} // namespace bioarch::serve

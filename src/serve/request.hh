@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Query-serving request/response types, the per-request prepared
+ * query state, and the deterministic synthetic request stream the
+ * load generator replays.
+ *
+ * A request names one of the paper's five database-search
+ * applications (Table I) and carries the query sequence to search;
+ * the response is the ranked top-K hit list plus the work and
+ * latency accounting for that request.
+ */
+
+#ifndef BIOARCH_SERVE_REQUEST_HH
+#define BIOARCH_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "align/blast.hh"
+#include "align/fasta.hh"
+#include "align/ssearch.hh"
+#include "align/sw_simd.hh"
+#include "align/types.hh"
+#include "bio/scoring.hh"
+#include "bio/sequence.hh"
+#include "kernels/workload.hh"
+
+namespace bioarch::serve
+{
+
+/** One alignment query submitted to the serving engine. */
+struct Request
+{
+    std::uint64_t id = 0;
+    /** Which application scans the database for this request. */
+    kernels::Workload kind = kernels::Workload::Ssearch34;
+    bio::Sequence query;
+    /** Hits wanted; 0 falls back to the engine's configured top-K. */
+    std::size_t topK = 0;
+};
+
+/** Ranked answer to one Request. */
+struct Response
+{
+    std::uint64_t id = 0;
+    kernels::Workload kind = kernels::Workload::Ssearch34;
+    /** Top-K hits, ranked by (score desc, db index asc). */
+    std::vector<align::SearchHit> hits;
+    std::uint64_t cellsComputed = 0;
+    std::uint64_t sequencesSearched = 0;
+    /** Time the request spent queued behind earlier batches (us). */
+    double queueUs = 0.0;
+    /** Wall time of the batch that served the request (us). */
+    double serviceUs = 0.0;
+    /** Serial-equivalent scan work of this request's shards (us). */
+    double scanUs = 0.0;
+
+    /** End-to-end latency: arrival to ranked hit list (us). */
+    double latencyUs() const { return queueUs + serviceUs; }
+};
+
+/**
+ * The query state an application builds once per request and then
+ * shares, read-only, across every shard scan: SSEARCH's query
+ * profile, the SIMD vector profiles, FASTA's k-tuple index, or
+ * BLAST's neighborhood word index.
+ *
+ * References the request's query sequence (and the scoring matrix);
+ * both must outlive the prepared query.
+ */
+class PreparedQuery
+{
+  public:
+    PreparedQuery(const Request &request,
+                  const bio::ScoringMatrix &matrix,
+                  const bio::GapPenalties &gaps,
+                  const align::FastaParams &fasta,
+                  const align::BlastParams &blast);
+
+    kernels::Workload kind() const { return _kind; }
+    const bio::Sequence &query() const { return *_query; }
+
+    /**
+     * Scan one subject sequence. The reported score matches what
+     * the corresponding *Search driver ranks by (SW score for the
+     * Smith-Waterman kinds, max(opt, initn) for FASTA, the gapped
+     * score for BLAST); the heuristics leave the end coordinates
+     * at -1, as their drivers do.
+     */
+    align::LocalScore scan(const bio::Sequence &subject,
+                           std::uint64_t *cells) const;
+
+  private:
+    kernels::Workload _kind;
+    const bio::Sequence *_query;
+    const bio::ScoringMatrix *_matrix;
+    bio::GapPenalties _gaps;
+    align::FastaParams _fasta;
+    align::BlastParams _blast;
+
+    // Exactly one of these is built, depending on _kind.
+    std::unique_ptr<align::QueryProfile> _profile;
+    std::unique_ptr<align::VectorProfile<8>> _vmx128;
+    std::unique_ptr<align::VectorProfile<16>> _vmx256;
+    std::unique_ptr<align::KtupIndex> _ktup;
+    std::unique_ptr<align::NeighborhoodIndex> _neighborhood;
+};
+
+/** Knobs of the deterministic synthetic request stream. */
+struct StreamSpec
+{
+    std::size_t requests = 64;
+    /** Per-request top-K (0 = engine default). */
+    std::size_t topK = 0;
+    /** RNG seed; fixed default for reproducible replays. */
+    std::uint64_t seed = 0x5EedF00d;
+    /** Application mix; each request draws uniformly from these. */
+    std::vector<kernels::Workload> kinds = {
+        kernels::Workload::Ssearch34, kernels::Workload::SwVmx128,
+        kernels::Workload::SwVmx256, kernels::Workload::Fasta34,
+        kernels::Workload::Blast};
+};
+
+/**
+ * Build a deterministic request stream: request i draws its query
+ * from @p query_pool and its application from spec.kinds, both via
+ * a bio::Rng seeded with spec.seed (same spec + pool => identical
+ * stream on every platform).
+ */
+std::vector<Request>
+makeRequestStream(const StreamSpec &spec,
+                  const std::vector<bio::Sequence> &query_pool);
+
+} // namespace bioarch::serve
+
+#endif // BIOARCH_SERVE_REQUEST_HH

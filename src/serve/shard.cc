@@ -1,0 +1,67 @@
+#include "shard.hh"
+
+namespace bioarch::serve
+{
+
+ShardedDatabase::ShardedDatabase(const bio::SequenceDatabase &db,
+                                 std::size_t num_shards)
+    : _db(&db)
+{
+    if (num_shards == 0)
+        num_shards = 1;
+    const std::uint64_t total = db.totalResidues();
+    const std::size_t n = db.size();
+
+    _shards.reserve(num_shards);
+    std::size_t next = 0;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < num_shards; ++i) {
+        Shard s;
+        s.index = i;
+        s.begin = next;
+        // Advance to the residue-prefix target of this shard's
+        // right edge; the last shard always absorbs the remainder.
+        const std::uint64_t target =
+            total * static_cast<std::uint64_t>(i + 1)
+            / static_cast<std::uint64_t>(num_shards);
+        while (next < n
+               && (acc < target || i + 1 == num_shards)) {
+            acc += db[next].length();
+            s.residues += db[next].length();
+            ++next;
+        }
+        s.end = next;
+        _shards.push_back(s);
+    }
+}
+
+ShardScan
+scanShard(const PreparedQuery &query,
+          const bio::SequenceDatabase &db, const Shard &shard,
+          std::size_t top_k, const align::KarlinParams &karlin,
+          double total_residues)
+{
+    ShardScan out;
+    TopKHeap heap(top_k);
+    const double m = static_cast<double>(query.query().length());
+
+    for (std::size_t idx = shard.begin; idx < shard.end; ++idx) {
+        const align::LocalScore ls =
+            query.scan(db[idx], &out.cells);
+        ++out.sequences;
+        if (ls.score <= 0)
+            continue;
+        align::SearchHit hit;
+        hit.dbIndex = idx;
+        hit.score = ls.score;
+        hit.queryEnd = ls.queryEnd;
+        hit.subjectEnd = ls.subjectEnd;
+        hit.bitScore = karlin.bitScore(ls.score);
+        hit.evalue = karlin.evalue(ls.score, m, total_residues);
+        heap.consider(hit);
+    }
+    out.hits = heap.ranked();
+    return out;
+}
+
+} // namespace bioarch::serve

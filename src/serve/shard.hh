@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Database sharding for the serving engine: a SequenceDatabase cut
+ * into contiguous, residue-balanced shards, and the per-shard scan
+ * that produces a ranked top-K hit list.
+ *
+ * Sharding follows the SWAPHI/mpiBLAST shape — partition the
+ * database, dispatch chunks to workers, merge ranked results — but
+ * the cut points are chosen on the residue *prefix sums*, so the
+ * layout depends only on (database, shard count), never on worker
+ * timing. Hit scores and E-values are computed against the *whole*
+ * database's residue total, so a hit's statistics are identical
+ * whichever shard it lands in.
+ */
+
+#ifndef BIOARCH_SERVE_SHARD_HH
+#define BIOARCH_SERVE_SHARD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "align/karlin.hh"
+#include "bio/database.hh"
+#include "hit_list.hh"
+#include "request.hh"
+
+namespace bioarch::serve
+{
+
+/** One contiguous slice [begin, end) of the database. */
+struct Shard
+{
+    std::size_t index = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::uint64_t residues = 0;
+
+    std::size_t size() const { return end - begin; }
+    bool empty() const { return end == begin; }
+};
+
+/**
+ * A SequenceDatabase partitioned into contiguous shards whose
+ * boundaries balance residue counts (DP cost is proportional to
+ * residues, not sequence count). Shards may be empty when the
+ * database has fewer sequences than shards. The database must
+ * outlive the partition.
+ */
+class ShardedDatabase
+{
+  public:
+    /** Partition @p db into @p num_shards slices (clamped >= 1). */
+    ShardedDatabase(const bio::SequenceDatabase &db,
+                    std::size_t num_shards);
+
+    const bio::SequenceDatabase &db() const { return *_db; }
+    std::size_t numShards() const { return _shards.size(); }
+    const Shard &shard(std::size_t i) const { return _shards[i]; }
+    const std::vector<Shard> &shards() const { return _shards; }
+
+  private:
+    const bio::SequenceDatabase *_db;
+    std::vector<Shard> _shards;
+};
+
+/** What one (request, shard) scan task produces. */
+struct ShardScan
+{
+    /** The shard's top-K hits, ranked by (score desc, index asc). */
+    std::vector<align::SearchHit> hits;
+    std::uint64_t cells = 0;
+    std::uint64_t sequences = 0;
+    /** Wall time of the scan (filled in by the engine). */
+    double elapsedUs = 0.0;
+};
+
+/**
+ * Scan one shard for one prepared query, keeping the shard's top
+ * @p top_k hits. Bit scores and E-values use @p karlin with the
+ * query length and @p total_residues (the whole database), matching
+ * the library's *Search drivers.
+ */
+ShardScan scanShard(const PreparedQuery &query,
+                    const bio::SequenceDatabase &db,
+                    const Shard &shard, std::size_t top_k,
+                    const align::KarlinParams &karlin,
+                    double total_residues);
+
+} // namespace bioarch::serve
+
+#endif // BIOARCH_SERVE_SHARD_HH

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Tests for the batched query-serving engine (src/serve).
+ *
+ * The load-bearing contract mirrors sweep_test.cc: the ranked
+ * top-K hit list of every request — db ids, scores, bit scores,
+ * E-values — is bit-for-bit identical across worker counts, shard
+ * counts, and batch sizes, and equal to a straightforward serial
+ * scan of the whole database under the (score desc, db index asc)
+ * order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bio/synthetic.hh"
+#include "core/percentile.hh"
+#include "serve/engine.hh"
+#include "serve/hit_list.hh"
+#include "serve/latency.hh"
+#include "serve/shard.hh"
+
+namespace
+{
+
+using namespace bioarch;
+
+/** Small planted-homolog database shared across tests. */
+const bio::SequenceDatabase &
+testDb()
+{
+    static const bio::SequenceDatabase db =
+        bio::makeDefaultDatabase(48);
+    return db;
+}
+
+const std::vector<bio::Sequence> &
+queryPool()
+{
+    static const std::vector<bio::Sequence> pool =
+        bio::makeQuerySet();
+    return pool;
+}
+
+/**
+ * The reference the engine must match: scan every database
+ * sequence serially with the same prepared query, rank with the
+ * total order, truncate to K.
+ */
+std::vector<align::SearchHit>
+serialReference(const serve::Request &request,
+                const bio::SequenceDatabase &db,
+                const serve::EngineConfig &cfg, std::size_t top_k)
+{
+    const serve::PreparedQuery prepared(
+        request, bio::blosum62(), cfg.gaps, cfg.fasta, cfg.blast);
+    const align::KarlinParams &ka = align::blosum62Karlin();
+    const double total = static_cast<double>(db.totalResidues());
+    const double m =
+        static_cast<double>(request.query.length());
+
+    std::vector<align::SearchHit> hits;
+    std::uint64_t cells = 0;
+    for (std::size_t idx = 0; idx < db.size(); ++idx) {
+        const align::LocalScore ls =
+            prepared.scan(db[idx], &cells);
+        if (ls.score <= 0)
+            continue;
+        align::SearchHit hit;
+        hit.dbIndex = idx;
+        hit.score = ls.score;
+        hit.queryEnd = ls.queryEnd;
+        hit.subjectEnd = ls.subjectEnd;
+        hit.bitScore = ka.bitScore(ls.score);
+        hit.evalue = ka.evalue(ls.score, m, total);
+        hits.push_back(hit);
+    }
+    std::sort(hits.begin(), hits.end(), serve::hitRanksBefore);
+    if (hits.size() > top_k)
+        hits.resize(top_k);
+    return hits;
+}
+
+void
+expectSameHits(const std::vector<align::SearchHit> &got,
+               const std::vector<align::SearchHit> &want,
+               const std::string &context)
+{
+    ASSERT_EQ(got.size(), want.size()) << context;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].dbIndex, want[i].dbIndex)
+            << context << " hit " << i;
+        EXPECT_EQ(got[i].score, want[i].score)
+            << context << " hit " << i;
+        // Bit-for-bit: same doubles, not just approximately.
+        EXPECT_EQ(got[i].bitScore, want[i].bitScore)
+            << context << " hit " << i;
+        EXPECT_EQ(got[i].evalue, want[i].evalue)
+            << context << " hit " << i;
+        EXPECT_EQ(got[i].queryEnd, want[i].queryEnd)
+            << context << " hit " << i;
+        EXPECT_EQ(got[i].subjectEnd, want[i].subjectEnd)
+            << context << " hit " << i;
+    }
+}
+
+/** A 6-request stream covering several kinds and query lengths. */
+std::vector<serve::Request>
+mixedStream(kernels::Workload a, kernels::Workload b)
+{
+    std::vector<serve::Request> stream;
+    for (std::size_t i = 0; i < 6; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.kind = i % 2 == 0 ? a : b;
+        r.query = queryPool()[i % queryPool().size()];
+        stream.push_back(std::move(r));
+    }
+    return stream;
+}
+
+TEST(ServeDeterminism, RankingInvariantAcrossJobsShardsBatches)
+{
+    // Two heuristic + two DP kinds; each request pair exercises a
+    // different application.
+    const std::vector<std::pair<kernels::Workload,
+                                kernels::Workload>>
+        kind_pairs = {
+            {kernels::Workload::Ssearch34,
+             kernels::Workload::Blast},
+            {kernels::Workload::SwVmx128,
+             kernels::Workload::Fasta34},
+        };
+
+    for (const auto &[a, b] : kind_pairs) {
+        const std::vector<serve::Request> stream =
+            mixedStream(a, b);
+
+        serve::EngineConfig ref_cfg;
+        std::vector<std::vector<align::SearchHit>> reference;
+        for (const serve::Request &r : stream)
+            reference.push_back(serialReference(
+                r, testDb(), ref_cfg, ref_cfg.topK));
+
+        for (const unsigned jobs : {1u, 2u, 8u}) {
+            for (const std::size_t shards : {1u, 4u}) {
+                for (const std::size_t batch : {1u, 8u}) {
+                    serve::EngineConfig cfg;
+                    cfg.jobs = jobs;
+                    cfg.shards = shards;
+                    cfg.batch = batch;
+                    serve::Engine engine(testDb(), cfg);
+                    const serve::StreamReport report =
+                        engine.serveStream(stream);
+
+                    ASSERT_EQ(report.responses.size(),
+                              stream.size());
+                    for (std::size_t i = 0; i < stream.size();
+                         ++i) {
+                        const std::string context =
+                            "jobs=" + std::to_string(jobs)
+                            + " shards=" + std::to_string(shards)
+                            + " batch=" + std::to_string(batch)
+                            + " request=" + std::to_string(i);
+                        EXPECT_EQ(report.responses[i].id,
+                                  stream[i].id)
+                            << context;
+                        expectSameHits(report.responses[i].hits,
+                                       reference[i], context);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(ServeDeterminism, EveryRequestScansTheWholeDatabase)
+{
+    serve::EngineConfig cfg;
+    cfg.jobs = 2;
+    cfg.shards = 4;
+    serve::Engine engine(testDb(), cfg);
+
+    serve::Request r;
+    r.kind = kernels::Workload::Ssearch34;
+    r.query = queryPool().front();
+    const serve::Response resp = engine.serve(r);
+    EXPECT_EQ(resp.sequencesSearched, testDb().size());
+    EXPECT_GT(resp.cellsComputed, 0u);
+    EXPECT_FALSE(resp.hits.empty()); // homologs are planted
+    EXPECT_GE(resp.serviceUs, 0.0);
+}
+
+TEST(ServeEngine, PerRequestTopKOverridesDefault)
+{
+    serve::EngineConfig cfg;
+    cfg.topK = 10;
+    serve::Engine engine(testDb(), cfg);
+
+    serve::Request r;
+    r.kind = kernels::Workload::Ssearch34;
+    r.query = queryPool().front();
+    r.topK = 3;
+    const serve::Response resp = engine.serve(r);
+    EXPECT_EQ(resp.hits.size(), 3u);
+
+    r.topK = 0; // engine default
+    const serve::Response def = engine.serve(r);
+    EXPECT_LE(def.hits.size(), 10u);
+    EXPECT_GT(def.hits.size(), 3u);
+    // The override is a prefix of the default ranking.
+    for (std::size_t i = 0; i < resp.hits.size(); ++i)
+        EXPECT_EQ(resp.hits[i].dbIndex, def.hits[i].dbIndex);
+}
+
+TEST(ServeEngine, StreamReportAccountsEveryRequest)
+{
+    serve::EngineConfig cfg;
+    cfg.jobs = 2;
+    cfg.batch = 4;
+    serve::Engine engine(testDb(), cfg);
+
+    const std::vector<serve::Request> stream = mixedStream(
+        kernels::Workload::Ssearch34, kernels::Workload::Blast);
+    const serve::StreamReport report = engine.serveStream(stream);
+
+    EXPECT_EQ(report.responses.size(), stream.size());
+    EXPECT_EQ(report.latency.count(), stream.size());
+    EXPECT_EQ(report.batches, 2u); // 6 requests / batch of 4
+    EXPECT_GT(report.wallMs, 0.0);
+    EXPECT_GT(report.requestsPerSec(), 0.0);
+    EXPECT_GT(report.totalCells, 0u);
+
+    const serve::LatencySummary lat = report.latency.summary();
+    EXPECT_EQ(lat.count, stream.size());
+    EXPECT_LE(lat.p50Us, lat.p95Us);
+    EXPECT_LE(lat.p95Us, lat.p99Us);
+    EXPECT_LE(lat.p99Us, lat.maxUs);
+    for (const serve::Response &r : report.responses)
+        EXPECT_GE(r.latencyUs(), r.serviceUs);
+}
+
+TEST(ShardedDatabase, PartitionCoversEverySequenceOnce)
+{
+    for (const std::size_t shards : {1u, 3u, 4u, 7u}) {
+        const serve::ShardedDatabase sharded(testDb(), shards);
+        ASSERT_EQ(sharded.numShards(), shards);
+        std::size_t expected_begin = 0;
+        std::uint64_t residues = 0;
+        for (std::size_t i = 0; i < shards; ++i) {
+            const serve::Shard &s = sharded.shard(i);
+            EXPECT_EQ(s.index, i);
+            EXPECT_EQ(s.begin, expected_begin);
+            EXPECT_LE(s.begin, s.end);
+            expected_begin = s.end;
+            residues += s.residues;
+        }
+        EXPECT_EQ(expected_begin, testDb().size());
+        EXPECT_EQ(residues, testDb().totalResidues());
+    }
+}
+
+TEST(ShardedDatabase, MoreShardsThanSequencesIsFine)
+{
+    bio::SequenceDatabase tiny;
+    tiny.add(bio::Sequence("A", "", "ACDEFGH"));
+    tiny.add(bio::Sequence("B", "", "KLMNPQR"));
+    const serve::ShardedDatabase sharded(tiny, 5);
+    EXPECT_EQ(sharded.numShards(), 5u);
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < 5; ++i)
+        covered += sharded.shard(i).size();
+    EXPECT_EQ(covered, tiny.size());
+    EXPECT_EQ(sharded.shard(4).end, tiny.size());
+}
+
+TEST(TopKHeap, KeepsBestKWithStableTieBreak)
+{
+    serve::TopKHeap heap(3);
+    auto hit = [](std::size_t idx, int score) {
+        align::SearchHit h;
+        h.dbIndex = idx;
+        h.score = score;
+        return h;
+    };
+    // Ties on score must keep the lower db index.
+    heap.consider(hit(5, 10));
+    heap.consider(hit(2, 10));
+    heap.consider(hit(9, 30));
+    heap.consider(hit(7, 10));
+    heap.consider(hit(1, 5));
+
+    const std::vector<align::SearchHit> ranked = heap.ranked();
+    ASSERT_EQ(ranked.size(), 3u);
+    EXPECT_EQ(ranked[0].dbIndex, 9u); // score 30
+    EXPECT_EQ(ranked[1].dbIndex, 2u); // score 10, lowest index
+    EXPECT_EQ(ranked[2].dbIndex, 5u);
+}
+
+TEST(TopKHeap, MergeEqualsGlobalRanking)
+{
+    auto hit = [](std::size_t idx, int score) {
+        align::SearchHit h;
+        h.dbIndex = idx;
+        h.score = score;
+        return h;
+    };
+    // Simulate two shards each keeping their local top 3.
+    std::vector<align::SearchHit> all;
+    for (std::size_t i = 0; i < 20; ++i)
+        all.push_back(hit(i, static_cast<int>((i * 7) % 12) + 1));
+
+    serve::TopKHeap left(3);
+    serve::TopKHeap right(3);
+    for (const align::SearchHit &h : all)
+        (h.dbIndex < 10 ? left : right).consider(h);
+
+    const std::vector<align::SearchHit> merged =
+        serve::mergeRanked({left.ranked(), right.ranked()}, 3);
+
+    std::vector<align::SearchHit> global = all;
+    std::sort(global.begin(), global.end(),
+              serve::hitRanksBefore);
+    global.resize(3);
+    ASSERT_EQ(merged.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(merged[i].dbIndex, global[i].dbIndex);
+        EXPECT_EQ(merged[i].score, global[i].score);
+    }
+}
+
+TEST(Percentile, QuantileInterpolatesLinearly)
+{
+    const std::vector<double> samples = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(core::quantile(samples, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(core::quantile(samples, 1.0), 40.0);
+    EXPECT_DOUBLE_EQ(core::quantile(samples, 0.5), 25.0);
+    EXPECT_DOUBLE_EQ(core::percentile(samples, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(core::percentile({}, 99.0), 0.0);
+    EXPECT_DOUBLE_EQ(core::percentile({7.0}, 99.0), 7.0);
+    // Order must not matter.
+    EXPECT_DOUBLE_EQ(core::quantile({40, 10, 30, 20}, 0.5), 25.0);
+}
+
+TEST(LatencyRecorder, SummaryAndHistogram)
+{
+    serve::LatencyRecorder rec;
+    EXPECT_TRUE(rec.histogram().empty());
+    EXPECT_EQ(rec.summary().count, 0u);
+
+    for (const double us : {100.0, 200.0, 400.0, 800.0})
+        rec.record(us);
+    const serve::LatencySummary s = rec.summary();
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.meanUs, 375.0);
+    EXPECT_DOUBLE_EQ(s.maxUs, 800.0);
+    EXPECT_DOUBLE_EQ(s.p50Us, 300.0);
+
+    const std::vector<serve::LatencyBucket> hist =
+        rec.histogram();
+    ASSERT_FALSE(hist.empty());
+    std::size_t total = 0;
+    for (const serve::LatencyBucket &b : hist) {
+        EXPECT_LT(b.loUs, b.hiUs);
+        total += b.count;
+    }
+    EXPECT_EQ(total, 4u);
+}
+
+TEST(RequestStream, DeterministicAndWellFormed)
+{
+    serve::StreamSpec spec;
+    spec.requests = 32;
+    const std::vector<serve::Request> a =
+        serve::makeRequestStream(spec, queryPool());
+    const std::vector<serve::Request> b =
+        serve::makeRequestStream(spec, queryPool());
+    ASSERT_EQ(a.size(), 32u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, i);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].query.id(), b[i].query.id());
+    }
+    // A different seed changes the stream.
+    spec.seed ^= 0xFF;
+    const std::vector<serve::Request> c =
+        serve::makeRequestStream(spec, queryPool());
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs = differs || a[i].kind != c[i].kind
+            || a[i].query.id() != c[i].query.id();
+    EXPECT_TRUE(differs);
+
+    EXPECT_THROW(serve::makeRequestStream(spec, {}),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -179,6 +180,51 @@ TEST(ThreadPool, ZeroThreadsClampsToOne)
     int ran = 0;
     pool.parallelFor(4, [&](std::size_t) { ++ran; });
     EXPECT_EQ(ran, 4); // single worker: no data race
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesToWait)
+{
+    core::ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    try {
+        pool.wait();
+        FAIL() << "wait() should rethrow the task's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+
+    // The error is consumed and the pool stays usable.
+    std::atomic<int> ran{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException)
+{
+    core::ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallelFor(16,
+                         [&](std::size_t i) {
+                             if (i == 7)
+                                 throw std::logic_error("bad index");
+                             ran.fetch_add(
+                                 1, std::memory_order_relaxed);
+                         }),
+        std::logic_error);
+    // The wave still drained: every non-throwing index ran.
+    EXPECT_EQ(ran.load(), 15);
+    pool.wait(); // no residual error
+}
+
+TEST(ThreadPool, DestructionSwallowsUnobservedException)
+{
+    // A throwing task nobody waits on must not terminate the
+    // process when the pool is destroyed.
+    core::ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("unobserved"); });
 }
 
 TEST(ThreadPool, DefaultJobsHonorsEnvironment)

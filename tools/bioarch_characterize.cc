@@ -270,6 +270,12 @@ main(int argc, char **argv)
         }
     }
 
+    if (workload && !trace_path.empty()) {
+        std::cerr << "--trace and --workload are mutually "
+                     "exclusive: pick one trace source (--help)\n";
+        return 2;
+    }
+
     if (sweep) {
         if (!trace_path.empty()) {
             std::cerr << "--sweep generates its own traces; it "

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * bioarch-serve: load generator for the batched query-serving
+ * engine (src/serve). Replays a deterministic synthetic request
+ * stream — queries drawn from the Table II set, application kinds
+ * from the paper's five workloads — against a synthetic SwissProt
+ * stand-in, and prints a latency/throughput report.
+ *
+ * Examples:
+ *   bioarch-serve --requests 64 --jobs 8
+ *   bioarch-serve --requests 128 --batch 16 --shards 8 --top-k 5
+ *   bioarch-serve --workload blast --db-seqs 500 --csv
+ */
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bio/synthetic.hh"
+#include "core/report.hh"
+#include "serve/engine.hh"
+
+using namespace bioarch;
+
+namespace
+{
+
+void
+usage(std::ostream &out)
+{
+    out << "usage: bioarch-serve [options]\n"
+           "\n"
+           "stream:\n"
+           "  --requests N      requests to replay (default 64)\n"
+           "  --workload NAME   restrict the stream to one\n"
+           "                    application: ssearch34 | sw_vmx128\n"
+           "                    | sw_vmx256 | fasta34 | blast\n"
+           "                    (default: uniform mix of all five)\n"
+           "  --seed S          stream RNG seed\n"
+           "\n"
+           "engine:\n"
+           "  --batch N         requests per batch (default 8)\n"
+           "  --shards N        database shards (default 4)\n"
+           "  --jobs N          worker threads (default:\n"
+           "                    BIOARCH_JOBS, else all hardware\n"
+           "                    threads)\n"
+           "  --top-k K         hits per response (default 10)\n"
+           "\n"
+           "working set:\n"
+           "  --db-seqs N       database sequences (default 200)\n"
+           "\n"
+           "output:\n"
+           "  --csv             machine-readable output\n"
+           "  --help            this text\n";
+}
+
+std::optional<kernels::Workload>
+parseWorkload(const std::string &name)
+{
+    for (const kernels::Workload w : kernels::allWorkloads) {
+        std::string n(kernels::workloadName(w));
+        for (char &c : n)
+            c = static_cast<char>(std::tolower(c));
+        if (n == name)
+            return w;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::StreamSpec stream;
+    serve::EngineConfig cfg;
+    int db_seqs = 200;
+    bool csv = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        auto positive = [&](const std::string &v) -> int {
+            const int n = std::atoi(v.c_str());
+            if (n <= 0) {
+                std::cerr << arg << " must be positive\n";
+                std::exit(2);
+            }
+            return n;
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--requests") {
+            stream.requests =
+                static_cast<std::size_t>(positive(value()));
+        } else if (arg == "--workload") {
+            const auto w = parseWorkload(value());
+            if (!w) {
+                std::cerr << "unknown workload (--help)\n";
+                return 2;
+            }
+            stream.kinds = {*w};
+        } else if (arg == "--seed") {
+            stream.seed = std::strtoull(value().c_str(), nullptr, 0);
+        } else if (arg == "--batch") {
+            cfg.batch = static_cast<std::size_t>(positive(value()));
+        } else if (arg == "--shards") {
+            cfg.shards = static_cast<std::size_t>(positive(value()));
+        } else if (arg == "--jobs") {
+            cfg.jobs = static_cast<unsigned>(positive(value()));
+        } else if (arg == "--top-k") {
+            cfg.topK = static_cast<std::size_t>(positive(value()));
+        } else if (arg == "--db-seqs") {
+            db_seqs = positive(value());
+        } else if (arg == "--csv") {
+            csv = true;
+        } else {
+            std::cerr << "unknown option " << arg << " (--help)\n";
+            return 2;
+        }
+    }
+
+    const std::vector<bio::Sequence> pool = bio::makeQuerySet();
+    const bio::SequenceDatabase db =
+        bio::makeDefaultDatabase(db_seqs);
+    const std::vector<serve::Request> requests =
+        serve::makeRequestStream(stream, pool);
+
+    serve::Engine engine(db, cfg);
+    const serve::StreamReport report =
+        engine.serveStream(requests);
+    const serve::LatencySummary lat = report.latency.summary();
+
+    if (!csv) {
+        std::cout << "# bioarch-serve: " << requests.size()
+                  << " requests vs " << db.size()
+                  << " sequences / " << db.totalResidues()
+                  << " residues\n";
+    }
+
+    core::Table summary({"metric", "value"});
+    summary.row().add("requests").add(
+        static_cast<std::uint64_t>(report.responses.size()));
+    summary.row().add("batches").add(
+        static_cast<std::uint64_t>(report.batches));
+    summary.row().add("batch size").add(
+        static_cast<std::uint64_t>(report.batchSize));
+    summary.row().add("shards").add(
+        static_cast<std::uint64_t>(report.shards));
+    summary.row().add("jobs").add(
+        static_cast<int>(report.jobs));
+    summary.row().add("wall ms").add(report.wallMs, 2);
+    summary.row().add("requests/sec").add(
+        report.requestsPerSec(), 1);
+    summary.row().add("p50 latency ms").add(lat.p50Us / 1000.0, 3);
+    summary.row().add("p95 latency ms").add(lat.p95Us / 1000.0, 3);
+    summary.row().add("p99 latency ms").add(lat.p99Us / 1000.0, 3);
+    summary.row().add("max latency ms").add(lat.maxUs / 1000.0, 3);
+    summary.row().add("mean latency ms").add(
+        lat.meanUs / 1000.0, 3);
+    summary.row().add("scan cpu ms").add(report.cpuMs, 2);
+    summary.row().add("parallel efficiency").add(
+        report.parallelEfficiency(), 2);
+    summary.row().add("total cells").add(report.totalCells);
+
+    // Per-application slice of the stream.
+    core::Table mix({"workload", "requests", "mean latency ms",
+                     "mean hits"});
+    for (const kernels::Workload w : kernels::allWorkloads) {
+        std::uint64_t n = 0;
+        std::uint64_t hits = 0;
+        double latency_us = 0.0;
+        for (const serve::Response &r : report.responses) {
+            if (r.kind != w)
+                continue;
+            ++n;
+            hits += r.hits.size();
+            latency_us += r.latencyUs();
+        }
+        if (n == 0)
+            continue;
+        mix.row()
+            .add(std::string(kernels::workloadName(w)))
+            .add(n)
+            .add(latency_us / static_cast<double>(n) / 1000.0, 3)
+            .add(static_cast<double>(hits)
+                     / static_cast<double>(n),
+                 1);
+    }
+
+    core::Table hist({"latency bucket", "requests"});
+    for (const serve::LatencyBucket &b :
+         report.latency.histogram()) {
+        std::ostringstream label;
+        label.setf(std::ios::fixed);
+        label.precision(3);
+        label << "[" << b.loUs / 1000.0 << ", " << b.hiUs / 1000.0
+              << ") ms";
+        hist.row().add(label.str()).add(
+            static_cast<std::uint64_t>(b.count));
+    }
+
+    if (csv) {
+        summary.printCsv(std::cout);
+        mix.printCsv(std::cout);
+        hist.printCsv(std::cout);
+    } else {
+        summary.print(std::cout);
+        std::cout << "\nper-application mix:\n";
+        mix.print(std::cout);
+        std::cout << "\nlatency histogram:\n";
+        hist.print(std::cout);
+    }
+    return 0;
+}
