@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Simulator-throughput harness: simulated Minst/s per
+ * {workload x Me1/Me4 x 8-way}, single-threaded on purpose — this
+ * measures the *inner loop* the sweep engine fans out, not the
+ * fan-out (bench_serve_throughput and the figure harnesses cover
+ * that). Me4's infinite L2 keeps the machine busy; Me1's 300-cycle
+ * memory misses park it — exactly the regime the idle-cycle
+ * fast-forward targets — so the two columns bound the speedup.
+ *
+ * The JSON footer carries minst_per_sec (aggregate) plus the Me1
+ * and Me4 aggregates so archived BENCH_*.json files track simulator
+ * throughput release over release.
+ */
+
+#include <chrono>
+#include <iomanip>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    using namespace bioarch;
+    using Clock = std::chrono::steady_clock;
+
+    bench::banner(
+        "bench_sim_speed — simulator throughput (Minst/s)",
+        "n/a (simulator engineering, not a paper figure)");
+
+    const sim::CoreConfig core = sim::core8Way();
+    const std::array<sim::MemoryConfig, 2> memories = {
+        sim::memoryMe1(), sim::memoryMe4()};
+
+    std::cout << "#\n# "
+              << std::setw(10) << std::left << "workload"
+              << std::setw(7) << "memory"
+              << std::right << std::setw(14) << "instructions"
+              << std::setw(12) << "cycles"
+              << std::setw(10) << "ms"
+              << std::setw(10) << "Minst/s" << "\n";
+
+    std::vector<double> point_ms;
+    std::array<double, 2> mem_insts{};
+    std::array<double, 2> mem_secs{};
+    double wall_ms = 0.0;
+    std::uint64_t total_insts = 0;
+
+    const Clock::time_point start = Clock::now();
+    for (const kernels::Workload w : kernels::allWorkloads) {
+        const trace::Trace &tr = bench::suite().trace(w);
+        for (std::size_t m = 0; m < memories.size(); ++m) {
+            sim::SimConfig cfg;
+            cfg.core = core;
+            cfg.memory = memories[m];
+            const Clock::time_point t0 = Clock::now();
+            const sim::SimStats stats = core::simulate(tr, cfg);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - t0)
+                    .count();
+            point_ms.push_back(ms);
+            mem_insts[m] +=
+                static_cast<double>(stats.instructions);
+            mem_secs[m] += ms / 1000.0;
+            total_insts += stats.instructions;
+
+            std::cout << "# " << std::setw(10) << std::left
+                      << kernels::workloadName(w) << std::setw(7)
+                      << memories[m].name << std::right
+                      << std::fixed << std::setprecision(0)
+                      << std::setw(14) << stats.instructions
+                      << std::setw(12) << stats.cycles
+                      << std::setprecision(2) << std::setw(10)
+                      << ms << std::setw(10)
+                      << (ms <= 0.0
+                              ? 0.0
+                              : static_cast<double>(
+                                    stats.instructions)
+                                  / 1e6 / (ms / 1000.0))
+                      << "\n";
+        }
+    }
+    wall_ms = std::chrono::duration<double, std::milli>(
+                  Clock::now() - start)
+                  .count();
+
+    double cpu_ms = 0.0;
+    for (const double ms : point_ms)
+        cpu_ms += ms;
+    const auto minst = [](double insts, double secs) {
+        return secs <= 0.0 ? 0.0 : insts / 1e6 / secs;
+    };
+    const auto fmt = [](double v) {
+        std::ostringstream s;
+        s << std::fixed << std::setprecision(3) << v;
+        return s.str();
+    };
+    bench::printJsonFooter(
+        "bench_sim_speed", 1, point_ms.size(), wall_ms, cpu_ms,
+        {{"core", "\"" + core.name + "\""},
+         {"total_instructions", std::to_string(total_insts)},
+         {"minst_per_sec",
+          fmt(minst(mem_insts[0] + mem_insts[1],
+                    mem_secs[0] + mem_secs[1]))},
+         {"minst_per_sec_me1", fmt(minst(mem_insts[0], mem_secs[0]))},
+         {"minst_per_sec_me4", fmt(minst(mem_insts[1], mem_secs[1]))}},
+        point_ms);
+    return 0;
+}

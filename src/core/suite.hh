@@ -42,7 +42,9 @@ class WorkloadSuite
     /** The traced run of @p w (generated on first use). */
     const kernels::TracedRun &run(kernels::Workload w);
 
-    /** Materialize all five traces now (e.g. before a fan-out). */
+    /** Materialize all five traces now (e.g. before a fan-out),
+     * generating them in parallel on a transient ThreadPool (one
+     * task per workload, BIOARCH_JOBS-many workers at most). */
     void prepareAll();
 
     /** The instruction trace of @p w. */

@@ -127,6 +127,8 @@ Btb::Btb(int entries, int associativity)
 {
     _sets = static_cast<int>(
         ceilPow2(std::max(1, entries / _assoc)));
+    _setShift = static_cast<std::uint64_t>(
+        std::countr_zero(static_cast<unsigned>(_sets)));
     _tags.assign(static_cast<std::size_t>(_sets) * _assoc, 0);
     _stamps.assign(_tags.size(), 0);
 }
@@ -134,8 +136,7 @@ Btb::Btb(int entries, int associativity)
 bool
 Btb::lookup(std::uint64_t pc)
 {
-    const std::uint64_t tag =
-        pc / static_cast<unsigned>(_sets) + 1;
+    const std::uint64_t tag = (pc >> _setShift) + 1;
     const int set =
         static_cast<int>(pc & static_cast<unsigned>(_sets - 1));
     const std::size_t base = static_cast<std::size_t>(set) * _assoc;

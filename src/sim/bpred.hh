@@ -20,6 +20,13 @@ namespace bioarch::sim
  * Direction predictor interface. Predict-then-update per branch,
  * in trace order (the model updates non-speculatively, which for
  * trace-driven simulation is the standard approximation).
+ *
+ * The concrete predictors are `final`: the simulator's fetch loop
+ * is instantiated per predictor kind (Simulator::run switches once,
+ * outside the loop), so predict/train calls on the concrete type
+ * compile to direct — usually inlined — calls instead of per-branch
+ * virtual dispatch. The virtual interface remains for callers that
+ * genuinely need runtime polymorphism (makePredictor()).
  */
 class DirectionPredictor
 {
@@ -62,7 +69,7 @@ class DirectionPredictor
 };
 
 /** Per-PC table of 2-bit saturating counters. */
-class BimodalPredictor : public DirectionPredictor
+class BimodalPredictor final : public DirectionPredictor
 {
   public:
     explicit BimodalPredictor(int entries);
@@ -75,7 +82,7 @@ class BimodalPredictor : public DirectionPredictor
 };
 
 /** Global-history-xor-PC indexed 2-bit counters. */
-class GsharePredictor : public DirectionPredictor
+class GsharePredictor final : public DirectionPredictor
 {
   public:
     explicit GsharePredictor(int entries);
@@ -96,7 +103,7 @@ class GsharePredictor : public DirectionPredictor
  * counters chooses between a gshare and a bimodal component per
  * branch (McFarling-style tournament).
  */
-class CombinedPredictor : public DirectionPredictor
+class CombinedPredictor final : public DirectionPredictor
 {
   public:
     explicit CombinedPredictor(int entries);
@@ -113,7 +120,7 @@ class CombinedPredictor : public DirectionPredictor
 };
 
 /** Oracle predictor: always right (Fig. 9's Perfect-BP). */
-class PerfectPredictor : public DirectionPredictor
+class PerfectPredictor final : public DirectionPredictor
 {
   public:
     bool
@@ -158,6 +165,8 @@ class Btb
   private:
     int _sets;
     int _assoc;
+    /** log2(_sets): pow-2 set count makes the tag a shift. */
+    std::uint64_t _setShift = 0;
     std::vector<std::uint64_t> _tags;
     std::vector<std::uint64_t> _stamps;
     std::uint64_t _clock = 0;

@@ -29,9 +29,12 @@ Cache::Cache(const CacheConfig &config) : _config(config)
         static_cast<int>(_config.sizeBytes / _config.lineBytes));
     const int assoc = std::max(1, _config.associativity);
     _numSets = ceilPow2(std::max(1, lines / assoc));
+    _assoc = assoc;
     _lineShift = static_cast<std::uint64_t>(
         std::countr_zero(static_cast<unsigned>(
             ceilPow2(_config.lineBytes))));
+    _setShift = static_cast<std::uint64_t>(
+        std::countr_zero(static_cast<unsigned>(_numSets)));
     _tags.assign(static_cast<std::size_t>(_numSets) * assoc, 0);
     _stamps.assign(_tags.size(), 0);
 }
@@ -44,11 +47,11 @@ Cache::access(std::uint64_t addr)
         return true;
 
     const std::uint64_t line = addr >> _lineShift;
-    const std::uint64_t tag = line / static_cast<unsigned>(_numSets)
-        + 1; // +1 so tag 0 means empty
+    const std::uint64_t tag =
+        (line >> _setShift) + 1; // +1 so tag 0 means empty
     const int set =
         static_cast<int>(line & static_cast<unsigned>(_numSets - 1));
-    const int assoc = std::max(1, _config.associativity);
+    const int assoc = _assoc;
     const std::size_t base =
         static_cast<std::size_t>(set) * assoc;
 
@@ -77,11 +80,10 @@ Cache::probe(std::uint64_t addr) const
     if (_config.infinite())
         return true;
     const std::uint64_t line = addr >> _lineShift;
-    const std::uint64_t tag =
-        line / static_cast<unsigned>(_numSets) + 1;
+    const std::uint64_t tag = (line >> _setShift) + 1;
     const int set =
         static_cast<int>(line & static_cast<unsigned>(_numSets - 1));
-    const int assoc = std::max(1, _config.associativity);
+    const int assoc = _assoc;
     const std::size_t base = static_cast<std::size_t>(set) * assoc;
     for (int way = 0; way < assoc; ++way)
         if (_tags[base + way] == tag)

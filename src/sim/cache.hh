@@ -61,7 +61,11 @@ class Cache
   private:
     CacheConfig _config;
     int _numSets = 0;
+    int _assoc = 1;
     std::uint64_t _lineShift = 0;
+    /** log2(_numSets): the set count is a power of two, so the
+     * tag extraction is a shift, not a (20-cycle) division. */
+    std::uint64_t _setShift = 0;
     /** tags[set * assoc + way]; 0 = empty. */
     std::vector<std::uint64_t> _tags;
     /** LRU stamps parallel to tags. */

@@ -98,6 +98,14 @@ struct SimStats
     /** Mean of an occupancy histogram. */
     static double meanOccupancy(const std::vector<std::uint64_t> &h);
 
+    /**
+     * Order-sensitive 64-bit FNV-1a digest over every counter and
+     * histogram (including histogram lengths). Two stats compare
+     * equal iff they fingerprint equal, so golden tests can pin a
+     * full SimStats in one value (tests/sim_golden_test.cc).
+     */
+    std::uint64_t fingerprint() const;
+
     /** Every counter and histogram equal — the bit-for-bit
      * determinism contract the parallel sweep is tested against. */
     bool operator==(const SimStats &) const = default;
@@ -118,6 +126,15 @@ class Simulator
     const SimConfig &config() const { return _config; }
 
   private:
+    /**
+     * The simulation loop, instantiated per concrete predictor
+     * type (run() switches on PredictorKind once, hoisting the
+     * dispatch out of the per-branch hot path).
+     */
+    template <class Predictor>
+    SimStats runImpl(const trace::Trace &trace,
+                     Predictor &predictor);
+
     SimConfig _config;
 };
 

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fixed-capacity power-of-two ring buffer for the pipeline
+ * simulator's in-flight structures (ROB, ibuffer, store queue).
+ *
+ * The simulator's queues have hard capacities known at construction
+ * (CoreConfig), so a preallocated ring replaces std::deque: no
+ * allocator traffic after construction, contiguous storage, and
+ * index-from-front access in two instructions (add + mask). Head
+ * and tail are monotone counters, so size() == tail - head never
+ * needs a full/empty disambiguation bit.
+ */
+
+#ifndef BIOARCH_SIM_RING_BUFFER_HH
+#define BIOARCH_SIM_RING_BUFFER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bioarch::sim
+{
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** Preallocate room for at least @p capacity elements. */
+    explicit RingBuffer(std::size_t capacity)
+    {
+        std::size_t pow2 = 1;
+        while (pow2 < capacity)
+            pow2 <<= 1;
+        _slots.resize(pow2);
+        _mask = pow2 - 1;
+    }
+
+    bool empty() const { return _head == _tail; }
+    std::size_t size() const
+    {
+        return static_cast<std::size_t>(_tail - _head);
+    }
+    std::size_t capacity() const { return _slots.size(); }
+
+    T &front() { return _slots[_head & _mask]; }
+    const T &front() const { return _slots[_head & _mask]; }
+    T &back() { return _slots[(_tail - 1) & _mask]; }
+    const T &back() const { return _slots[(_tail - 1) & _mask]; }
+
+    /** @p i counts from the front (oldest) element. */
+    T &operator[](std::size_t i)
+    {
+        return _slots[(_head + i) & _mask];
+    }
+    const T &operator[](std::size_t i) const
+    {
+        return _slots[(_head + i) & _mask];
+    }
+
+    void
+    push_back(const T &value)
+    {
+        assert(size() < capacity());
+        _slots[_tail & _mask] = value;
+        ++_tail;
+    }
+
+    /** Append a value-initialized element and return it, for
+     * callers that fill the fields in place rather than copying a
+     * whole staged object in. */
+    T &
+    emplace_back()
+    {
+        assert(size() < capacity());
+        T &slot = _slots[_tail & _mask];
+        slot = T{};
+        ++_tail;
+        return slot;
+    }
+
+    void
+    pop_front()
+    {
+        assert(!empty());
+        ++_head;
+    }
+
+    void clear() { _head = _tail; }
+
+  private:
+    std::vector<T> _slots;
+    std::uint64_t _mask = 0;
+    std::uint64_t _head = 0;
+    std::uint64_t _tail = 0;
+};
+
+} // namespace bioarch::sim
+
+#endif // BIOARCH_SIM_RING_BUFFER_HH

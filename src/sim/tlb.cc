@@ -1,5 +1,7 @@
 #include "tlb.hh"
 
+#include <bit>
+
 namespace bioarch::sim
 {
 
@@ -21,9 +23,11 @@ Tlb::Tlb(const TlbConfig &config) : _config(config)
 {
     if (_config.infinite())
         return;
-    const int assoc = std::max(1, _config.associativity);
-    _sets = ceilPow2(std::max(1, _config.entries / assoc));
-    _tags.assign(static_cast<std::size_t>(_sets) * assoc, 0);
+    _assoc = std::max(1, _config.associativity);
+    _sets = ceilPow2(std::max(1, _config.entries / _assoc));
+    _setShift = static_cast<std::uint64_t>(
+        std::countr_zero(static_cast<unsigned>(_sets)));
+    _tags.assign(static_cast<std::size_t>(_sets) * _assoc, 0);
     _stamps.assign(_tags.size(), 0);
 }
 
@@ -33,11 +37,10 @@ Tlb::access(std::uint64_t page)
     ++_accesses;
     if (_config.infinite())
         return true;
-    const std::uint64_t tag =
-        page / static_cast<unsigned>(_sets) + 1;
+    const std::uint64_t tag = (page >> _setShift) + 1;
     const int set =
         static_cast<int>(page & static_cast<unsigned>(_sets - 1));
-    const int assoc = std::max(1, _config.associativity);
+    const int assoc = _assoc;
     const std::size_t base = static_cast<std::size_t>(set) * assoc;
     ++_clock;
     int victim = 0;
@@ -61,14 +64,19 @@ Tlb::access(std::uint64_t page)
 TranslationUnit::TranslationUnit(const TranslationConfig &config)
     : _config(config), _tlb1(config.tlb1), _tlb2(config.tlb2)
 {
+    const auto page_bytes =
+        static_cast<unsigned>(std::max(1, _config.pageBytes));
+    if (std::has_single_bit(page_bytes))
+        _pageShift = std::countr_zero(page_bytes);
 }
 
 Translation
 TranslationUnit::translate(std::uint64_t addr)
 {
     Translation out;
-    const std::uint64_t page =
-        addr / static_cast<unsigned>(_config.pageBytes);
+    const std::uint64_t page = _pageShift >= 0
+        ? addr >> _pageShift
+        : addr / static_cast<unsigned>(_config.pageBytes);
     if (_tlb1.access(page))
         return out;
     if (_tlb2.access(page)) {

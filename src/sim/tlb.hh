@@ -59,6 +59,9 @@ class Tlb
   private:
     TlbConfig _config;
     int _sets = 1;
+    int _assoc = 1;
+    /** log2(_sets): pow-2 set count makes the tag a shift. */
+    std::uint64_t _setShift = 0;
     std::vector<std::uint64_t> _tags;
     std::vector<std::uint64_t> _stamps;
     std::uint64_t _clock = 0;
@@ -87,6 +90,9 @@ class TranslationUnit
 
   private:
     TranslationConfig _config;
+    /** log2(pageBytes) when it is a power of two, else -1 and the
+     * page number falls back to division. */
+    int _pageShift = -1;
     Tlb _tlb1;
     Tlb _tlb2;
 };

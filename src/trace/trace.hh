@@ -95,6 +95,18 @@ class Trace
 
     void reserve(std::size_t n) { _insts.reserve(n); }
 
+    /**
+     * Release the growth headroom left by append(). Tracing cannot
+     * predict the dynamic length, so the instruction vector ends up
+     * to ~50% over-allocated; a finished trace is read-only, so a
+     * suite holding all five traces gives that memory back.
+     */
+    void
+    shrinkToFit()
+    {
+        _insts.shrink_to_fit();
+    }
+
     /** Compute the per-class instruction mix. */
     InstructionMix mix() const;
 

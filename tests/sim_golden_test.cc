@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Golden-value regression test for the pipeline simulator's
+ * bit-for-bit determinism across optimizations.
+ *
+ * The inner-loop overhaul (idle-cycle fast-forward, ring buffers,
+ * store-watermark dependence checks, devirtualized predictors) must
+ * not move a single counter: every SimStats a config grid produces
+ * is pinned here against values captured from the pre-optimization
+ * simulator. The pin is SimStats::fingerprint() — an FNV-1a digest
+ * over every counter and histogram — plus cycles, instructions and
+ * the trauma total in the clear so a drift points at itself.
+ *
+ * Regenerating (only legitimate after an *intentional* model
+ * change, never to absorb an optimization's drift):
+ *
+ *   BIOARCH_REGEN_GOLDEN=1 ./sim_golden_test
+ *
+ * prints the replacement kGolden table to stdout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/suite.hh"
+
+namespace
+{
+
+using namespace bioarch;
+
+/** dbSequences=3 keeps the 45-point grid fast while still running
+ * every kernel through its hit and miss paths. */
+core::WorkloadSuite &
+goldenSuite()
+{
+    static core::WorkloadSuite s([] {
+        kernels::TraceSpec spec;
+        spec.dbSequences = 3;
+        return spec;
+    }());
+    return s;
+}
+
+const std::array<sim::CoreConfig, 3> &
+goldenCores()
+{
+    static const std::array<sim::CoreConfig, 3> cores = {
+        sim::core4Way(), sim::core8Way(), sim::core16Way()};
+    return cores;
+}
+
+const std::array<sim::MemoryConfig, 3> &
+goldenMemories()
+{
+    static const std::array<sim::MemoryConfig, 3> mems = {
+        sim::memoryMe1(), sim::memoryMe4(), sim::memoryInf()};
+    return mems;
+}
+
+struct Golden
+{
+    int workload;
+    int core;
+    int memory;
+    std::uint64_t cycles;
+    std::uint64_t instructions;
+    std::uint64_t traumaTotal;
+    std::uint64_t fingerprint;
+};
+
+// Captured from the pre-optimization (cycle-at-a-time, deque-based)
+// simulator at commit ca1a85c; the optimized loop must reproduce
+// every value exactly.
+constexpr Golden kGolden[] = {
+    // clang-format off
+    {0, 0, 0, 1209222ull, 2979491ull, 5112781ull, 11381711336113869614ull},
+    {0, 0, 1, 1185963ull, 2979491ull, 4831772ull, 15084768175251950078ull},
+    {0, 0, 2, 1185326ull, 2979491ull, 4822169ull, 13463189184585089849ull},
+    {0, 1, 0, 1098104ull, 2979491ull, 6180100ull, 9691919488812798931ull},
+    {0, 1, 1, 1074824ull, 2979491ull, 5898949ull, 15786473882009978569ull},
+    {0, 1, 2, 1074172ull, 2979491ull, 5889527ull, 9617647163484039824ull},
+    {0, 2, 0, 1090667ull, 2979491ull, 6336177ull, 4901288545317402911ull},
+    {0, 2, 1, 1067387ull, 2979491ull, 6055042ull, 1280811399268930336ull},
+    {0, 2, 2, 1066738ull, 2979491ull, 6045621ull, 16613244063422601402ull},
+    {1, 0, 0, 241528ull, 665519ull, 8501888ull, 14888402540052800347ull},
+    {1, 0, 1, 225423ull, 665519ull, 7878585ull, 1723009672027304260ull},
+    {1, 0, 2, 225333ull, 665519ull, 7869386ull, 11964657083861199312ull},
+    {1, 1, 0, 199629ull, 665519ull, 14657508ull, 9014310359449632812ull},
+    {1, 1, 1, 187779ull, 665519ull, 13792878ull, 8115333590423784013ull},
+    {1, 1, 2, 187731ull, 665519ull, 13785329ull, 6945293185941906087ull},
+    {1, 2, 0, 199585ull, 665519ull, 15334761ull, 1708526078436947439ull},
+    {1, 2, 1, 187777ull, 665519ull, 14473541ull, 3969264459105632645ull},
+    {1, 2, 2, 187729ull, 665519ull, 14466221ull, 12601661462915297636ull},
+    {2, 0, 0, 188083ull, 595099ull, 8100901ull, 4758912360857430352ull},
+    {2, 0, 1, 169577ull, 595099ull, 7458812ull, 2362253138101866668ull},
+    {2, 0, 2, 169368ull, 595099ull, 7447593ull, 15169390219856565294ull},
+    {2, 1, 0, 175675ull, 595099ull, 11815350ull, 950274352427509306ull},
+    {2, 1, 1, 159670ull, 595099ull, 10769060ull, 12004127829145749008ull},
+    {2, 1, 2, 159618ull, 595099ull, 10760851ull, 7835897839674815242ull},
+    {2, 2, 0, 175603ull, 595099ull, 12087312ull, 13362979644709697813ull},
+    {2, 2, 1, 159645ull, 595099ull, 11007128ull, 1764580476878585026ull},
+    {2, 2, 2, 159595ull, 595099ull, 10999092ull, 12575876589143443278ull},
+    {3, 0, 0, 247017ull, 422604ull, 1646171ull, 14736195290076212691ull},
+    {3, 0, 1, 229043ull, 422604ull, 1443508ull, 16734892248888625078ull},
+    {3, 0, 2, 228527ull, 422604ull, 1436084ull, 10753083393138425526ull},
+    {3, 1, 0, 246188ull, 422604ull, 3967176ull, 10647810060472347246ull},
+    {3, 1, 1, 228186ull, 422604ull, 3761383ull, 5293089095565268315ull},
+    {3, 1, 2, 227763ull, 422604ull, 3755294ull, 6072932512423787150ull},
+    {3, 2, 0, 245995ull, 422604ull, 4150449ull, 5173791698448254437ull},
+    {3, 2, 1, 227985ull, 422604ull, 3944630ull, 17798952797473895112ull},
+    {3, 2, 2, 227555ull, 422604ull, 3938583ull, 2913300401371481684ull},
+    {4, 0, 0, 214680ull, 232166ull, 1765341ull, 10623820105069965465ull},
+    {4, 0, 1, 135623ull, 232166ull, 860550ull, 7523080979568496623ull},
+    {4, 0, 2, 133050ull, 232166ull, 825317ull, 14189281689999708336ull},
+    {4, 1, 0, 213564ull, 232166ull, 2926896ull, 17962293278677552363ull},
+    {4, 1, 1, 134766ull, 232166ull, 2049690ull, 12191694478106115904ull},
+    {4, 1, 2, 132242ull, 232166ull, 2016080ull, 1392109962280197310ull},
+    {4, 2, 0, 213430ull, 232166ull, 3048016ull, 5247840073561348594ull},
+    {4, 2, 1, 134590ull, 232166ull, 2170757ull, 9011628579560958561ull},
+    {4, 2, 2, 132040ull, 232166ull, 2137087ull, 4431759575676280093ull},
+    // clang-format on
+};
+
+TEST(SimGolden, StatsMatchPreOptimizationSimulator)
+{
+    const bool regen =
+        std::getenv("BIOARCH_REGEN_GOLDEN") != nullptr;
+    std::size_t idx = 0;
+    for (int w = 0; w < kernels::numWorkloads; ++w) {
+        const trace::Trace &tr = goldenSuite().trace(
+            static_cast<kernels::Workload>(w));
+        for (std::size_t c = 0; c < goldenCores().size(); ++c) {
+            for (std::size_t m = 0; m < goldenMemories().size();
+                 ++m) {
+                sim::SimConfig cfg;
+                cfg.core = goldenCores()[c];
+                cfg.memory = goldenMemories()[m];
+                const sim::SimStats stats =
+                    core::simulate(tr, cfg);
+                if (regen) {
+                    std::printf(
+                        "    {%d, %zu, %zu, %lluull, %lluull, "
+                        "%lluull, %lluull},\n",
+                        w, c, m,
+                        static_cast<unsigned long long>(
+                            stats.cycles),
+                        static_cast<unsigned long long>(
+                            stats.instructions),
+                        static_cast<unsigned long long>(
+                            stats.traumas.total()),
+                        static_cast<unsigned long long>(
+                            stats.fingerprint()));
+                    continue;
+                }
+                ASSERT_LT(idx, std::size(kGolden));
+                const Golden &g = kGolden[idx];
+                ASSERT_EQ(g.workload, w);
+                ASSERT_EQ(g.core, static_cast<int>(c));
+                ASSERT_EQ(g.memory, static_cast<int>(m));
+                const std::string where = std::string(
+                    kernels::workloadName(
+                        static_cast<kernels::Workload>(w)))
+                    + " / " + cfg.core.name + " / "
+                    + cfg.memory.name;
+                EXPECT_EQ(stats.cycles, g.cycles) << where;
+                EXPECT_EQ(stats.instructions, g.instructions)
+                    << where;
+                EXPECT_EQ(stats.traumas.total(), g.traumaTotal)
+                    << where;
+                EXPECT_EQ(stats.fingerprint(), g.fingerprint)
+                    << where
+                    << " — some counter or histogram drifted";
+                ++idx;
+            }
+        }
+    }
+    if (regen)
+        GTEST_SKIP() << "golden table printed; paste into kGolden";
+    EXPECT_EQ(idx, std::size(kGolden));
+}
+
+/** fingerprint() must be sensitive to every field it pins. */
+TEST(SimGolden, FingerprintDetectsSingleCounterDrift)
+{
+    sim::SimConfig cfg;
+    const sim::SimStats base = core::simulate(
+        goldenSuite().trace(kernels::Workload::Blast), cfg);
+
+    sim::SimStats tweaked = base;
+    tweaked.traumas.cycles[5] += 1;
+    EXPECT_NE(base.fingerprint(), tweaked.fingerprint());
+
+    tweaked = base;
+    tweaked.dtlb2Misses += 1;
+    EXPECT_NE(base.fingerprint(), tweaked.fingerprint());
+
+    tweaked = base;
+    ASSERT_FALSE(tweaked.inflightOccupancy.empty());
+    tweaked.inflightOccupancy.back() += 1;
+    EXPECT_NE(base.fingerprint(), tweaked.fingerprint());
+
+    // Histogram *shape* is pinned too, not just its values.
+    tweaked = base;
+    tweaked.inflightOccupancy.push_back(0);
+    EXPECT_NE(base.fingerprint(), tweaked.fingerprint());
+}
+
+} // namespace
