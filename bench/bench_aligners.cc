@@ -4,9 +4,19 @@
  * the Section-I claim that the heuristics are an order of
  * magnitude faster than rigorous Smith-Waterman, measured on real
  * wall-clock rather than in simulation.
+ *
+ * Ends with an interleaved A/B of the model-vector scan
+ * (swSimdScan<8>, the Altivec software model) against the native
+ * striped backend (sw_striped_native), reported as GCUPS in the
+ * standard JSON footer — the gate for the serving engine's kernel
+ * swap.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <limits>
+#include <string>
 
 #include "align/blast.hh"
 #include "align/fasta.hh"
@@ -14,6 +24,8 @@
 #include "align/ssearch.hh"
 #include "align/sw_simd.hh"
 #include "align/sw_striped.hh"
+#include "align/sw_striped_native.hh"
+#include "bench_common.hh"
 #include "bio/scoring.hh"
 #include "bio/synthetic.hh"
 
@@ -160,6 +172,137 @@ BM_BlastNeighborhoodBuild(benchmark::State &state)
 }
 BENCHMARK(BM_BlastNeighborhoodBuild)->Unit(benchmark::kMillisecond);
 
+void
+BM_SwStripedNativeScan(benchmark::State &state,
+                       align::SimdBackend backend)
+{
+    const align::NativeQueryProfile profile(query(), kMat, backend);
+    std::uint64_t residues = 0;
+    for (auto _ : state) {
+        int best = 0;
+        for (const bio::Sequence &s : database()) {
+            best = std::max(
+                best,
+                align::swStripedNativeScan(profile, s, kGaps)
+                    .score);
+            residues += s.length();
+        }
+        benchmark::DoNotOptimize(best);
+    }
+    state.counters["Mcells/s"] = benchmark::Counter(
+        static_cast<double>(residues * query().length()) / 1e6,
+        benchmark::Counter::kIsRate);
+}
+
+/** One BM_SwStripedNativeScan instance per compiled backend. */
+void
+registerNativeBenchmarks()
+{
+    for (const align::SimdBackend backend :
+         align::compiledNativeBackends()) {
+        const std::string name = "BM_SwStripedNativeScan/"
+            + std::string(align::backendName(backend));
+        benchmark::RegisterBenchmark(name.c_str(),
+                                     BM_SwStripedNativeScan,
+                                     backend)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+/**
+ * The kernel-swap gate: interleaved A/B rounds of the model-vector
+ * database scan vs the native striped backend, single-threaded,
+ * per-arm minimum over the rounds, GCUPS = DP cells / wall-ns.
+ * Interleaving (model, native, model, native, ...) means thermal
+ * or scheduler drift hits both arms equally.
+ */
+void
+runModelVsNativeGcups()
+{
+    constexpr int rounds = 5;
+    const bio::Sequence &q = query();
+    const bio::SequenceDatabase &db = database();
+    const std::uint64_t cells = db.totalResidues() * q.length();
+
+    const align::VectorProfile<8> model_profile(q, kMat);
+    const align::SimdBackend backend = align::bestNativeBackend();
+    const align::NativeQueryProfile native_profile(q, kMat,
+                                                   backend);
+
+    using Clock = std::chrono::steady_clock;
+    auto time_ms = [](auto &&scan_all) {
+        const Clock::time_point t0 = Clock::now();
+        int best = 0;
+        scan_all(best);
+        benchmark::DoNotOptimize(best);
+        return std::chrono::duration<double, std::milli>(
+                   Clock::now() - t0)
+            .count();
+    };
+    auto model_scan = [&](int &best) {
+        for (const bio::Sequence &s : db)
+            best = std::max(
+                best,
+                align::swSimdScan<8>(model_profile, s, kGaps)
+                    .score);
+    };
+    auto native_scan = [&](int &best) {
+        for (const bio::Sequence &s : db)
+            best = std::max(
+                best,
+                align::swStripedNativeScan(native_profile, s, kGaps)
+                    .score);
+    };
+
+    double model_ms = std::numeric_limits<double>::infinity();
+    double native_ms = std::numeric_limits<double>::infinity();
+    std::vector<double> point_ms;
+    double wall_ms = 0.0;
+    for (int r = 0; r < rounds; ++r) {
+        const double m = time_ms(model_scan);
+        const double n = time_ms(native_scan);
+        model_ms = std::min(model_ms, m);
+        native_ms = std::min(native_ms, n);
+        point_ms.push_back(m);
+        point_ms.push_back(n);
+        wall_ms += m + n;
+    }
+
+    const auto gcups = [cells](double ms) {
+        return ms <= 0.0
+            ? 0.0
+            : static_cast<double>(cells) / (ms * 1e6);
+    };
+    std::cout << "# model vs native striped scan ("
+              << align::backendName(backend) << "), " << rounds
+              << " interleaved rounds, per-arm min: model "
+              << model_ms << " ms / native " << native_ms
+              << " ms\n";
+    bench::printJsonFooter(
+        "bench_aligners", 1, point_ms.size(), wall_ms, wall_ms,
+        {{"cells", std::to_string(cells)},
+         {"model_ms", std::to_string(model_ms)},
+         {"native_ms", std::to_string(native_ms)},
+         {"gcups_model", std::to_string(gcups(model_ms))},
+         {"gcups_native", std::to_string(gcups(native_ms))},
+         {"native_speedup",
+          std::to_string(model_ms / native_ms)},
+         {"native_backend",
+          "\"" + std::string(align::backendName(backend)) + "\""}},
+        point_ms);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    registerNativeBenchmarks();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    runModelVsNativeGcups();
+    return 0;
+}

@@ -12,8 +12,20 @@ smithWatermanScore(const bio::Sequence &query,
                    const bio::ScoringMatrix &matrix,
                    const bio::GapPenalties &gaps)
 {
-    const int m = static_cast<int>(query.length());
-    const int n = static_cast<int>(subject.length());
+    return smithWatermanScoreRaw(query.residues().data(),
+                                 query.length(),
+                                 subject.residues().data(),
+                                 subject.length(), matrix, gaps);
+}
+
+LocalScore
+smithWatermanScoreRaw(const bio::Residue *query, std::size_t m_in,
+                      const bio::Residue *subject, std::size_t n_in,
+                      const bio::ScoringMatrix &matrix,
+                      const bio::GapPenalties &gaps)
+{
+    const int m = static_cast<int>(m_in);
+    const int n = static_cast<int>(n_in);
     const int open_cost = gaps.openCost();
     const int ext_cost = gaps.extendCost();
 

@@ -37,6 +37,18 @@ LocalScore smithWatermanScore(const bio::Sequence &query,
                               const bio::GapPenalties &gaps);
 
 /**
+ * Raw-pointer form of smithWatermanScore, for callers that hold
+ * residues in contiguous storage other than a Sequence (the packed
+ * database arena, the native overflow ladder's scalar level).
+ */
+LocalScore smithWatermanScoreRaw(const bio::Residue *query,
+                                 std::size_t m,
+                                 const bio::Residue *subject,
+                                 std::size_t n,
+                                 const bio::ScoringMatrix &matrix,
+                                 const bio::GapPenalties &gaps);
+
+/**
  * Compute the best local alignment with traceback.
  *
  * Quadratic memory; intended for reporting the final alignments of

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The only translation unit compiled with -mavx2: the two AVX2
+ * kernel instantiations, reached through plain function pointers so
+ * the rest of the library stays at the baseline ISA and dispatch is
+ * guarded by runtime CPUID (sw_striped_native.cc).
+ */
+
+#include "sw_striped_native_impl.hh"
+
+#include "vec/simd_native.hh"
+
+#if !defined(__AVX2__)
+#error "sw_striped_avx2.cc must be compiled with -mavx2"
+#endif
+
+namespace bioarch::align::detail
+{
+
+LocalScore
+scanU8Avx2(const std::uint8_t *profile, int seg,
+           const bio::Residue *subject, std::size_t n,
+           int open_cost, int ext_cost, int bias, bool *saturated)
+{
+    return stripedScanU8<vec::native::Avx2U8>(
+        profile, seg, subject, n, open_cost, ext_cost, bias,
+        saturated);
+}
+
+LocalScore
+scanI16Avx2(const std::int16_t *profile, int seg,
+            const bio::Residue *subject, std::size_t n,
+            int open_cost, int ext_cost, bool *saturated)
+{
+    return stripedScanI16<vec::native::Avx2I16>(
+        profile, seg, subject, n, open_cost, ext_cost, saturated);
+}
+
+} // namespace bioarch::align::detail

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Native hardware-SIMD striped Smith-Waterman — the execution
+ * backend the serving engine scans the database with.
+ *
+ * Strictly separate from the traced/simulated kernels: those keep
+ * using the portable vector *model* (vec/simd.hh) so the paper's
+ * Table III instruction counts are untouched. This backend exists
+ * to make `bioarch-serve` run as fast as the hardware allows
+ * (Farrar-striped layout, 8-bit saturating lanes, lazy-F loop —
+ * the SSW/SWIPE lineage the paper's SW kernels led to).
+ *
+ * Overflow ladder (classic Farrar/SSW): every subject is scanned
+ * with unsigned 8-bit lanes first; a subject whose score enters the
+ * 8-bit saturation range is rescanned with signed 16-bit lanes; a
+ * subject that saturates those too falls back to the scalar
+ * reference. Final scores are therefore bit-identical to
+ * align::smithWatermanScore for every input (asserted by
+ * tests/sw_native_test.cc across all compiled backends).
+ *
+ * Backend selection: the BIOARCH_NATIVE_SIMD CMake option compiles
+ * the intrinsic variants (SSE2 on x86-64, AVX2 in its own -mavx2
+ * TU, NEON on aarch64); the portable autovectorizable variant is
+ * always compiled. bestNativeBackend() picks the widest variant the
+ * running CPU supports (AVX2 is additionally guarded by runtime
+ * CPUID), and the BIOARCH_SIMD_BACKEND environment variable forces
+ * a specific backend — including "model", which tells the serving
+ * layer to keep using the instruction-accurate model kernels.
+ */
+
+#ifndef BIOARCH_ALIGN_SW_STRIPED_NATIVE_HH
+#define BIOARCH_ALIGN_SW_STRIPED_NATIVE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "bio/scoring.hh"
+#include "bio/sequence.hh"
+#include "types.hh"
+#include "vec/simd_native.hh"
+
+namespace bioarch::align
+{
+
+/**
+ * Which kernel implementation scans the database. Model is the
+ * software Altivec model (vec/simd.hh) — not a native backend, but
+ * part of this enum so the serving engine and the benches can A/B
+ * the two layers through one switch.
+ */
+enum class SimdBackend
+{
+    Model,
+    Portable,
+    SSE2,
+    AVX2,
+    NEON,
+};
+
+/** Lower-case display name ("model", "sse2", ...). */
+std::string_view backendName(SimdBackend backend);
+
+/** Parse a backend name; "auto" maps to bestNativeBackend(). */
+std::optional<SimdBackend> parseBackend(std::string_view name);
+
+/**
+ * The native backends this binary can actually run, best first:
+ * compiled in (BIOARCH_NATIVE_SIMD + ISA availability) and passing
+ * the runtime CPUID guard. Always contains at least Portable.
+ */
+const std::vector<SimdBackend> &compiledNativeBackends();
+
+/** The widest runnable native backend (never Model). */
+SimdBackend bestNativeBackend();
+
+/**
+ * The backend the serving layer uses when nothing else is
+ * specified: BIOARCH_SIMD_BACKEND if set (unknown or unrunnable
+ * values fall back to auto), else bestNativeBackend().
+ */
+SimdBackend defaultScanBackend();
+
+/** Ladder accounting, for tests and bench reporting. */
+struct NativeScanStats
+{
+    std::uint64_t scans = 0;         ///< subjects scanned
+    std::uint64_t rescans16 = 0;     ///< 8-bit saturated, redone @16
+    std::uint64_t rescansScalar = 0; ///< 16-bit saturated too
+};
+
+/**
+ * Striped query profile for one native backend: the 8-bit biased
+ * and 16-bit raw score layouts, both padded to the backend's lane
+ * count and 64-byte aligned. Built once per query and shared
+ * read-only across every shard-scan task. The query and matrix
+ * must outlive the profile (it keeps references for the scalar
+ * fallback level).
+ */
+class NativeQueryProfile
+{
+  public:
+    /** Pad sentinel of the 16-bit level (as the model profile). */
+    static constexpr std::int16_t padScore = -1000;
+
+    NativeQueryProfile(const bio::Sequence &query,
+                       const bio::ScoringMatrix &matrix,
+                       SimdBackend backend);
+
+    SimdBackend backend() const { return _backend; }
+    const bio::Sequence &query() const { return *_query; }
+    int queryLength() const { return _m; }
+    /** Bias added to every 8-bit profile score (= -min score). */
+    int bias() const { return _bias; }
+    /** False when the matrix range does not fit 8-bit lanes. */
+    bool hasU8() const { return _u8 != nullptr; }
+
+    int segmentLength8() const { return _seg8; }
+    int segmentLength16() const { return _seg16; }
+    const std::uint8_t *profile8() const { return _u8.get(); }
+    const std::int16_t *profile16() const { return _i16.get(); }
+    const bio::ScoringMatrix &matrix() const { return *_matrix; }
+
+  private:
+    const bio::Sequence *_query;
+    const bio::ScoringMatrix *_matrix;
+    SimdBackend _backend;
+    int _m;
+    int _bias;
+    int _seg8;
+    int _seg16;
+    vec::native::AlignedArray<std::uint8_t> _u8;
+    vec::native::AlignedArray<std::int16_t> _i16;
+};
+
+/**
+ * Scan one subject with the profile's backend, climbing the
+ * 8-bit -> 16-bit -> scalar overflow ladder as levels saturate.
+ * The score is exactly align::smithWatermanScore's; like the model
+ * striped kernel, queryEnd is not tracked (-1) unless the scalar
+ * fallback level ran.
+ *
+ * @param subject encoded residues (any contiguous storage — a
+ *        Sequence's own vector or the database's packed arena)
+ * @param[out] cells optional logical DP cell counter (m*n per call)
+ * @param[out] stats optional ladder accounting
+ */
+LocalScore swStripedNativeScan(const NativeQueryProfile &profile,
+                               const bio::Residue *subject,
+                               std::size_t n,
+                               const bio::GapPenalties &gaps,
+                               std::uint64_t *cells = nullptr,
+                               NativeScanStats *stats = nullptr);
+
+/** Convenience overload scanning a Sequence. */
+LocalScore swStripedNativeScan(const NativeQueryProfile &profile,
+                               const bio::Sequence &subject,
+                               const bio::GapPenalties &gaps,
+                               std::uint64_t *cells = nullptr,
+                               NativeScanStats *stats = nullptr);
+
+} // namespace bioarch::align
+
+#endif // BIOARCH_ALIGN_SW_STRIPED_NATIVE_HH

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The striped Smith-Waterman kernel template instantiated once per
+ * native SIMD backend (vec/simd_native.hh variants). Private to
+ * sw_striped_native.cc and sw_striped_avx2.cc — everything else
+ * goes through the dispatching API in sw_striped_native.hh.
+ *
+ * The recurrence and the lazy-F loop mirror align/sw_striped.cc
+ * (the model-vector striped kernel, already asserted bit-identical
+ * to the scalar reference), with two differences:
+ *
+ *  - the 8-bit level runs Farrar's biased unsigned arithmetic: the
+ *    profile stores score+bias, each H update adds the biased score
+ *    and subtracts the bias back out, and unsigned saturating
+ *    subtraction clamps H/E/F at zero exactly as the scalar
+ *    recurrence does;
+ *  - both levels detect saturation (8-bit: best >= 255-bias once
+ *    adds can have clipped; 16-bit: best == INT16_MAX) so the
+ *    caller can climb the overflow ladder.
+ */
+
+#ifndef BIOARCH_ALIGN_SW_STRIPED_NATIVE_IMPL_HH
+#define BIOARCH_ALIGN_SW_STRIPED_NATIVE_IMPL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bio/alphabet.hh"
+#include "types.hh"
+
+// Containers of intrinsic register types drop the type attributes
+// from their template arguments; that is fine (the data is still
+// stored with the register's alignment) but GCC warns about it.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wignored-attributes"
+#endif
+
+namespace bioarch::align::detail
+{
+
+/**
+ * One striped column pass + lazy-F correction, shared verbatim by
+ * the 8-bit and 16-bit levels (the only asymmetry — bias handling —
+ * is folded into @p v_bias, zero for the 16-bit level whose profile
+ * stores raw scores).
+ *
+ * @param profile [residue][segment][lane] scores, V::lanes wide
+ * @param seg     segment length (ceil(m / V::lanes))
+ * @return        best lane value seen anywhere, and the column it
+ *                was first attained in
+ */
+template <class V>
+std::pair<typename V::Elem, int>
+stripedScanImpl(const typename V::Elem *profile, int seg,
+                const bio::Residue *subject, std::size_t n,
+                typename V::Elem open_cost, typename V::Elem ext_cost,
+                typename V::Elem bias)
+{
+    using Reg = typename V::Reg;
+    using Elem = typename V::Elem;
+    const int lanes = V::lanes;
+
+    const Reg v_open = V::splat(open_cost);
+    const Reg v_ext = V::splat(ext_cost);
+    const Reg v_bias = V::splat(bias);
+    const Reg v_zero = V::zero();
+
+    std::vector<Reg> h_store(static_cast<std::size_t>(seg),
+                             V::zero());
+    std::vector<Reg> h_load(static_cast<std::size_t>(seg),
+                            V::zero());
+    std::vector<Reg> e(static_cast<std::size_t>(seg), V::zero());
+
+    Elem best = 0;
+    int best_column = -1;
+
+    for (std::size_t j = 0; j < n; ++j) {
+        const Elem *prof_row = profile
+            + static_cast<std::size_t>(subject[j])
+                * static_cast<std::size_t>(seg)
+                * static_cast<std::size_t>(lanes);
+
+        Reg v_h = V::shiftInZero(
+            h_store[static_cast<std::size_t>(seg - 1)]);
+        std::swap(h_store, h_load);
+
+        Reg v_f = V::zero();
+        Reg v_col_best = V::zero();
+
+        for (int s = 0; s < seg; ++s) {
+            const std::size_t ss = static_cast<std::size_t>(s);
+            v_h = V::subs(
+                V::adds(v_h,
+                        V::load(prof_row
+                                + ss * static_cast<std::size_t>(
+                                      lanes))),
+                v_bias);
+            v_h = V::max(v_h, e[ss]);
+            v_h = V::max(v_h, v_f);
+            // Local-alignment zero clamp; a no-op at the unsigned
+            // 8-bit level, load-bearing at the signed 16-bit one.
+            v_h = V::max(v_h, v_zero);
+            v_col_best = V::max(v_col_best, v_h);
+            h_store[ss] = v_h;
+
+            const Reg v_h_open = V::subs(v_h, v_open);
+            e[ss] = V::max(V::subs(e[ss], v_ext), v_h_open);
+            v_f = V::max(V::subs(v_f, v_ext), v_h_open);
+
+            v_h = h_load[ss];
+        }
+
+        // Lazy F, exactly as in the model striped kernel: keep
+        // propagating the vertical gap across segment boundaries
+        // while it can still raise some H; the improvement flag
+        // guarantees termination when extend == 0.
+        v_f = V::shiftInZero(v_f);
+        int s = 0;
+        bool improved_this_wrap = true;
+        while (V::anyGt(
+            v_f,
+            V::subs(h_store[static_cast<std::size_t>(s)], v_open))) {
+            const std::size_t ss = static_cast<std::size_t>(s);
+            const Reg h_new = V::max(h_store[ss], v_f);
+            improved_this_wrap |= V::anyGt(h_new, h_store[ss]);
+            h_store[ss] = h_new;
+            e[ss] = V::max(e[ss], V::subs(h_new, v_open));
+            v_col_best = V::max(v_col_best, h_new);
+            v_f = V::subs(v_f, v_ext);
+            if (++s >= seg) {
+                if (!improved_this_wrap)
+                    break;
+                improved_this_wrap = false;
+                s = 0;
+                v_f = V::shiftInZero(v_f);
+            }
+        }
+
+        const Elem column_max = V::hmax(v_col_best);
+        if (column_max > best) {
+            best = column_max;
+            best_column = static_cast<int>(j);
+        }
+    }
+    return {best, best_column};
+}
+
+/** 16-bit H never saturates its signed lane type below this. */
+inline constexpr int i16SaturationCeiling = 32767;
+
+/**
+ * 8-bit unsigned level. The profile holds score+bias per cell (pad
+ * rows hold 0 == score -bias, which only ever decays phantom
+ * alignments, never inflates the maximum). Saturation is flagged
+ * when the best value enters the range where a biased add may have
+ * clipped at 255.
+ */
+template <class V>
+LocalScore
+stripedScanU8(const std::uint8_t *profile, int seg,
+              const bio::Residue *subject, std::size_t n,
+              int open_cost, int ext_cost, int bias,
+              bool *saturated)
+{
+    const auto [best, column] = stripedScanImpl<V>(
+        profile, seg, subject, n,
+        static_cast<std::uint8_t>(open_cost),
+        static_cast<std::uint8_t>(ext_cost),
+        static_cast<std::uint8_t>(bias));
+    *saturated = static_cast<int>(best) >= 255 - bias;
+    LocalScore out;
+    out.score = static_cast<int>(best);
+    out.subjectEnd = column;
+    return out;
+}
+
+/**
+ * 16-bit signed level. The profile holds raw scores with the same
+ * -1000 pad sentinel as the model striped profile; H is clamped at
+ * zero by maxing against the zero register inside the shared
+ * column pass (e and v_f start at zero, and the biased-subtraction
+ * with bias == 0 is a no-op).
+ */
+template <class V>
+LocalScore
+stripedScanI16(const std::int16_t *profile, int seg,
+               const bio::Residue *subject, std::size_t n,
+               int open_cost, int ext_cost, bool *saturated)
+{
+    const auto [best, column] = stripedScanImpl<V>(
+        profile, seg, subject, n,
+        static_cast<std::int16_t>(open_cost),
+        static_cast<std::int16_t>(ext_cost),
+        static_cast<std::int16_t>(0));
+    *saturated = static_cast<int>(best) >= i16SaturationCeiling;
+    LocalScore out;
+    out.score = static_cast<int>(best) < 0 ? 0
+                                           : static_cast<int>(best);
+    out.subjectEnd = column;
+    return out;
+}
+
+} // namespace bioarch::align::detail
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif // BIOARCH_ALIGN_SW_STRIPED_NATIVE_IMPL_HH

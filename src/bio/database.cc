@@ -11,6 +11,9 @@ SequenceDatabase::add(Sequence seq)
 {
     _totalResidues += seq.length();
     _maxLength = std::max(_maxLength, seq.length());
+    _packed.insert(_packed.end(), seq.residues().begin(),
+                   seq.residues().end());
+    _offsets.push_back(_totalResidues);
     _sequences.push_back(std::move(seq));
 }
 

@@ -42,13 +42,36 @@ Engine::runBatch(const Request *requests, std::size_t count)
     const double total =
         static_cast<double>(_db->totalResidues());
 
-    // Phase 1: build each request's query state (profile / word
-    // index) once, in parallel across requests.
+    // Phase 1: build each *distinct* request's query state
+    // (profile / word index) once, in parallel. Identical
+    // (kind, query-residues) requests in the batch share one
+    // PreparedQuery — profiles are read-only during scans, so
+    // sharing is free. Batches are small, so the quadratic group
+    // scan is cheaper than hashing the residues.
+    std::vector<std::size_t> rep(count);
+    for (std::size_t r = 0; r < count; ++r) {
+        rep[r] = r;
+        for (std::size_t p = 0; p < r; ++p) {
+            if (requests[p].kind == requests[r].kind
+                && requests[p].query.residues()
+                    == requests[r].query.residues()) {
+                rep[r] = p;
+                break;
+            }
+        }
+    }
+    std::vector<std::size_t> unique;
+    for (std::size_t r = 0; r < count; ++r)
+        if (rep[r] == r)
+            unique.push_back(r);
+    _lastBatchUnique = unique.size();
+
     std::vector<std::unique_ptr<PreparedQuery>> prepared(count);
-    _pool.parallelFor(count, [&](std::size_t r) {
+    _pool.parallelFor(unique.size(), [&](std::size_t i) {
+        const std::size_t r = unique[i];
         prepared[r] = std::make_unique<PreparedQuery>(
             requests[r], *_matrix, _cfg.gaps, _cfg.fasta,
-            _cfg.blast);
+            _cfg.blast, _cfg.backend);
     });
 
     // Phase 2: fan (request x shard) scans out; each task writes
@@ -62,7 +85,7 @@ Engine::runBatch(const Request *requests, std::size_t count)
             ? requests[r].topK
             : _cfg.topK;
         const Clock::time_point t0 = Clock::now();
-        scans[u] = scanShard(*prepared[r], *_db,
+        scans[u] = scanShard(*prepared[rep[r]], *_db,
                              _sharded.shard(s), top_k, _karlin,
                              total);
         scans[u].elapsedUs = elapsedUs(t0, Clock::now());

@@ -46,6 +46,14 @@ struct EngineConfig
     std::size_t batch = 8;
     /** Default hits per response (requests may override). */
     std::size_t topK = 10;
+    /**
+     * Kernel backend for the Smith-Waterman request kinds: a native
+     * SIMD backend (the default; see align::defaultScanBackend and
+     * the BIOARCH_SIMD_BACKEND environment variable) or
+     * SimdBackend::Model for the instruction-accurate model
+     * kernels.
+     */
+    align::SimdBackend backend = align::defaultScanBackend();
     bio::GapPenalties gaps;
     align::FastaParams fasta;
     align::BlastParams blast;
@@ -106,6 +114,13 @@ class Engine
     Response serve(const Request &request);
 
     /**
+     * Distinct (kind, query) groups in the most recent batch —
+     * i.e. how many PreparedQuery builds batch-level dedup left
+     * after sharing identical requests.
+     */
+    std::size_t lastBatchUnique() const { return _lastBatchUnique; }
+
+    /**
      * Serve @p requests as a single batch: all (request, shard)
      * scans are in flight together. Responses come back in request
      * order with serviceUs = the batch's wall time (queueUs = 0).
@@ -133,6 +148,7 @@ class Engine
     const bio::ScoringMatrix *_matrix;
     align::KarlinParams _karlin;
     core::ThreadPool _pool;
+    std::size_t _lastBatchUnique = 0;
 };
 
 } // namespace bioarch::serve

@@ -12,7 +12,8 @@ PreparedQuery::PreparedQuery(const Request &request,
                              const bio::ScoringMatrix &matrix,
                              const bio::GapPenalties &gaps,
                              const align::FastaParams &fasta,
-                             const align::BlastParams &blast)
+                             const align::BlastParams &blast,
+                             align::SimdBackend backend)
     : _kind(request.kind),
       _query(&request.query),
       _matrix(&matrix),
@@ -20,6 +21,18 @@ PreparedQuery::PreparedQuery(const Request &request,
       _fasta(fasta),
       _blast(blast)
 {
+    // All three Smith-Waterman kinds rank by the exact SW score, so
+    // any of them can be served by the native striped kernel; the
+    // per-kind model profiles only exist for the Model backend.
+    const bool native_sw = backend != align::SimdBackend::Model
+        && (_kind == kernels::Workload::Ssearch34
+            || _kind == kernels::Workload::SwVmx128
+            || _kind == kernels::Workload::SwVmx256);
+    if (native_sw) {
+        _native = std::make_unique<align::NativeQueryProfile>(
+            *_query, matrix, backend);
+        return;
+    }
     switch (_kind) {
     case kernels::Workload::Ssearch34:
         _profile =
@@ -51,6 +64,9 @@ PreparedQuery::scan(const bio::Sequence &subject,
                     std::uint64_t *cells) const
 {
     align::LocalScore ls;
+    if (_native)
+        return align::swStripedNativeScan(*_native, subject, _gaps,
+                                          cells);
     switch (_kind) {
     case kernels::Workload::Ssearch34:
         return align::ssearchScan(*_profile, subject, _gaps, cells);
@@ -76,6 +92,14 @@ PreparedQuery::scan(const bio::Sequence &subject,
     default:
         return ls;
     }
+}
+
+align::LocalScore
+PreparedQuery::scanPacked(const bio::Residue *subject,
+                          std::size_t n, std::uint64_t *cells) const
+{
+    return align::swStripedNativeScan(*_native, subject, n, _gaps,
+                                      cells);
 }
 
 std::vector<Request>

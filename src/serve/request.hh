@@ -21,6 +21,7 @@
 #include "align/fasta.hh"
 #include "align/ssearch.hh"
 #include "align/sw_simd.hh"
+#include "align/sw_striped_native.hh"
 #include "align/types.hh"
 #include "bio/scoring.hh"
 #include "bio/sequence.hh"
@@ -72,14 +73,26 @@ struct Response
 class PreparedQuery
 {
   public:
+    /**
+     * @param backend kernel backend for the Smith-Waterman kinds
+     *        (ssearch34 / sw_vmx*): any native backend routes their
+     *        scans through the striped native kernel; Model keeps
+     *        the instruction-accurate model kernels. The heuristics
+     *        (FASTA, BLAST) are unaffected.
+     */
     PreparedQuery(const Request &request,
                   const bio::ScoringMatrix &matrix,
                   const bio::GapPenalties &gaps,
                   const align::FastaParams &fasta,
-                  const align::BlastParams &blast);
+                  const align::BlastParams &blast,
+                  align::SimdBackend backend =
+                      align::defaultScanBackend());
 
     kernels::Workload kind() const { return _kind; }
     const bio::Sequence &query() const { return *_query; }
+
+    /** True when scans go through the native striped kernel. */
+    bool usesNativeScan() const { return _native != nullptr; }
 
     /**
      * Scan one subject sequence. The reported score matches what
@@ -91,6 +104,14 @@ class PreparedQuery
     align::LocalScore scan(const bio::Sequence &subject,
                            std::uint64_t *cells) const;
 
+    /**
+     * Scan @p n residues in contiguous storage (the database's
+     * packed arena). Only valid when usesNativeScan().
+     */
+    align::LocalScore scanPacked(const bio::Residue *subject,
+                                 std::size_t n,
+                                 std::uint64_t *cells) const;
+
   private:
     kernels::Workload _kind;
     const bio::Sequence *_query;
@@ -99,7 +120,9 @@ class PreparedQuery
     align::FastaParams _fasta;
     align::BlastParams _blast;
 
-    // Exactly one of these is built, depending on _kind.
+    // Exactly one of these is built, depending on _kind (and, for
+    // the Smith-Waterman kinds, on the backend).
+    std::unique_ptr<align::NativeQueryProfile> _native;
     std::unique_ptr<align::QueryProfile> _profile;
     std::unique_ptr<align::VectorProfile<8>> _vmx128;
     std::unique_ptr<align::VectorProfile<16>> _vmx256;

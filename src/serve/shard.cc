@@ -45,9 +45,22 @@ scanShard(const PreparedQuery &query,
     TopKHeap heap(top_k);
     const double m = static_cast<double>(query.query().length());
 
+    // Native Smith-Waterman scans walk the database's packed
+    // residue arena (one contiguous stream per shard); the model
+    // kernels and the heuristics keep taking the Sequence path.
+    const bool packed = query.usesNativeScan();
+    const bio::Residue *arena =
+        packed ? db.packedResidues() : nullptr;
+    const std::vector<std::uint64_t> &offsets = db.packedOffsets();
+
     for (std::size_t idx = shard.begin; idx < shard.end; ++idx) {
-        const align::LocalScore ls =
-            query.scan(db[idx], &out.cells);
+        const align::LocalScore ls = packed
+            ? query.scanPacked(
+                  arena + offsets[idx],
+                  static_cast<std::size_t>(offsets[idx + 1]
+                                           - offsets[idx]),
+                  &out.cells)
+            : query.scan(db[idx], &out.cells);
         ++out.sequences;
         if (ls.score <= 0)
             continue;
@@ -56,11 +69,16 @@ scanShard(const PreparedQuery &query,
         hit.score = ls.score;
         hit.queryEnd = ls.queryEnd;
         hit.subjectEnd = ls.subjectEnd;
-        hit.bitScore = karlin.bitScore(ls.score);
-        hit.evalue = karlin.evalue(ls.score, m, total_residues);
         heap.consider(hit);
     }
+    // Hit statistics are pure functions of the score, so they can
+    // wait until the heap has discarded everything below the top K
+    // (ranking never looks at them: (score desc, dbIndex asc)).
     out.hits = heap.ranked();
+    for (align::SearchHit &hit : out.hits) {
+        hit.bitScore = karlin.bitScore(hit.score);
+        hit.evalue = karlin.evalue(hit.score, m, total_residues);
+    }
     return out;
 }
 

@@ -242,6 +242,124 @@ TEST(ServeEngine, StreamReportAccountsEveryRequest)
         EXPECT_GE(r.latencyUs(), r.serviceUs);
 }
 
+TEST(ServeEngine, NativeBackendMatchesModelScores)
+{
+    // Every native backend must rank exactly like the
+    // instruction-accurate model kernels for all three
+    // Smith-Waterman kinds: same db ids, scores, bit scores and
+    // E-values. (End coordinates are backend-specific reporting —
+    // the model vector kernels and the native kernel both leave
+    // queryEnd untracked, but not identically — so they are not
+    // compared.)
+    const std::vector<kernels::Workload> sw_kinds = {
+        kernels::Workload::Ssearch34,
+        kernels::Workload::SwVmx128,
+        kernels::Workload::SwVmx256,
+    };
+
+    for (const kernels::Workload kind : sw_kinds) {
+        std::vector<serve::Request> stream;
+        for (std::size_t i = 0; i < 4; ++i) {
+            serve::Request r;
+            r.id = i;
+            r.kind = kind;
+            r.query = queryPool()[i % queryPool().size()];
+            stream.push_back(std::move(r));
+        }
+
+        serve::EngineConfig model_cfg;
+        model_cfg.backend = align::SimdBackend::Model;
+        serve::Engine model_engine(testDb(), model_cfg);
+        const std::vector<serve::Response> model =
+            model_engine.serveBatch(stream);
+
+        for (const align::SimdBackend backend :
+             align::compiledNativeBackends()) {
+            serve::EngineConfig cfg;
+            cfg.backend = backend;
+            serve::Engine engine(testDb(), cfg);
+            const std::vector<serve::Response> native =
+                engine.serveBatch(stream);
+
+            ASSERT_EQ(native.size(), model.size());
+            for (std::size_t i = 0; i < native.size(); ++i) {
+                const std::string context =
+                    std::string(align::backendName(backend))
+                    + " kind="
+                    + std::string(kernels::workloadName(kind))
+                    + " request=" + std::to_string(i);
+                ASSERT_EQ(native[i].hits.size(),
+                          model[i].hits.size())
+                    << context;
+                for (std::size_t h = 0; h < native[i].hits.size();
+                     ++h) {
+                    EXPECT_EQ(native[i].hits[h].dbIndex,
+                              model[i].hits[h].dbIndex)
+                        << context << " hit " << h;
+                    EXPECT_EQ(native[i].hits[h].score,
+                              model[i].hits[h].score)
+                        << context << " hit " << h;
+                    EXPECT_EQ(native[i].hits[h].bitScore,
+                              model[i].hits[h].bitScore)
+                        << context << " hit " << h;
+                    EXPECT_EQ(native[i].hits[h].evalue,
+                              model[i].hits[h].evalue)
+                        << context << " hit " << h;
+                }
+            }
+        }
+    }
+}
+
+TEST(ServeEngine, BatchDedupSharesIdenticalRequests)
+{
+    serve::EngineConfig cfg;
+    cfg.batch = 8;
+    serve::Engine engine(testDb(), cfg);
+
+    // 8 requests, but only 3 distinct (kind, query) groups: the
+    // same query under two kinds, plus one other query.
+    std::vector<serve::Request> batch;
+    for (std::size_t i = 0; i < 8; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.kind = i == 5 ? kernels::Workload::Blast
+                        : kernels::Workload::Ssearch34;
+        r.query = queryPool()[i == 7 ? 1 : 0];
+        batch.push_back(std::move(r));
+    }
+    const std::vector<serve::Response> responses =
+        engine.serveBatch(batch);
+    EXPECT_EQ(engine.lastBatchUnique(), 3u);
+
+    // Dedup must be invisible in the results: duplicates answer
+    // exactly like their representative...
+    ASSERT_EQ(responses.size(), 8u);
+    for (const std::size_t dup : {1u, 2u, 3u, 4u, 6u}) {
+        ASSERT_EQ(responses[dup].hits.size(),
+                  responses[0].hits.size());
+        for (std::size_t h = 0; h < responses[dup].hits.size();
+             ++h) {
+            EXPECT_EQ(responses[dup].hits[h].dbIndex,
+                      responses[0].hits[h].dbIndex);
+            EXPECT_EQ(responses[dup].hits[h].score,
+                      responses[0].hits[h].score);
+        }
+    }
+    // ...and every request still reports its own id and full scan
+    // accounting.
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(responses[i].id, i);
+        EXPECT_EQ(responses[i].sequencesSearched, testDb().size());
+    }
+
+    // An all-distinct batch dedups nothing.
+    const std::vector<serve::Request> stream = mixedStream(
+        kernels::Workload::Ssearch34, kernels::Workload::Blast);
+    (void)engine.serveBatch(stream);
+    EXPECT_EQ(engine.lastBatchUnique(), stream.size());
+}
+
 TEST(ShardedDatabase, PartitionCoversEverySequenceOnce)
 {
     for (const std::size_t shards : {1u, 3u, 4u, 7u}) {

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Native striped Smith-Waterman backend tests: backend resolution,
+ * bit-identity to the scalar reference across a seeded fuzz corpus
+ * and the striped-layout edge lengths, and the overflow ladder
+ * (8-bit saturation -> 16-bit rescan -> scalar fallback) on
+ * adversarial high-identity inputs. Every test loops over every
+ * backend compiled into this binary, so the CI native-SIMD leg
+ * exercises SSE2/AVX2 and the default leg the portable lanes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "align/smith_waterman.hh"
+#include "align/sw_striped_native.hh"
+#include "bio/random.hh"
+#include "bio/scoring.hh"
+#include "bio/sequence.hh"
+
+namespace
+{
+
+using namespace bioarch;
+
+bio::Sequence
+randomSeq(bio::Rng &rng, int length, const std::string &id)
+{
+    std::vector<bio::Residue> rs;
+    rs.reserve(static_cast<std::size_t>(length));
+    for (int i = 0; i < length; ++i)
+        rs.push_back(static_cast<bio::Residue>(
+            rng.below(bio::Alphabet::numSymbols)));
+    return bio::Sequence(id, "", std::move(rs));
+}
+
+TEST(SwNativeBackend, ResolutionAndNames)
+{
+    const auto &backends = align::compiledNativeBackends();
+    ASSERT_FALSE(backends.empty());
+    // Portable is always compiled and always last (the fallback).
+    EXPECT_EQ(backends.back(), align::SimdBackend::Portable);
+    EXPECT_EQ(align::bestNativeBackend(), backends.front());
+
+    for (const align::SimdBackend b : backends) {
+        const auto parsed = align::parseBackend(align::backendName(b));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, b);
+    }
+    EXPECT_EQ(align::parseBackend("model"),
+              align::SimdBackend::Model);
+    EXPECT_EQ(align::parseBackend("auto"),
+              align::bestNativeBackend());
+    EXPECT_FALSE(align::parseBackend("vliw").has_value());
+    // The serving default is never the model path unless forced.
+    if (!std::getenv("BIOARCH_SIMD_BACKEND"))
+        EXPECT_NE(align::defaultScanBackend(),
+                  align::SimdBackend::Model);
+}
+
+TEST(SwNativeScan, FuzzMatchesScalarOnAllBackends)
+{
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    bio::Rng rng(0xF0229);
+
+    for (int pair = 0; pair < 500; ++pair) {
+        const int m = 1 + static_cast<int>(rng.below(160));
+        const int n = 1 + static_cast<int>(rng.below(240));
+        const bio::Sequence q = randomSeq(rng, m, "q");
+        const bio::Sequence s = randomSeq(rng, n, "s");
+        const align::LocalScore ref =
+            align::smithWatermanScore(q, s, mat, gaps);
+
+        for (const align::SimdBackend backend :
+             align::compiledNativeBackends()) {
+            const align::NativeQueryProfile profile(q, mat,
+                                                    backend);
+            const align::LocalScore got =
+                align::swStripedNativeScan(profile, s, gaps);
+            ASSERT_EQ(got.score, ref.score)
+                << "pair " << pair << " backend "
+                << align::backendName(backend) << " m=" << m
+                << " n=" << n;
+        }
+    }
+}
+
+// The striped layout's pad rows kick in at the lane-count
+// boundaries; sweep query lengths around every compiled backend's
+// 8-bit and 16-bit lane counts (1..2N+1 for N up to 32).
+TEST(SwNativeScan, PadBoundaryQueryLengths)
+{
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    bio::Rng rng(0xBADF00D);
+    const bio::Sequence subject = randomSeq(rng, 53, "s");
+
+    for (int m :
+         {1, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 37, 64, 65}) {
+        const bio::Sequence q = randomSeq(rng, m, "q");
+        const align::LocalScore ref =
+            align::smithWatermanScore(q, subject, mat, gaps);
+        for (const align::SimdBackend backend :
+             align::compiledNativeBackends()) {
+            const align::NativeQueryProfile profile(q, mat,
+                                                    backend);
+            EXPECT_EQ(
+                align::swStripedNativeScan(profile, subject, gaps)
+                    .score,
+                ref.score)
+                << "m=" << m << " backend "
+                << align::backendName(backend);
+        }
+    }
+}
+
+// A high-identity long pair drives the best score far above what
+// 8-bit lanes can hold; the ladder must rescan at 16 bits and
+// still match the scalar reference exactly.
+TEST(SwNativeScan, U8SaturationRescansAt16Bits)
+{
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    bio::Rng rng(0x5A7);
+    const bio::Sequence q = randomSeq(rng, 600, "q");
+    const bio::Sequence s = q; // identical: score ~ sum of self-scores
+
+    const align::LocalScore ref =
+        align::smithWatermanScore(q, s, mat, gaps);
+    ASSERT_GT(ref.score, 255); // adversarial premise
+
+    for (const align::SimdBackend backend :
+         align::compiledNativeBackends()) {
+        const align::NativeQueryProfile profile(q, mat, backend);
+        ASSERT_TRUE(profile.hasU8());
+        align::NativeScanStats stats;
+        std::uint64_t cells = 0;
+        const align::LocalScore got = align::swStripedNativeScan(
+            profile, s, gaps, &cells, &stats);
+        EXPECT_EQ(got.score, ref.score)
+            << align::backendName(backend);
+        EXPECT_EQ(stats.scans, 1u);
+        EXPECT_EQ(stats.rescans16, 1u);
+        EXPECT_EQ(stats.rescansScalar, 0u);
+        EXPECT_EQ(cells, 600u * 600u);
+    }
+}
+
+// A tryptophan homopolymer of 3200 residues aligned to itself
+// scores 3200 * 11 = 35200 > INT16_MAX: both SIMD levels saturate
+// and the ladder must land on the scalar reference.
+TEST(SwNativeScan, I16SaturationFallsBackToScalar)
+{
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    const bio::Sequence q("w", "", std::string(3200, 'W'));
+    const align::LocalScore ref =
+        align::smithWatermanScore(q, q, mat, gaps);
+    ASSERT_GT(ref.score, 32767);
+
+    for (const align::SimdBackend backend :
+         align::compiledNativeBackends()) {
+        const align::NativeQueryProfile profile(q, mat, backend);
+        align::NativeScanStats stats;
+        const align::LocalScore got = align::swStripedNativeScan(
+            profile, q, gaps, nullptr, &stats);
+        EXPECT_EQ(got.score, ref.score)
+            << align::backendName(backend);
+        EXPECT_EQ(stats.rescansScalar, 1u);
+        // The scalar level tracks coordinates too.
+        EXPECT_EQ(got.queryEnd, ref.queryEnd);
+        EXPECT_EQ(got.subjectEnd, ref.subjectEnd);
+    }
+}
+
+// The most extreme matrix an int8 score table allows (bias 128,
+// max 127) saturates the 8-bit level on the very first match, so
+// every boundary-length scan is forced through the 16-bit level —
+// driving its -1000 pad sentinel at each striped edge case.
+TEST(SwNativeScan, ExtremeMatrixForces16BitPads)
+{
+    const bio::ScoringMatrix mat =
+        bio::makeMatchMismatch(127, -128);
+    const bio::GapPenalties gaps;
+    const bio::Sequence subject("s", "", std::string(40, 'A'));
+
+    for (int m : {1, 7, 8, 9, 15, 16, 17, 31, 32, 33}) {
+        const bio::Sequence q("q", "", std::string(m, 'A'));
+        const align::LocalScore ref =
+            align::smithWatermanScore(q, subject, mat, gaps);
+        for (const align::SimdBackend backend :
+             align::compiledNativeBackends()) {
+            const align::NativeQueryProfile profile(q, mat,
+                                                    backend);
+            // int8 scores always fit the biased byte level...
+            EXPECT_TRUE(profile.hasU8());
+            align::NativeScanStats stats;
+            EXPECT_EQ(align::swStripedNativeScan(profile, subject,
+                                                 gaps, nullptr,
+                                                 &stats)
+                          .score,
+                      ref.score)
+                << "m=" << m << " backend "
+                << align::backendName(backend);
+            // ...but one 127-point match reaches the saturation
+            // band (255 - bias = 127), so every scan rescans.
+            EXPECT_EQ(stats.rescans16, 1u);
+            EXPECT_EQ(stats.rescansScalar, 0u);
+        }
+    }
+}
+
+TEST(SwNativeScan, EmptyInputsScoreZero)
+{
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    bio::Rng rng(0xE);
+    const bio::Sequence q = randomSeq(rng, 12, "q");
+    const bio::Sequence empty("e", "", std::string());
+
+    for (const align::SimdBackend backend :
+         align::compiledNativeBackends()) {
+        const align::NativeQueryProfile profile(q, mat, backend);
+        std::uint64_t cells = 0;
+        EXPECT_EQ(
+            align::swStripedNativeScan(profile, empty, gaps, &cells)
+                .score,
+            0);
+        EXPECT_EQ(cells, 0u);
+
+        const align::NativeQueryProfile eprofile(empty, mat,
+                                                 backend);
+        EXPECT_EQ(align::swStripedNativeScan(eprofile, q, gaps)
+                      .score,
+                  0);
+    }
+}
+
+TEST(SwNativeScan, CellAccountingIsLogicalDpSize)
+{
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    bio::Rng rng(0xCE115);
+    const bio::Sequence q = randomSeq(rng, 37, "q");
+    const bio::Sequence s = randomSeq(rng, 91, "s");
+
+    for (const align::SimdBackend backend :
+         align::compiledNativeBackends()) {
+        const align::NativeQueryProfile profile(q, mat, backend);
+        std::uint64_t cells = 0;
+        align::NativeScanStats stats;
+        (void)align::swStripedNativeScan(profile, s, gaps, &cells,
+                                         &stats);
+        EXPECT_EQ(cells, 37u * 91u);
+        EXPECT_EQ(stats.scans, 1u);
+    }
+}
+
+} // namespace

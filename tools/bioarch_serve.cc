@@ -48,6 +48,14 @@ usage(std::ostream &out)
            "                    BIOARCH_JOBS, else all hardware\n"
            "                    threads)\n"
            "  --top-k K         hits per response (default 10)\n"
+           "  --backend NAME    Smith-Waterman kernel backend:\n"
+           "                    auto | portable | sse2 | avx2 |\n"
+           "                    neon | model (default: the\n"
+           "                    BIOARCH_SIMD_BACKEND environment\n"
+           "                    variable, else the widest native\n"
+           "                    backend this CPU supports; 'model'\n"
+           "                    forces the instruction-accurate\n"
+           "                    vector model)\n"
            "\n"
            "working set:\n"
            "  --db-seqs N       database sequences (default 200)\n"
@@ -120,6 +128,13 @@ main(int argc, char **argv)
             cfg.jobs = static_cast<unsigned>(positive(value()));
         } else if (arg == "--top-k") {
             cfg.topK = static_cast<std::size_t>(positive(value()));
+        } else if (arg == "--backend") {
+            const auto b = align::parseBackend(value());
+            if (!b) {
+                std::cerr << "unknown backend (--help)\n";
+                return 2;
+            }
+            cfg.backend = *b;
         } else if (arg == "--db-seqs") {
             db_seqs = positive(value());
         } else if (arg == "--csv") {
@@ -159,6 +174,8 @@ main(int argc, char **argv)
         static_cast<std::uint64_t>(report.shards));
     summary.row().add("jobs").add(
         static_cast<int>(report.jobs));
+    summary.row().add("backend").add(
+        std::string(align::backendName(cfg.backend)));
     summary.row().add("wall ms").add(report.wallMs, 2);
     summary.row().add("requests/sec").add(
         report.requestsPerSec(), 1);
