@@ -82,13 +82,23 @@ SimdBackend bestNativeBackend();
  */
 SimdBackend defaultScanBackend();
 
-/** Ladder accounting, for tests and bench reporting. */
+/** Ladder accounting, for tests and bench/obs reporting. */
 struct NativeScanStats
 {
     std::uint64_t scans = 0;         ///< subjects scanned
     std::uint64_t rescans16 = 0;     ///< 8-bit saturated, redone @16
     std::uint64_t rescansScalar = 0; ///< 16-bit saturated too
 };
+
+/** Merge per-task ladder counts (e.g. per-shard into per-batch). */
+inline NativeScanStats &
+operator+=(NativeScanStats &a, const NativeScanStats &b)
+{
+    a.scans += b.scans;
+    a.rescans16 += b.rescans16;
+    a.rescansScalar += b.rescansScalar;
+    return a;
+}
 
 /**
  * Striped query profile for one native backend: the 8-bit biased

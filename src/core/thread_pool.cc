@@ -1,5 +1,6 @@
 #include "thread_pool.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
@@ -42,6 +43,7 @@ ThreadPool::submit(Task task)
         target = _nextQueue;
         _nextQueue = (_nextQueue + 1) % _queues.size();
         ++_queued;
+        _maxQueued = std::max(_maxQueued, _queued);
         ++_pending;
     }
     {
@@ -71,10 +73,26 @@ ThreadPool::takeTask(unsigned self, Task &out)
         if (!q.tasks.empty()) {
             out = std::move(q.tasks.back());
             q.tasks.pop_back();
+            _steals.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
     }
     return false;
+}
+
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    Stats s;
+    s.tasksRun = _tasksRun.load(std::memory_order_relaxed);
+    s.steals = _steals.load(std::memory_order_relaxed);
+    s.workers = static_cast<unsigned>(_workers.size());
+    {
+        std::lock_guard lock(_mutex);
+        s.queueDepth = _queued;
+        s.maxQueueDepth = _maxQueued;
+    }
+    return s;
 }
 
 void
@@ -101,6 +119,7 @@ ThreadPool::workerLoop(unsigned self)
         } catch (...) {
             err = std::current_exception();
         }
+        _tasksRun.fetch_add(1, std::memory_order_relaxed);
         bool drained;
         {
             std::lock_guard lock(_mutex);

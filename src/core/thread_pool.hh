@@ -15,8 +15,10 @@
 #ifndef BIOARCH_CORE_THREAD_POOL_HH
 #define BIOARCH_CORE_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -47,6 +49,23 @@ class ThreadPool
     {
         return static_cast<unsigned>(_workers.size());
     }
+
+    /**
+     * Observability snapshot of the pool (consumed by the obs
+     * subsystem's gauges/counters; see serve::Engine). tasksRun
+     * and steals are monotone; queueDepth is instantaneous;
+     * maxQueueDepth is the high-watermark of queued-not-started
+     * tasks since construction.
+     */
+    struct Stats
+    {
+        std::uint64_t tasksRun = 0;
+        std::uint64_t steals = 0;
+        std::size_t queueDepth = 0;
+        std::size_t maxQueueDepth = 0;
+        unsigned workers = 0;
+    };
+    Stats stats() const;
 
     /** Enqueue @p task; returns immediately. */
     void submit(Task task);
@@ -91,10 +110,16 @@ class ThreadPool
     std::vector<std::unique_ptr<WorkQueue>> _queues;
     std::vector<std::thread> _workers;
 
-    std::mutex _mutex;            ///< guards the counters below
+    // Monotone observability counters; relaxed — they order
+    // nothing, they only count.
+    std::atomic<std::uint64_t> _tasksRun{0};
+    std::atomic<std::uint64_t> _steals{0};
+
+    mutable std::mutex _mutex;    ///< guards the counters below
     std::condition_variable _wake; ///< work available / stopping
     std::condition_variable _idle; ///< all work drained
     std::size_t _queued = 0;      ///< submitted, not yet started
+    std::size_t _maxQueued = 0;   ///< high-watermark of _queued
     std::size_t _pending = 0;     ///< submitted, not yet finished
     std::size_t _nextQueue = 0;   ///< round-robin submission cursor
     std::exception_ptr _error;    ///< first task exception, if any

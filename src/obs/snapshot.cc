@@ -1,0 +1,197 @@
+#include "snapshot.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace bioarch::obs
+{
+
+namespace
+{
+
+/** Finite JSON number (JSON has no inf/nan literals). */
+void
+jsonNumber(std::ostream &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out << 0;
+        return;
+    }
+    // Integral values (counters, bucket counts) print exactly.
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        out << static_cast<std::int64_t>(v);
+        return;
+    }
+    std::ostringstream s;
+    s.precision(std::numeric_limits<double>::max_digits10);
+    s << v;
+    out << s.str();
+}
+
+void
+jsonString(std::ostream &out, std::string_view v)
+{
+    out << '"';
+    for (const char c : v) {
+        if (c == '"' || c == '\\')
+            out << '\\';
+        out << c;
+    }
+    out << '"';
+}
+
+void
+writeHistogramJson(std::ostream &out, const MetricSnapshot &m)
+{
+    const HistogramSummary &s = m.summary;
+    out << "\"count\":" << s.count << ",\"sum\":";
+    jsonNumber(out, s.sum);
+    out << ",\"mean\":";
+    jsonNumber(out, s.mean);
+    out << ",\"p50\":";
+    jsonNumber(out, s.p50);
+    out << ",\"p95\":";
+    jsonNumber(out, s.p95);
+    out << ",\"p99\":";
+    jsonNumber(out, s.p99);
+    out << ",\"max\":";
+    jsonNumber(out, s.max);
+    out << ",\"buckets\":[";
+    const auto &bounds = Histogram::bucketBounds();
+    std::uint64_t cumulative = 0;
+    const std::uint64_t total = s.count;
+    bool first = true;
+    for (int i = 0; i < Histogram::numBuckets; ++i) {
+        cumulative += m.buckets[static_cast<std::size_t>(i)];
+        if (!first)
+            out << ',';
+        first = false;
+        out << "{\"le\":";
+        jsonNumber(out, bounds[static_cast<std::size_t>(i)]);
+        out << ",\"count\":" << cumulative << '}';
+        if (cumulative >= total)
+            break; // trailing buckets add nothing
+    }
+    out << ']';
+}
+
+} // namespace
+
+void
+writeJson(const Registry &registry, std::ostream &out)
+{
+    out << "{\"version\":1,\"metrics\":[";
+    bool first = true;
+    for (const MetricSnapshot &m : registry.snapshot()) {
+        if (!first)
+            out << ',';
+        first = false;
+        out << "{\"name\":";
+        jsonString(out, m.name);
+        out << ",\"labels\":";
+        jsonString(out, m.labels);
+        out << ",\"type\":\"" << metricTypeName(m.type) << "\",";
+        if (m.type == MetricType::Histogram) {
+            writeHistogramJson(out, m);
+        } else {
+            out << "\"value\":";
+            jsonNumber(out, m.value);
+        }
+        out << '}';
+    }
+    out << "]}\n";
+}
+
+std::string
+toJson(const Registry &registry)
+{
+    std::ostringstream out;
+    writeJson(registry, out);
+    return out.str();
+}
+
+namespace
+{
+
+/** `name{labels}` or bare `name` when there are no labels. */
+void
+promSeries(std::ostream &out, const std::string &name,
+           const std::string &labels)
+{
+    out << name;
+    if (!labels.empty())
+        out << '{' << labels << '}';
+}
+
+/** `le="edge"` merged after any metric labels. */
+void
+promBucketSeries(std::ostream &out, const std::string &name,
+                 const std::string &labels, double edge)
+{
+    out << name << "_bucket{";
+    if (!labels.empty())
+        out << labels << ',';
+    out << "le=\"";
+    if (std::isinf(edge))
+        out << "+Inf";
+    else
+        out << edge;
+    out << "\"}";
+}
+
+} // namespace
+
+void
+writePrometheus(const Registry &registry, std::ostream &out)
+{
+    std::string last_typed;
+    for (const MetricSnapshot &m : registry.snapshot()) {
+        if (m.name != last_typed) {
+            out << "# TYPE " << m.name << ' '
+                << metricTypeName(m.type) << '\n';
+            last_typed = m.name;
+        }
+        if (m.type != MetricType::Histogram) {
+            promSeries(out, m.name, m.labels);
+            out << ' ';
+            if (m.type == MetricType::Counter)
+                out << static_cast<std::uint64_t>(m.value);
+            else
+                out << m.value;
+            out << '\n';
+            continue;
+        }
+        const auto &bounds = Histogram::bucketBounds();
+        std::uint64_t cumulative = 0;
+        const std::uint64_t total = m.summary.count;
+        for (int i = 0; i < Histogram::numBuckets; ++i) {
+            cumulative += m.buckets[static_cast<std::size_t>(i)];
+            promBucketSeries(out, m.name, m.labels,
+                             bounds[static_cast<std::size_t>(i)]);
+            out << ' ' << cumulative << '\n';
+            if (cumulative >= total)
+                break;
+        }
+        promBucketSeries(
+            out, m.name, m.labels,
+            std::numeric_limits<double>::infinity());
+        out << ' ' << total << '\n';
+        promSeries(out, m.name + "_sum", m.labels);
+        out << ' ' << m.summary.sum << '\n';
+        promSeries(out, m.name + "_count", m.labels);
+        out << ' ' << total << '\n';
+    }
+}
+
+std::string
+toPrometheus(const Registry &registry)
+{
+    std::ostringstream out;
+    writePrometheus(registry, out);
+    return out.str();
+}
+
+} // namespace bioarch::obs

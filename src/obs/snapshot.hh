@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Snapshot exporters for the metrics registry: a one-object JSON
+ * document (validated by scripts/check_metrics_schema.sh against
+ * scripts/metrics_schema.json) and the Prometheus text exposition
+ * format (scrape-ready; see the README's "Online serving and
+ * observability" section for a scrape example).
+ *
+ * Both exporters render the same Registry::snapshot(), so metric
+ * order is sorted by (name, labels) and two exports of one registry
+ * diff cleanly.
+ */
+
+#ifndef BIOARCH_OBS_SNAPSHOT_HH
+#define BIOARCH_OBS_SNAPSHOT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics.hh"
+
+namespace bioarch::obs
+{
+
+/**
+ * JSON snapshot:
+ * {"version":1,"metrics":[{"name":...,"labels":...,"type":...,
+ *  ...counter/gauge: "value":N,
+ *  ...histogram: "count","sum","mean","p50","p95","p99","max",
+ *                "buckets":[{"le":edge,"count":cumulative},...]}]}
+ *
+ * Histogram buckets are cumulative (Prometheus-style `le`) and
+ * trailing all-sample buckets are trimmed: the last emitted bucket
+ * is the first whose cumulative count equals the total.
+ */
+void writeJson(const Registry &registry, std::ostream &out);
+std::string toJson(const Registry &registry);
+
+/** Prometheus text exposition format (one scrape page). */
+void writePrometheus(const Registry &registry, std::ostream &out);
+std::string toPrometheus(const Registry &registry);
+
+} // namespace bioarch::obs
+
+#endif // BIOARCH_OBS_SNAPSHOT_HH

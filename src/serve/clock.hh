@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Time source for the online serving loop. The loop never reads
+ * the wall clock directly: everything — arrival stamps, queue
+ * waits, deadline checks down to shard-scan granularity — goes
+ * through a Clock, so the deterministic tests can drive a
+ * ManualClock while production uses SteadyClock. This is what
+ * keeps the loop's admission/deadline decisions bit-for-bit
+ * reproducible: with a ManualClock, time only moves when the test
+ * says so.
+ */
+
+#ifndef BIOARCH_SERVE_CLOCK_HH
+#define BIOARCH_SERVE_CLOCK_HH
+
+#include <atomic>
+#include <chrono>
+
+namespace bioarch::serve
+{
+
+/** Abstract monotone microsecond clock. */
+class Clock
+{
+  public:
+    virtual ~Clock() = default;
+    /** Microseconds since an arbitrary fixed epoch. */
+    virtual double nowUs() const = 0;
+};
+
+/** Wall time: std::chrono::steady_clock since construction. */
+class SteadyClock final : public Clock
+{
+  public:
+    SteadyClock() : _epoch(std::chrono::steady_clock::now()) {}
+
+    double
+    nowUs() const override
+    {
+        return std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - _epoch)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point _epoch;
+};
+
+/**
+ * Test clock: time is whatever the driver last set, and advances
+ * only on request. Thread-safe; never consults the wall clock.
+ */
+class ManualClock final : public Clock
+{
+  public:
+    double
+    nowUs() const override
+    {
+        return _nowUs.load(std::memory_order_relaxed);
+    }
+    void
+    set(double us)
+    {
+        _nowUs.store(us, std::memory_order_relaxed);
+    }
+    void
+    advance(double us)
+    {
+        // fetch_add on atomic<double> (C++20).
+        _nowUs.fetch_add(us, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> _nowUs{0.0};
+};
+
+} // namespace bioarch::serve
+
+#endif // BIOARCH_SERVE_CLOCK_HH

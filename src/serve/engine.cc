@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <string>
 
 namespace bioarch::serve
 {
@@ -10,10 +11,10 @@ namespace bioarch::serve
 namespace
 {
 
-using Clock = std::chrono::steady_clock;
+using WallClock = std::chrono::steady_clock;
 
 double
-elapsedUs(Clock::time_point from, Clock::time_point to)
+elapsedUs(WallClock::time_point from, WallClock::time_point to)
 {
     return std::chrono::duration<double, std::micro>(to - from)
         .count();
@@ -33,14 +34,63 @@ Engine::Engine(const bio::SequenceDatabase &db, EngineConfig config)
     if (_cfg.batch == 0)
         _cfg.batch = 1;
     _cfg.jobs = _pool.size();
+
+    if (_cfg.metrics == nullptr) {
+        _ownedMetrics = std::make_unique<obs::Registry>();
+        _metrics = _ownedMetrics.get();
+    } else {
+        _metrics = _cfg.metrics;
+    }
+    obs::Registry &m = *_metrics;
+    _mRequests = &m.counter("serve_requests_total");
+    _mBatches = &m.counter("serve_batches_total");
+    _mBatchUnique = &m.counter("serve_batch_unique_total");
+    _mDedupSaved = &m.counter("serve_dedup_saved_total");
+    _mKarlinFills = &m.counter("serve_karlin_lazy_fills_total");
+    _mCells = &m.counter("serve_cells_total");
+    _mShardsScanned = &m.counter("serve_shards_scanned_total");
+    _mShardsSkipped = &m.counter("serve_shards_skipped_total");
+    const std::string backend_label = "backend=\""
+        + std::string(align::backendName(_cfg.backend)) + "\"";
+    _mNativeScans =
+        &m.counter("native_scans_total", backend_label);
+    _mNativeRescans16 =
+        &m.counter("native_rescans16_total", backend_label);
+    _mNativeRescansScalar =
+        &m.counter("native_rescans_scalar_total", backend_label);
+    _mScanUs = &m.histogram("serve_scan_us");
+    _mBatchUs = &m.histogram("serve_batch_us");
+    _mLatencyUs = &m.histogram("serve_latency_us");
+    refreshPoolMetrics();
+}
+
+void
+Engine::refreshPoolMetrics()
+{
+    const core::ThreadPool::Stats s = _pool.stats();
+    obs::Registry &m = *_metrics;
+    m.counter("pool_tasks_total").inc(s.tasksRun - _poolTasksSeen);
+    _poolTasksSeen = s.tasksRun;
+    m.counter("pool_steals_total").inc(s.steals - _poolStealsSeen);
+    _poolStealsSeen = s.steals;
+    m.gauge("pool_queue_depth")
+        .set(static_cast<double>(s.queueDepth));
+    m.gauge("pool_queue_depth_max")
+        .set(static_cast<double>(s.maxQueueDepth));
+    m.gauge("pool_workers").set(static_cast<double>(s.workers));
 }
 
 std::vector<Response>
-Engine::runBatch(const Request *requests, std::size_t count)
+Engine::runBatch(const Request *requests, std::size_t count,
+                 const BatchControl *control)
 {
+    const obs::ScopedSpan batch_span(*_mBatchUs);
     const std::size_t shards = _sharded.numShards();
     const double total =
         static_cast<double>(_db->totalResidues());
+
+    _mRequests->inc(count);
+    _mBatches->inc();
 
     // Phase 1: build each *distinct* request's query state
     // (profile / word index) once, in parallel. Identical
@@ -64,11 +114,29 @@ Engine::runBatch(const Request *requests, std::size_t count)
     for (std::size_t r = 0; r < count; ++r)
         if (rep[r] == r)
             unique.push_back(r);
-    _lastBatchUnique = unique.size();
+    _mBatchUnique->inc(unique.size());
+    _mDedupSaved->inc(count - unique.size());
+
+    // A representative whose every sharer is already past its
+    // deadline is not worth preparing: all of its scans would be
+    // skipped anyway. (Time is monotone, so "expired now" stays
+    // expired at scan time.)
+    std::vector<char> skip_prepare(count, 0);
+    if (control != nullptr && control->deadlinesUs != nullptr) {
+        for (const std::size_t u : unique) {
+            bool all_expired = true;
+            for (std::size_t r = u; r < count && all_expired; ++r)
+                if (rep[r] == u && !control->expired(r))
+                    all_expired = false;
+            skip_prepare[u] = all_expired ? 1 : 0;
+        }
+    }
 
     std::vector<std::unique_ptr<PreparedQuery>> prepared(count);
     _pool.parallelFor(unique.size(), [&](std::size_t i) {
         const std::size_t r = unique[i];
+        if (skip_prepare[r])
+            return;
         prepared[r] = std::make_unique<PreparedQuery>(
             requests[r], *_matrix, _cfg.gaps, _cfg.fasta,
             _cfg.blast, _cfg.backend);
@@ -76,22 +144,36 @@ Engine::runBatch(const Request *requests, std::size_t count)
 
     // Phase 2: fan (request x shard) scans out; each task writes
     // its preallocated slot, so the schedule cannot reorder
-    // results.
+    // results. The deadline check sits immediately before the
+    // scan: an expired request stops consuming scan time at shard
+    // granularity.
     std::vector<ShardScan> scans(count * shards);
     _pool.parallelFor(count * shards, [&](std::size_t u) {
         const std::size_t r = u / shards;
         const std::size_t s = u % shards;
+        if ((control != nullptr && control->expired(r))
+            || prepared[rep[r]] == nullptr) {
+            scans[u].skipped = true;
+            return;
+        }
         const std::size_t top_k = requests[r].topK
             ? requests[r].topK
             : _cfg.topK;
-        const Clock::time_point t0 = Clock::now();
+        const WallClock::time_point t0 = WallClock::now();
         scans[u] = scanShard(*prepared[rep[r]], *_db,
                              _sharded.shard(s), top_k, _karlin,
                              total);
-        scans[u].elapsedUs = elapsedUs(t0, Clock::now());
+        scans[u].elapsedUs = elapsedUs(t0, WallClock::now());
+        _mScanUs->record(scans[u].elapsedUs);
     });
 
-    // Phase 3: merge per-shard top-K lists, in request order.
+    // Phase 3: merge per-shard top-K lists, in request order, and
+    // fold the scan accounting into the batch-level counters.
+    std::uint64_t cells = 0;
+    std::uint64_t karlin_fills = 0;
+    std::uint64_t shards_scanned = 0;
+    std::uint64_t shards_skipped = 0;
+    align::NativeScanStats native;
     std::vector<Response> out(count);
     for (std::size_t r = 0; r < count; ++r) {
         Response &resp = out[r];
@@ -104,32 +186,61 @@ Engine::runBatch(const Request *requests, std::size_t count)
         lists.reserve(shards);
         for (std::size_t s = 0; s < shards; ++s) {
             ShardScan &scan = scans[r * shards + s];
+            if (scan.skipped) {
+                ++resp.shardsSkipped;
+                ++shards_skipped;
+                continue;
+            }
+            ++shards_scanned;
             resp.cellsComputed += scan.cells;
             resp.sequencesSearched += scan.sequences;
             resp.scanUs += scan.elapsedUs;
+            cells += scan.cells;
+            karlin_fills += scan.karlinFills;
+            native += scan.native;
             lists.push_back(std::move(scan.hits));
         }
         resp.hits = mergeRanked(lists, top_k);
     }
+    _mCells->inc(cells);
+    _mKarlinFills->inc(karlin_fills);
+    _mShardsScanned->inc(shards_scanned);
+    _mShardsSkipped->inc(shards_skipped);
+    _mNativeScans->inc(native.scans);
+    _mNativeRescans16->inc(native.rescans16);
+    _mNativeRescansScalar->inc(native.rescansScalar);
     return out;
 }
 
 Response
 Engine::serve(const Request &request)
 {
-    const Clock::time_point t0 = Clock::now();
-    std::vector<Response> batch = runBatch(&request, 1);
-    batch.front().serviceUs = elapsedUs(t0, Clock::now());
+    const WallClock::time_point t0 = WallClock::now();
+    std::vector<Response> batch = runBatch(&request, 1, nullptr);
+    batch.front().serviceUs = elapsedUs(t0, WallClock::now());
     return std::move(batch.front());
 }
 
 std::vector<Response>
 Engine::serveBatch(const std::vector<Request> &requests)
 {
-    const Clock::time_point t0 = Clock::now();
+    const WallClock::time_point t0 = WallClock::now();
     std::vector<Response> out =
-        runBatch(requests.data(), requests.size());
-    const double service = elapsedUs(t0, Clock::now());
+        runBatch(requests.data(), requests.size(), nullptr);
+    const double service = elapsedUs(t0, WallClock::now());
+    for (Response &r : out)
+        r.serviceUs = service;
+    return out;
+}
+
+std::vector<Response>
+Engine::serveBatch(const std::vector<Request> &requests,
+                   const BatchControl &control)
+{
+    const WallClock::time_point t0 = WallClock::now();
+    std::vector<Response> out =
+        runBatch(requests.data(), requests.size(), &control);
+    const double service = elapsedUs(t0, WallClock::now());
     for (Response &r : out)
         r.serviceUs = service;
     return out;
@@ -144,15 +255,15 @@ Engine::serveStream(const std::vector<Request> &requests)
     report.batchSize = _cfg.batch;
     report.responses.reserve(requests.size());
 
-    const Clock::time_point arrival = Clock::now();
+    const WallClock::time_point arrival = WallClock::now();
     for (std::size_t begin = 0; begin < requests.size();
          begin += _cfg.batch) {
         const std::size_t count =
             std::min(_cfg.batch, requests.size() - begin);
-        const Clock::time_point dispatch = Clock::now();
+        const WallClock::time_point dispatch = WallClock::now();
         std::vector<Response> batch =
-            runBatch(requests.data() + begin, count);
-        const Clock::time_point done = Clock::now();
+            runBatch(requests.data() + begin, count, nullptr);
+        const WallClock::time_point done = WallClock::now();
 
         const double queue = elapsedUs(arrival, dispatch);
         const double service = elapsedUs(dispatch, done);
@@ -160,6 +271,7 @@ Engine::serveStream(const std::vector<Request> &requests)
             r.queueUs = queue;
             r.serviceUs = service;
             report.latency.record(r.latencyUs());
+            _mLatencyUs->record(r.latencyUs());
             report.totalCells += r.cellsComputed;
             report.cpuMs += r.scanUs / 1000.0;
             report.responses.push_back(std::move(r));
@@ -167,7 +279,7 @@ Engine::serveStream(const std::vector<Request> &requests)
         ++report.batches;
     }
     report.wallMs =
-        elapsedUs(arrival, Clock::now()) / 1000.0;
+        elapsedUs(arrival, WallClock::now()) / 1000.0;
     return report;
 }
 

@@ -22,13 +22,17 @@
 #include <cstddef>
 #include <vector>
 
+#include <memory>
+
 #include "align/blast.hh"
 #include "align/fasta.hh"
 #include "align/karlin.hh"
 #include "bio/database.hh"
 #include "bio/scoring.hh"
+#include "clock.hh"
 #include "core/thread_pool.hh"
 #include "latency.hh"
+#include "obs/metrics.hh"
 #include "request.hh"
 #include "shard.hh"
 
@@ -57,6 +61,14 @@ struct EngineConfig
     bio::GapPenalties gaps;
     align::FastaParams fasta;
     align::BlastParams blast;
+    /**
+     * Metrics registry the engine reports into. nullptr (default)
+     * makes the engine own a private registry; the serving loop
+     * passes the engine's registry around so loop + engine + pool
+     * metrics land in one snapshot. Must outlive the engine when
+     * non-null.
+     */
+    obs::Registry *metrics = nullptr;
 };
 
 /** Engine-level accounting for one served stream. */
@@ -114,11 +126,28 @@ class Engine
     Response serve(const Request &request);
 
     /**
-     * Distinct (kind, query) groups in the most recent batch —
-     * i.e. how many PreparedQuery builds batch-level dedup left
-     * after sharing identical requests.
+     * Per-request cancellation plumbed into a batch: request r's
+     * shard-scan tasks check deadlinesUs[r] (absolute, in @p
+     * clock's time base; <= 0 means no deadline) immediately
+     * before scanning and skip the scan once the deadline has
+     * passed — cancellation at shard-scan granularity. Skipped
+     * shards are reported in Response::shardsSkipped.
      */
-    std::size_t lastBatchUnique() const { return _lastBatchUnique; }
+    struct BatchControl
+    {
+        /** Per-request absolute deadlines (may be nullptr). */
+        const double *deadlinesUs = nullptr;
+        /** Clock the deadlines are expressed in. */
+        const Clock *clock = nullptr;
+
+        bool
+        expired(std::size_t r) const
+        {
+            return deadlinesUs != nullptr && clock != nullptr
+                && deadlinesUs[r] > 0.0
+                && clock->nowUs() >= deadlinesUs[r];
+        }
+    };
 
     /**
      * Serve @p requests as a single batch: all (request, shard)
@@ -127,6 +156,11 @@ class Engine
      */
     std::vector<Response>
     serveBatch(const std::vector<Request> &requests);
+
+    /** serveBatch with per-request deadline cancellation. */
+    std::vector<Response>
+    serveBatch(const std::vector<Request> &requests,
+               const BatchControl &control);
 
     /**
      * Replay a whole stream: cut it into config().batch-sized
@@ -138,9 +172,35 @@ class Engine
     StreamReport
     serveStream(const std::vector<Request> &requests);
 
+    /**
+     * The registry this engine reports into (its own, or the one
+     * injected via EngineConfig::metrics). Counters: batch-level
+     * dedup savings (serve_dedup_saved_total / batch_unique),
+     * lazy Karlin statistic fills, shard scans and
+     * deadline-skips, cells; the native overflow ladder per
+     * backend (native_scans_total{backend=...} and friends);
+     * mirrored thread-pool tasks/steals. Histograms:
+     * serve_scan_us, serve_batch_us, serve_latency_us.
+     */
+    obs::Registry &metrics() { return *_metrics; }
+    const obs::Registry &metrics() const { return *_metrics; }
+
+    /**
+     * Mirror the thread pool's counters/gauges into the registry
+     * (pool_tasks_total, pool_steals_total, pool_queue_depth,
+     * pool_queue_depth_max, pool_workers). Call right before
+     * exporting a snapshot; single-threaded with respect to other
+     * refresh calls.
+     */
+    void refreshPoolMetrics();
+
+    /** The engine's worker pool (for loop/bench introspection). */
+    const core::ThreadPool &pool() const { return _pool; }
+
   private:
     std::vector<Response> runBatch(const Request *requests,
-                                   std::size_t count);
+                                   std::size_t count,
+                                   const BatchControl *control);
 
     const bio::SequenceDatabase *_db;
     EngineConfig _cfg;
@@ -148,7 +208,28 @@ class Engine
     const bio::ScoringMatrix *_matrix;
     align::KarlinParams _karlin;
     core::ThreadPool _pool;
-    std::size_t _lastBatchUnique = 0;
+
+    std::unique_ptr<obs::Registry> _ownedMetrics;
+    obs::Registry *_metrics;
+    // Hot-path metric handles, registered once at construction.
+    obs::Counter *_mRequests;
+    obs::Counter *_mBatches;
+    obs::Counter *_mBatchUnique;
+    obs::Counter *_mDedupSaved;
+    obs::Counter *_mKarlinFills;
+    obs::Counter *_mCells;
+    obs::Counter *_mShardsScanned;
+    obs::Counter *_mShardsSkipped;
+    obs::Counter *_mNativeScans;
+    obs::Counter *_mNativeRescans16;
+    obs::Counter *_mNativeRescansScalar;
+    obs::Histogram *_mScanUs;
+    obs::Histogram *_mBatchUs;
+    obs::Histogram *_mLatencyUs;
+    // Pool counters already seen by refreshPoolMetrics() (obs
+    // counters are monotone, so mirroring applies deltas).
+    std::uint64_t _poolTasksSeen = 0;
+    std::uint64_t _poolStealsSeen = 0;
 };
 
 } // namespace bioarch::serve

@@ -1,65 +1,51 @@
 #include "latency.hh"
 
-#include <algorithm>
-#include <cmath>
-
-#include "core/percentile.hh"
-
 namespace bioarch::serve
 {
 
 LatencySummary
 LatencyRecorder::summary() const
 {
-    LatencySummary s;
-    s.count = _samplesUs.size();
-    if (_samplesUs.empty())
-        return s;
-    double sum = 0.0;
-    double max = _samplesUs.front();
-    for (const double v : _samplesUs) {
-        sum += v;
-        max = std::max(max, v);
-    }
-    s.meanUs = sum / static_cast<double>(s.count);
-    s.maxUs = max;
-    s.p50Us = core::percentile(_samplesUs, 50.0);
-    s.p95Us = core::percentile(_samplesUs, 95.0);
-    s.p99Us = core::percentile(_samplesUs, 99.0);
-    return s;
+    const obs::HistogramSummary s = _histogram.summary();
+    LatencySummary out;
+    out.count = s.count;
+    out.meanUs = s.mean;
+    out.p50Us = s.p50;
+    out.p95Us = s.p95;
+    out.p99Us = s.p99;
+    out.maxUs = s.max;
+    return out;
 }
 
 std::vector<LatencyBucket>
 LatencyRecorder::histogram() const
 {
-    if (_samplesUs.empty())
+    const auto counts = _histogram.bucketCounts();
+    int lo = -1;
+    int hi = -1;
+    for (int i = 0; i < obs::Histogram::numBuckets; ++i) {
+        if (counts[static_cast<std::size_t>(i)] == 0)
+            continue;
+        if (lo < 0)
+            lo = i;
+        hi = i;
+    }
+    if (lo < 0)
         return {};
 
-    auto bucketOf = [](double us) {
-        if (us < 1.0)
-            return 0;
-        return static_cast<int>(std::floor(std::log2(us)));
-    };
-
-    int lo = bucketOf(_samplesUs.front());
-    int hi = lo;
-    for (const double v : _samplesUs) {
-        lo = std::min(lo, bucketOf(v));
-        hi = std::max(hi, bucketOf(v));
-    }
-
+    // Bucket edges are read from the precomputed bounds table:
+    // bucket i spans [bounds[i-1], bounds[i]), with bucket 0
+    // starting at 0 (it also collects sub-microsecond samples).
+    const auto &bounds = obs::Histogram::bucketBounds();
     std::vector<LatencyBucket> buckets(
         static_cast<std::size_t>(hi - lo + 1));
     for (std::size_t i = 0; i < buckets.size(); ++i) {
         const int b = lo + static_cast<int>(i);
-        buckets[i].loUs = std::exp2(b);
-        buckets[i].hiUs = std::exp2(b + 1);
-        buckets[i].count = 0;
+        buckets[i].loUs =
+            b == 0 ? 0.0 : bounds[static_cast<std::size_t>(b - 1)];
+        buckets[i].hiUs = bounds[static_cast<std::size_t>(b)];
+        buckets[i].count = counts[static_cast<std::size_t>(b)];
     }
-    // The first bucket also collects sub-microsecond samples.
-    buckets.front().loUs = lo == 0 ? 0.0 : buckets.front().loUs;
-    for (const double v : _samplesUs)
-        buckets[static_cast<std::size_t>(bucketOf(v) - lo)].count++;
     return buckets;
 }
 

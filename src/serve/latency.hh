@@ -1,8 +1,12 @@
 /**
  * @file
- * Latency accounting for the serving engine: per-request samples,
- * percentile summaries (p50/p95/p99 via core/percentile.hh), and a
- * power-of-two bucketed histogram for the CLI report.
+ * Latency accounting for the serving engine. One implementation
+ * now backs serve latency, queue-wait, and scan-time alike: the
+ * observability subsystem's obs::Histogram (exact percentiles via
+ * core/percentile.hh, power-of-two buckets whose boundaries are
+ * computed once at construction). LatencyRecorder remains as a
+ * thin wrapper keeping the original summary()/histogram() API for
+ * the CLI report and the bench footers.
  */
 
 #ifndef BIOARCH_SERVE_LATENCY_HH
@@ -10,6 +14,8 @@
 
 #include <cstddef>
 #include <vector>
+
+#include "obs/metrics.hh"
 
 namespace bioarch::serve
 {
@@ -34,19 +40,27 @@ struct LatencyBucket
 };
 
 /**
- * Records one latency sample per request. Samples are kept (a
- * request stream is bounded), so percentiles are exact, not
- * sketched.
+ * Records one latency sample per request into an obs::Histogram.
+ * Samples are kept (a request stream is bounded), so percentiles
+ * are exact, not sketched. Thread-safe, like the histogram it
+ * wraps.
  */
 class LatencyRecorder
 {
   public:
-    void record(double us) { _samplesUs.push_back(us); }
+    void record(double us) { _histogram.record(us); }
 
-    std::size_t count() const { return _samplesUs.size(); }
-    const std::vector<double> &samplesUs() const
+    std::size_t count() const { return _histogram.count(); }
+    /** Copy of the raw samples, in recording order. */
+    std::vector<double> samplesUs() const
     {
-        return _samplesUs;
+        return _histogram.samples();
+    }
+
+    /** The shared histogram (e.g. to snapshot or merge). */
+    const obs::Histogram &histogram_metric() const
+    {
+        return _histogram;
     }
 
     LatencySummary summary() const;
@@ -54,12 +68,16 @@ class LatencyRecorder
     /**
      * Power-of-two bucketed histogram: bucket i spans
      * [2^i, 2^(i+1)) us, with leading/trailing empty buckets
-     * trimmed. Empty recorder => empty histogram.
+     * trimmed; the first bucket also collects sub-microsecond
+     * samples (lo = 0 when it is bucket zero). Empty recorder =>
+     * empty histogram. Bucket boundaries come precomputed from
+     * obs::Histogram::bucketBounds() — they are never rebuilt per
+     * call.
      */
     std::vector<LatencyBucket> histogram() const;
 
   private:
-    std::vector<double> _samplesUs;
+    obs::Histogram _histogram;
 };
 
 } // namespace bioarch::serve

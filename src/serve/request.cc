@@ -61,12 +61,13 @@ PreparedQuery::PreparedQuery(const Request &request,
 
 align::LocalScore
 PreparedQuery::scan(const bio::Sequence &subject,
-                    std::uint64_t *cells) const
+                    std::uint64_t *cells,
+                    align::NativeScanStats *stats) const
 {
     align::LocalScore ls;
     if (_native)
         return align::swStripedNativeScan(*_native, subject, _gaps,
-                                          cells);
+                                          cells, stats);
     switch (_kind) {
     case kernels::Workload::Ssearch34:
         return align::ssearchScan(*_profile, subject, _gaps, cells);
@@ -96,10 +97,11 @@ PreparedQuery::scan(const bio::Sequence &subject,
 
 align::LocalScore
 PreparedQuery::scanPacked(const bio::Residue *subject,
-                          std::size_t n, std::uint64_t *cells) const
+                          std::size_t n, std::uint64_t *cells,
+                          align::NativeScanStats *stats) const
 {
     return align::swStripedNativeScan(*_native, subject, n, _gaps,
-                                      cells);
+                                      cells, stats);
 }
 
 std::vector<Request>

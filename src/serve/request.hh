@@ -56,6 +56,16 @@ struct Response
     double serviceUs = 0.0;
     /** Serial-equivalent scan work of this request's shards (us). */
     double scanUs = 0.0;
+    /**
+     * Shard scans cancelled because the request's deadline had
+     * expired (see Engine::BatchControl). Non-zero means the hit
+     * list is partial: the serving loop reports such responses
+     * with a Deadline status.
+     */
+    std::uint64_t shardsSkipped = 0;
+
+    /** True when at least one shard scan was deadline-cancelled. */
+    bool deadlineExpired() const { return shardsSkipped > 0; }
 
     /** End-to-end latency: arrival to ranked hit list (us). */
     double latencyUs() const { return queueUs + serviceUs; }
@@ -100,17 +110,23 @@ class PreparedQuery
      * Smith-Waterman kinds, max(opt, initn) for FASTA, the gapped
      * score for BLAST); the heuristics leave the end coordinates
      * at -1, as their drivers do.
+     *
+     * @param[out] stats optional native overflow-ladder accounting
+     *        (u8 scans / i16 / scalar rescans); untouched on the
+     *        model and heuristic paths
      */
-    align::LocalScore scan(const bio::Sequence &subject,
-                           std::uint64_t *cells) const;
+    align::LocalScore
+    scan(const bio::Sequence &subject, std::uint64_t *cells,
+         align::NativeScanStats *stats = nullptr) const;
 
     /**
      * Scan @p n residues in contiguous storage (the database's
      * packed arena). Only valid when usesNativeScan().
      */
-    align::LocalScore scanPacked(const bio::Residue *subject,
-                                 std::size_t n,
-                                 std::uint64_t *cells) const;
+    align::LocalScore
+    scanPacked(const bio::Residue *subject, std::size_t n,
+               std::uint64_t *cells,
+               align::NativeScanStats *stats = nullptr) const;
 
   private:
     kernels::Workload _kind;

@@ -59,8 +59,8 @@ scanShard(const PreparedQuery &query,
                   arena + offsets[idx],
                   static_cast<std::size_t>(offsets[idx + 1]
                                            - offsets[idx]),
-                  &out.cells)
-            : query.scan(db[idx], &out.cells);
+                  &out.cells, &out.native)
+            : query.scan(db[idx], &out.cells, &out.native);
         ++out.sequences;
         if (ls.score <= 0)
             continue;
@@ -75,6 +75,8 @@ scanShard(const PreparedQuery &query,
     // wait until the heap has discarded everything below the top K
     // (ranking never looks at them: (score desc, dbIndex asc)).
     out.hits = heap.ranked();
+    out.karlinFills =
+        static_cast<std::uint64_t>(out.hits.size());
     for (align::SearchHit &hit : out.hits) {
         hit.bitScore = karlin.bitScore(hit.score);
         hit.evalue = karlin.evalue(hit.score, m, total_residues);

@@ -71,8 +71,22 @@ struct ShardScan
     std::vector<align::SearchHit> hits;
     std::uint64_t cells = 0;
     std::uint64_t sequences = 0;
+    /**
+     * Hits whose Karlin statistics (bit score / E-value) were
+     * filled lazily — i.e. heap survivors; everything below the
+     * top-K never pays for them.
+     */
+    std::uint64_t karlinFills = 0;
+    /** Native overflow-ladder accounting (zero on model paths). */
+    align::NativeScanStats native;
     /** Wall time of the scan (filled in by the engine). */
     double elapsedUs = 0.0;
+    /**
+     * True when the request's deadline had already expired when
+     * this task ran, so the shard was never scanned (cancellation
+     * at shard-scan granularity; see Engine::BatchControl).
+     */
+    bool skipped = false;
 };
 
 /**

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the observability subsystem (src/obs): the lock-sharded
+ * metrics registry, the power-of-two histogram with
+ * hoisted-at-construction bucket bounds, scoped trace spans, and the
+ * JSON / Prometheus snapshot exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/snapshot.hh"
+
+namespace
+{
+
+using namespace bioarch;
+
+TEST(Registry, SameNameReturnsSameMetric)
+{
+    obs::Registry reg;
+    obs::Counter &a = reg.counter("events_total");
+    obs::Counter &b = reg.counter("events_total");
+    EXPECT_EQ(&a, &b);
+    a.inc(3);
+    b.inc(2);
+    EXPECT_EQ(reg.counterValue("events_total"), 5u);
+
+    // Distinct label sets are distinct metrics under one name.
+    obs::Counter &x = reg.counter("scans_total", "backend=\"sse2\"");
+    obs::Counter &y = reg.counter("scans_total", "backend=\"avx2\"");
+    EXPECT_NE(&x, &y);
+    x.inc();
+    EXPECT_EQ(reg.counterValue("scans_total", "backend=\"sse2\""),
+              1u);
+    EXPECT_EQ(reg.counterValue("scans_total", "backend=\"avx2\""),
+              0u);
+    EXPECT_EQ(reg.counterValue("unregistered"), 0u);
+}
+
+TEST(Registry, TypeMismatchThrows)
+{
+    obs::Registry reg;
+    reg.counter("metric_a");
+    EXPECT_THROW(reg.gauge("metric_a"), std::logic_error);
+    EXPECT_THROW(reg.histogram("metric_a"), std::logic_error);
+    reg.histogram("metric_b");
+    EXPECT_THROW(reg.counter("metric_b"), std::logic_error);
+}
+
+TEST(Registry, ConcurrentRegistrationAndUpdates)
+{
+    obs::Registry reg;
+    constexpr int threads = 8;
+    constexpr int iters = 200;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&reg, t] {
+            for (int i = 0; i < iters; ++i) {
+                // Shared and per-thread names, from all threads.
+                reg.counter("shared_total").inc();
+                reg.counter("per_thread_total",
+                            "t=\"" + std::to_string(t) + "\"")
+                    .inc();
+                reg.histogram("latency_us")
+                    .record(static_cast<double>(i));
+                reg.gauge("depth").set(static_cast<double>(i));
+            }
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+
+    EXPECT_EQ(reg.counterValue("shared_total"),
+              static_cast<std::uint64_t>(threads) * iters);
+    for (int t = 0; t < threads; ++t)
+        EXPECT_EQ(reg.counterValue("per_thread_total",
+                                   "t=\"" + std::to_string(t)
+                                       + "\""),
+                  static_cast<std::uint64_t>(iters));
+    EXPECT_EQ(reg.histogram("latency_us").count(),
+              static_cast<std::size_t>(threads) * iters);
+}
+
+TEST(Histogram, BucketBoundsHoistedAndExact)
+{
+    const std::array<double, obs::Histogram::numBuckets> &bounds =
+        obs::Histogram::bucketBounds();
+    // Same table on every call (computed once, not per call).
+    EXPECT_EQ(&bounds, &obs::Histogram::bucketBounds());
+    for (int i = 0; i < obs::Histogram::numBuckets; ++i)
+        EXPECT_DOUBLE_EQ(bounds[i], std::exp2(i + 1)) << i;
+
+    EXPECT_EQ(obs::Histogram::bucketOf(0.0), 0);
+    EXPECT_EQ(obs::Histogram::bucketOf(1.9), 0);
+    EXPECT_EQ(obs::Histogram::bucketOf(2.0), 1);
+    EXPECT_EQ(obs::Histogram::bucketOf(3.9), 1);
+    EXPECT_EQ(obs::Histogram::bucketOf(4.0), 2);
+    EXPECT_EQ(obs::Histogram::bucketOf(1000.0), 9);
+    // Degenerate inputs all land in bucket 0.
+    EXPECT_EQ(obs::Histogram::bucketOf(-5.0), 0);
+    EXPECT_EQ(obs::Histogram::bucketOf(std::nan("")), 0);
+}
+
+TEST(Histogram, SummaryIsExactOverSamples)
+{
+    obs::Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.summary().count, 0u);
+
+    for (const double v : {10.0, 20.0, 30.0, 40.0})
+        h.record(v);
+    const obs::HistogramSummary s = h.summary();
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.sum, 100.0);
+    EXPECT_DOUBLE_EQ(s.mean, 25.0);
+    EXPECT_DOUBLE_EQ(s.p50, 25.0); // R-7 linear interpolation
+    EXPECT_DOUBLE_EQ(s.max, 40.0);
+
+    const std::array<std::uint64_t, obs::Histogram::numBuckets>
+        counts = h.bucketCounts();
+    EXPECT_EQ(counts[3], 1u); // 10 in [8,16)
+    EXPECT_EQ(counts[4], 2u); // 20, 30 in [16,32)
+    EXPECT_EQ(counts[5], 1u); // 40 in [32,64)
+}
+
+TEST(ScopedSpan, RecordsOnDestructionUnlessCancelled)
+{
+    obs::Histogram h;
+    {
+        const obs::ScopedSpan span(h);
+        EXPECT_GE(span.elapsedUs(), 0.0);
+    }
+    EXPECT_EQ(h.count(), 1u);
+    {
+        obs::ScopedSpan span(h);
+        span.cancel();
+    }
+    EXPECT_EQ(h.count(), 1u); // cancelled span records nothing
+}
+
+TEST(Snapshot, SortedByNameAndLabels)
+{
+    obs::Registry reg;
+    reg.counter("b_total").inc(2);
+    reg.gauge("a_gauge").set(1.5);
+    reg.counter("scans_total", "backend=\"sse41\"").inc();
+    reg.counter("scans_total", "backend=\"avx2\"").inc();
+    reg.histogram("lat_us").record(3.0);
+
+    const std::vector<obs::MetricSnapshot> snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 5u);
+    for (std::size_t i = 1; i < snap.size(); ++i) {
+        const bool ordered = snap[i - 1].name < snap[i].name
+            || (snap[i - 1].name == snap[i].name
+                && snap[i - 1].labels < snap[i].labels);
+        EXPECT_TRUE(ordered) << i;
+    }
+    EXPECT_EQ(snap[0].name, "a_gauge");
+    EXPECT_EQ(snap[0].type, obs::MetricType::Gauge);
+    EXPECT_DOUBLE_EQ(snap[0].value, 1.5);
+    EXPECT_EQ(snap[3].labels, "backend=\"avx2\"");
+    EXPECT_EQ(snap[4].labels, "backend=\"sse41\"");
+}
+
+TEST(Snapshot, JsonShapeAndCumulativeBuckets)
+{
+    obs::Registry reg;
+    reg.counter("served_total").inc(7);
+    obs::Histogram &h = reg.histogram("wait_us");
+    h.record(1.0); // bucket 0, le 2
+    h.record(5.0); // bucket 2, le 8
+
+    const std::string json = obs::toJson(reg);
+    EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"served_total\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"counter\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"type\":\"histogram\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+    // Buckets are cumulative and trimmed at the first bucket
+    // holding every sample: le=2 has 1, le=8 has 2, nothing after.
+    EXPECT_NE(json.find("{\"le\":2,\"count\":1}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"le\":8,\"count\":2}"),
+              std::string::npos);
+    EXPECT_EQ(json.find("{\"le\":16"), std::string::npos);
+}
+
+TEST(Snapshot, PrometheusExposition)
+{
+    obs::Registry reg;
+    reg.counter("scans_total", "backend=\"avx2\"").inc(3);
+    reg.gauge("queue_depth").set(4.0);
+    obs::Histogram &h = reg.histogram("wait_us");
+    h.record(1.0);
+    h.record(5.0);
+
+    const std::string text = obs::toPrometheus(reg);
+    EXPECT_NE(text.find("# TYPE scans_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("scans_total{backend=\"avx2\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE queue_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("queue_depth 4"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE wait_us histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("wait_us_bucket{le=\"2\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("wait_us_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("wait_us_sum 6"), std::string::npos);
+    EXPECT_NE(text.find("wait_us_count 2"), std::string::npos);
+}
+
+} // namespace

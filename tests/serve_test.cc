@@ -13,13 +13,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <utility>
 #include <vector>
 
 #include "bio/synthetic.hh"
 #include "core/percentile.hh"
+#include "obs/metrics.hh"
+#include "serve/clock.hh"
 #include "serve/engine.hh"
 #include "serve/hit_list.hh"
 #include "serve/latency.hh"
+#include "serve/loop.hh"
 #include "serve/shard.hh"
 
 namespace
@@ -328,13 +334,37 @@ TEST(ServeEngine, BatchDedupSharesIdenticalRequests)
         r.query = queryPool()[i == 7 ? 1 : 0];
         batch.push_back(std::move(r));
     }
+    const obs::Registry &m = engine.metrics();
+    const std::uint64_t unique0 =
+        m.counterValue("serve_batch_unique_total");
+    const std::uint64_t saved0 =
+        m.counterValue("serve_dedup_saved_total");
+    const std::uint64_t fills0 =
+        m.counterValue("serve_karlin_lazy_fills_total");
     const std::vector<serve::Response> responses =
         engine.serveBatch(batch);
-    EXPECT_EQ(engine.lastBatchUnique(), 3u);
+    EXPECT_EQ(m.counterValue("serve_batch_unique_total") - unique0,
+              3u);
+    // 8 requests, 3 distinct groups: 5 prepares saved by dedup.
+    EXPECT_EQ(m.counterValue("serve_dedup_saved_total") - saved0,
+              5u);
+    // Karlin statistics are filled lazily, for per-shard heap
+    // survivors only — bounded by shards x top-K per request
+    // (dedup shares the prepared query; every request still scans
+    // its shards), never one fill per scanned sequence.
+    ASSERT_EQ(responses.size(), 8u);
+    std::uint64_t survivors = 0;
+    for (const serve::Response &r : responses)
+        survivors += r.hits.size();
+    const std::uint64_t fills =
+        m.counterValue("serve_karlin_lazy_fills_total") - fills0;
+    EXPECT_GE(fills, survivors);
+    EXPECT_LE(fills, 8u * engine.config().shards
+                         * engine.config().topK);
+    EXPECT_LT(fills, 8u * testDb().size()); // lazy, not per scan
 
     // Dedup must be invisible in the results: duplicates answer
     // exactly like their representative...
-    ASSERT_EQ(responses.size(), 8u);
     for (const std::size_t dup : {1u, 2u, 3u, 4u, 6u}) {
         ASSERT_EQ(responses[dup].hits.size(),
                   responses[0].hits.size());
@@ -356,8 +386,15 @@ TEST(ServeEngine, BatchDedupSharesIdenticalRequests)
     // An all-distinct batch dedups nothing.
     const std::vector<serve::Request> stream = mixedStream(
         kernels::Workload::Ssearch34, kernels::Workload::Blast);
+    const std::uint64_t unique1 =
+        m.counterValue("serve_batch_unique_total");
+    const std::uint64_t saved1 =
+        m.counterValue("serve_dedup_saved_total");
     (void)engine.serveBatch(stream);
-    EXPECT_EQ(engine.lastBatchUnique(), stream.size());
+    EXPECT_EQ(m.counterValue("serve_batch_unique_total") - unique1,
+              stream.size());
+    EXPECT_EQ(m.counterValue("serve_dedup_saved_total") - saved1,
+              0u);
 }
 
 TEST(ShardedDatabase, PartitionCoversEverySequenceOnce)
@@ -485,6 +522,305 @@ TEST(LatencyRecorder, SummaryAndHistogram)
         total += b.count;
     }
     EXPECT_EQ(total, 4u);
+}
+
+TEST(LatencyRecorder, BucketEdgesArePinned)
+{
+    // Regression: bucket boundaries are hoisted to construction
+    // and must be the exact powers of two, identical on every
+    // histogram() call.
+    const std::array<double, obs::Histogram::numBuckets> &bounds =
+        obs::Histogram::bucketBounds();
+    for (int i = 0; i < obs::Histogram::numBuckets; ++i)
+        EXPECT_DOUBLE_EQ(bounds[i], std::exp2(i + 1)) << i;
+    EXPECT_EQ(&bounds, &obs::Histogram::bucketBounds());
+
+    serve::LatencyRecorder rec;
+    for (const double us : {100.0, 200.0, 400.0, 800.0})
+        rec.record(us);
+    const std::vector<serve::LatencyBucket> hist = rec.histogram();
+    ASSERT_EQ(hist.size(), 4u);
+    const double lo[] = {64.0, 128.0, 256.0, 512.0};
+    const double hi[] = {128.0, 256.0, 512.0, 1024.0};
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_DOUBLE_EQ(hist[i].loUs, lo[i]) << i;
+        EXPECT_DOUBLE_EQ(hist[i].hiUs, hi[i]) << i;
+        EXPECT_EQ(hist[i].count, 1u) << i;
+    }
+    const std::vector<serve::LatencyBucket> again =
+        rec.histogram();
+    ASSERT_EQ(again.size(), hist.size());
+    for (std::size_t i = 0; i < hist.size(); ++i) {
+        EXPECT_DOUBLE_EQ(again[i].loUs, hist[i].loUs);
+        EXPECT_DOUBLE_EQ(again[i].hiUs, hist[i].hiUs);
+    }
+
+    // Sub-unit samples land in bucket 0, range [0, 2).
+    serve::LatencyRecorder tiny;
+    tiny.record(0.5);
+    const std::vector<serve::LatencyBucket> t = tiny.histogram();
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_DOUBLE_EQ(t[0].loUs, 0.0);
+    EXPECT_DOUBLE_EQ(t[0].hiUs, 2.0);
+}
+
+serve::Request
+loopRequest(std::uint64_t id)
+{
+    serve::Request r;
+    r.id = id;
+    r.kind = kernels::Workload::Ssearch34;
+    r.query = queryPool()[id % queryPool().size()];
+    return r;
+}
+
+TEST(ServeEngine, BatchControlSkipsExpiredAtShardGranularity)
+{
+    serve::EngineConfig cfg;
+    cfg.shards = 4;
+    serve::Engine engine(testDb(), cfg);
+
+    serve::ManualClock clock;
+    clock.set(1000.0);
+    const std::vector<serve::Request> batch = {loopRequest(0),
+                                               loopRequest(1)};
+    const double deadlines[] = {500.0, 0.0}; // expired / none
+    serve::Engine::BatchControl control;
+    control.deadlinesUs = deadlines;
+    control.clock = &clock;
+    const std::vector<serve::Response> out =
+        engine.serveBatch(batch, control);
+
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].deadlineExpired());
+    EXPECT_EQ(out[0].shardsSkipped, cfg.shards);
+    EXPECT_EQ(out[0].sequencesSearched, 0u);
+    EXPECT_TRUE(out[0].hits.empty());
+    EXPECT_FALSE(out[1].deadlineExpired());
+    EXPECT_EQ(out[1].sequencesSearched, testDb().size());
+    EXPECT_EQ(engine.metrics().counterValue(
+                  "serve_shards_skipped_total"),
+              cfg.shards);
+}
+
+TEST(ServeLoop, DeadlineExpiryReturnsDeadlineWithoutScanning)
+{
+    serve::Engine engine(testDb());
+    serve::ManualClock clock;
+    serve::ServeLoop loop(engine, {}, &clock);
+    const obs::Registry &m = engine.metrics();
+
+    clock.set(100.0);
+    const serve::Submission sub =
+        loop.submit(loopRequest(0), serve::Priority::Normal,
+                    500.0);
+    ASSERT_TRUE(sub.admitted);
+
+    clock.set(900.0); // past the deadline before dispatch
+    EXPECT_EQ(loop.pumpAll(), 1u);
+    const std::vector<serve::LoopResult> results = loop.results();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, serve::LoopStatus::Deadline);
+    EXPECT_EQ(results[0].response.sequencesSearched, 0u);
+    // The engine was never invoked for the expired request.
+    EXPECT_EQ(m.counterValue("serve_requests_total"), 0u);
+    EXPECT_EQ(m.counterValue("loop_deadline_expired_total"), 1u);
+    EXPECT_EQ(m.counterValue("loop_served_total"), 0u);
+}
+
+TEST(ServeLoop, FullQueueShedsWithRetryAfter)
+{
+    serve::Engine engine(testDb());
+    serve::ManualClock clock;
+    serve::LoopConfig lcfg;
+    lcfg.queueCapacity = 4;
+    serve::ServeLoop loop(engine, lcfg, &clock);
+    const obs::Registry &m = engine.metrics();
+
+    std::size_t admitted = 0;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        const serve::Submission sub =
+            loop.submit(loopRequest(i));
+        if (i < 4) {
+            EXPECT_TRUE(sub.admitted) << i;
+            ++admitted;
+        } else {
+            EXPECT_FALSE(sub.admitted) << i;
+            EXPECT_GE(sub.retryAfterUs, lcfg.minRetryAfterUs)
+                << i;
+        }
+        EXPECT_EQ(sub.ticket, i);
+    }
+    EXPECT_EQ(admitted, 4u);
+    EXPECT_EQ(loop.queueDepth(), 4u);
+    EXPECT_EQ(m.counterValue("loop_shed_queue_full_total"), 2u);
+
+    EXPECT_EQ(loop.pumpAll(), 4u);
+    const std::vector<serve::LoopResult> results = loop.results();
+    ASSERT_EQ(results.size(), 6u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(results[i].status, serve::LoopStatus::Served)
+            << i;
+    for (const std::uint64_t i : {4u, 5u})
+        EXPECT_EQ(results[i].status,
+                  serve::LoopStatus::RetryAfter)
+            << i;
+    // Counter identity.
+    EXPECT_EQ(m.counterValue("loop_served_total")
+                  + m.counterValue("loop_shed_queue_full_total"),
+              m.counterValue("loop_offered_total"));
+}
+
+TEST(ServeLoop, StopDropsQueuedDeterministically)
+{
+    serve::Engine engine(testDb());
+    serve::ManualClock clock;
+    serve::LoopConfig lcfg;
+    lcfg.batch = 2;
+    serve::ServeLoop loop(engine, lcfg, &clock);
+    const obs::Registry &m = engine.metrics();
+
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ASSERT_TRUE(loop.submit(loopRequest(i)).admitted) << i;
+
+    // One batch is "in flight": it completes; the rest is dropped
+    // in ticket order.
+    EXPECT_EQ(loop.pumpOne(), 2u);
+    loop.stop();
+    EXPECT_EQ(loop.queueDepth(), 0u);
+
+    const std::vector<serve::LoopResult> results = loop.results();
+    ASSERT_EQ(results.size(), 5u);
+    EXPECT_EQ(results[0].status, serve::LoopStatus::Served);
+    EXPECT_EQ(results[1].status, serve::LoopStatus::Served);
+    for (const std::uint64_t i : {2u, 3u, 4u})
+        EXPECT_EQ(results[i].status, serve::LoopStatus::Dropped)
+            << i;
+    EXPECT_EQ(m.counterValue("loop_dropped_total"), 3u);
+
+    // Submissions after shutdown are shed, not queued.
+    const serve::Submission late = loop.submit(loopRequest(9));
+    EXPECT_FALSE(late.admitted);
+    EXPECT_EQ(m.counterValue("loop_shed_shutdown_total"), 1u);
+    EXPECT_EQ(m.counterValue("loop_served_total")
+                  + m.counterValue("loop_dropped_total")
+                  + m.counterValue("loop_shed_shutdown_total"),
+              m.counterValue("loop_offered_total"));
+}
+
+TEST(ServeLoop, ReproducibleAcrossJobs)
+{
+    // The loop's decisions depend only on (submission order, clock
+    // values): the full per-ticket outcome — status, dispatch
+    // order, ranked hits — is bit-for-bit identical whether the
+    // engine runs 1, 2, or 8 workers.
+    struct Outcome
+    {
+        serve::LoopStatus status;
+        std::uint64_t dispatchOrder;
+        std::vector<std::pair<std::size_t, int>> hits;
+    };
+    std::vector<std::vector<Outcome>> runs;
+
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+        serve::EngineConfig cfg;
+        cfg.jobs = jobs;
+        serve::Engine engine(testDb(), cfg);
+        serve::ManualClock clock;
+        serve::LoopConfig lcfg;
+        lcfg.queueCapacity = 8;
+        lcfg.batch = 4;
+        serve::ServeLoop loop(engine, lcfg, &clock);
+
+        for (std::uint64_t i = 0; i < 12; ++i) {
+            const double arrival =
+                static_cast<double>(i) * 100.0;
+            clock.set(arrival);
+            double deadline = 0.0; // none
+            if (i % 4 == 1)
+                deadline = arrival + 50.0; // expires pre-pump
+            else if (i % 4 == 3)
+                deadline = arrival - 10.0; // shed at admission
+            const serve::Priority prio =
+                static_cast<serve::Priority>(i % 3);
+            (void)loop.submit(loopRequest(i), prio, deadline);
+        }
+        clock.set(5000.0);
+        loop.pumpAll();
+
+        std::vector<Outcome> outcomes;
+        for (const serve::LoopResult &r : loop.results()) {
+            Outcome o;
+            o.status = r.status;
+            o.dispatchOrder = r.dispatchOrder;
+            for (const align::SearchHit &h : r.response.hits)
+                o.hits.emplace_back(h.dbIndex, h.score);
+            outcomes.push_back(std::move(o));
+        }
+        runs.push_back(std::move(outcomes));
+
+        // Identity on every run.
+        const obs::Registry &m = engine.metrics();
+        EXPECT_EQ(m.counterValue("loop_served_total")
+                      + m.counterValue("loop_shed_queue_full_total")
+                      + m.counterValue("loop_shed_deadline_total")
+                      + m.counterValue("loop_deadline_expired_total")
+                      + m.counterValue("loop_dropped_total"),
+                  m.counterValue("loop_offered_total"))
+            << "jobs=" << jobs;
+    }
+
+    ASSERT_EQ(runs.size(), 3u);
+    for (std::size_t run = 1; run < runs.size(); ++run) {
+        ASSERT_EQ(runs[run].size(), runs[0].size());
+        for (std::size_t t = 0; t < runs[0].size(); ++t) {
+            EXPECT_EQ(runs[run][t].status, runs[0][t].status)
+                << "run=" << run << " ticket=" << t;
+            EXPECT_EQ(runs[run][t].dispatchOrder,
+                      runs[0][t].dispatchOrder)
+                << "run=" << run << " ticket=" << t;
+            EXPECT_EQ(runs[run][t].hits, runs[0][t].hits)
+                << "run=" << run << " ticket=" << t;
+        }
+    }
+}
+
+TEST(ServeLoop, ThreadedDrainServesEverythingAdmitted)
+{
+    serve::EngineConfig cfg;
+    cfg.jobs = 2;
+    cfg.batch = 4;
+    serve::Engine engine(testDb(), cfg);
+    serve::LoopConfig lcfg;
+    lcfg.queueCapacity = 16;
+    serve::ServeLoop loop(engine, lcfg); // wall clock
+    const obs::Registry &m = engine.metrics();
+
+    loop.start();
+    EXPECT_TRUE(loop.running());
+    std::size_t admitted = 0;
+    for (std::uint64_t i = 0; i < 24; ++i)
+        if (loop.submit(loopRequest(i)).admitted)
+            ++admitted;
+    loop.drain();
+    EXPECT_FALSE(loop.running());
+    EXPECT_EQ(loop.queueDepth(), 0u);
+
+    // Drain is graceful: every admitted request was served; the
+    // only other outcome is a queue-full shed.
+    EXPECT_EQ(m.counterValue("loop_served_total"), admitted);
+    EXPECT_EQ(m.counterValue("loop_served_total")
+                  + m.counterValue("loop_shed_queue_full_total"),
+              24u);
+    std::size_t served = 0;
+    for (const serve::LoopResult &r : loop.results()) {
+        if (r.status != serve::LoopStatus::Served)
+            continue;
+        ++served;
+        EXPECT_EQ(r.response.sequencesSearched, testDb().size());
+        EXPECT_GE(r.latencyUs(), 0.0);
+    }
+    EXPECT_EQ(served, admitted);
 }
 
 TEST(RequestStream, DeterministicAndWellFormed)

@@ -6,22 +6,40 @@
  * from the paper's five workloads — against a synthetic SwissProt
  * stand-in, and prints a latency/throughput report.
  *
+ * Two modes:
+ *  - closed loop (default): replay --requests through
+ *    Engine::serveStream back to back;
+ *  - open loop (--qps): a seeded deterministic arrival schedule
+ *    (exponential inter-arrivals) drives the online ServeLoop with
+ *    per-request deadlines, admission control and load shedding,
+ *    and the run ends with a machine-readable counter footer.
+ *
  * Examples:
  *   bioarch-serve --requests 64 --jobs 8
  *   bioarch-serve --requests 128 --batch 16 --shards 8 --top-k 5
  *   bioarch-serve --workload blast --db-seqs 500 --csv
+ *   bioarch-serve --qps 200 --duration-s 2 --deadline-ms 50
+ *   bioarch-serve --qps 400 --metrics-out /tmp/metrics.json
  */
 
 #include <cctype>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "bio/random.hh"
 #include "bio/synthetic.hh"
+#include "core/percentile.hh"
 #include "core/report.hh"
+#include "obs/snapshot.hh"
 #include "serve/engine.hh"
+#include "serve/loop.hh"
 
 using namespace bioarch;
 
@@ -60,8 +78,23 @@ usage(std::ostream &out)
            "working set:\n"
            "  --db-seqs N       database sequences (default 200)\n"
            "\n"
+           "open loop (online serving):\n"
+           "  --qps Q           offered load (requests/sec);\n"
+           "                    enables the online ServeLoop with\n"
+           "                    seeded exponential arrivals\n"
+           "  --duration-s S    arrival window (default 2)\n"
+           "  --deadline-ms D   per-request deadline, counted from\n"
+           "                    the scheduled arrival (default 0 =\n"
+           "                    none)\n"
+           "  --queue-cap N     admission queue bound (default 64)\n"
+           "\n"
            "output:\n"
            "  --csv             machine-readable output\n"
+           "  --metrics-out F   write the JSON metrics snapshot to\n"
+           "                    F (open loop also writes F.mid\n"
+           "                    halfway through the arrivals)\n"
+           "  --metrics-prom F  write the Prometheus text\n"
+           "                    exposition to F\n"
            "  --help            this text\n";
 }
 
@@ -78,6 +111,149 @@ parseWorkload(const std::string &name)
     return std::nullopt;
 }
 
+/** Refresh pool mirrors, then dump the requested snapshot files. */
+void
+writeMetricsFiles(serve::Engine &engine, const std::string &json,
+                  const std::string &prom)
+{
+    engine.refreshPoolMetrics();
+    if (!json.empty()) {
+        std::ofstream out(json);
+        obs::writeJson(engine.metrics(), out);
+    }
+    if (!prom.empty()) {
+        std::ofstream out(prom);
+        obs::writePrometheus(engine.metrics(), out);
+    }
+}
+
+/**
+ * The deterministic part of the open-loop run: arrival offsets (us
+ * from run start) with exponential inter-arrival gaps at @p qps,
+ * derived only from the seed — never from the wall clock.
+ */
+std::vector<double>
+arrivalSchedule(double qps, double duration_s, std::uint64_t seed)
+{
+    bio::Rng rng(seed ^ 0xA2217E9D5EedULL);
+    std::vector<double> arrivals;
+    const double mean_gap_us = 1e6 / qps;
+    const double end_us = duration_s * 1e6;
+    double t = 0.0;
+    for (;;) {
+        // Inverse-CDF exponential; uniform() < 1 keeps log finite.
+        t += -std::log(1.0 - rng.uniform()) * mean_gap_us;
+        if (t >= end_us)
+            return arrivals;
+        arrivals.push_back(t);
+    }
+}
+
+int
+runOpenLoop(const bio::SequenceDatabase &db,
+            const serve::EngineConfig &cfg,
+            const serve::StreamSpec &stream_spec, double qps,
+            double duration_s, double deadline_ms,
+            std::size_t queue_cap, const std::string &metrics_out,
+            const std::string &metrics_prom)
+{
+    const std::vector<double> arrivals =
+        arrivalSchedule(qps, duration_s, stream_spec.seed);
+    serve::StreamSpec spec = stream_spec;
+    spec.requests = arrivals.size();
+    const std::vector<serve::Request> requests =
+        serve::makeRequestStream(spec, bio::makeQuerySet());
+
+    serve::Engine engine(db, cfg);
+    serve::LoopConfig lcfg;
+    lcfg.queueCapacity = queue_cap;
+    serve::ServeLoop loop(engine, lcfg);
+    const serve::Clock &clock = loop.clock();
+    loop.start();
+
+    // Replay the schedule against the wall clock. A deadline is
+    // counted from the *scheduled* arrival, so falling behind the
+    // schedule (overload) eats into the slack — that is what makes
+    // the loop shed instead of building unbounded queues.
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+        while (clock.nowUs() < arrivals[i])
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(100));
+        const double deadline = deadline_ms > 0.0
+            ? arrivals[i] + deadline_ms * 1000.0
+            : 0.0;
+        const serve::Priority priority =
+            static_cast<serve::Priority>(i % 3);
+        (void)loop.submit(requests[i], priority, deadline);
+        if (!metrics_out.empty() && i + 1 == arrivals.size() / 2)
+            writeMetricsFiles(engine, metrics_out + ".mid", "");
+    }
+    loop.drain();
+    writeMetricsFiles(engine, metrics_out, metrics_prom);
+
+    const obs::Registry &m = engine.metrics();
+    const auto counter = [&m](std::string_view name) {
+        return m.counterValue(name);
+    };
+    const std::uint64_t offered = counter("loop_offered_total");
+    const std::uint64_t served = counter("loop_served_total");
+    const std::uint64_t shed_queue_full =
+        counter("loop_shed_queue_full_total");
+    const std::uint64_t shed_deadline =
+        counter("loop_shed_deadline_total");
+    const std::uint64_t shed_shutdown =
+        counter("loop_shed_shutdown_total");
+    const std::uint64_t deadline_expired =
+        counter("loop_deadline_expired_total");
+    const std::uint64_t dropped = counter("loop_dropped_total");
+
+    std::vector<double> latencies;
+    std::vector<double> queue_waits;
+    for (const serve::LoopResult &r : loop.results()) {
+        if (r.status != serve::LoopStatus::Served)
+            continue;
+        latencies.push_back(r.latencyUs());
+        queue_waits.push_back(r.queueWaitUs());
+    }
+
+    std::ostringstream footer;
+    footer.setf(std::ios::fixed);
+    footer.precision(3);
+    footer << "{\"mode\":\"open_loop\",\"qps\":" << qps
+           << ",\"duration_s\":" << duration_s
+           << ",\"deadline_ms\":" << deadline_ms
+           << ",\"queue_cap\":" << queue_cap
+           << ",\"jobs\":" << engine.config().jobs
+           << ",\"offered\":" << offered
+           << ",\"admitted\":" << counter("loop_admitted_total")
+           << ",\"served\":" << served
+           << ",\"shed_queue_full\":" << shed_queue_full
+           << ",\"shed_deadline\":" << shed_deadline
+           << ",\"shed_shutdown\":" << shed_shutdown
+           << ",\"shed_total\":"
+           << shed_queue_full + shed_deadline + shed_shutdown
+           << ",\"deadline_expired\":" << deadline_expired
+           << ",\"dropped\":" << dropped << ",\"p50_ms\":"
+           << core::percentile(latencies, 50.0) / 1000.0
+           << ",\"p99_ms\":"
+           << core::percentile(latencies, 99.0) / 1000.0
+           << ",\"queue_wait_p50_ms\":"
+           << core::percentile(queue_waits, 50.0) / 1000.0
+           << ",\"queue_wait_p99_ms\":"
+           << core::percentile(queue_waits, 99.0) / 1000.0 << "}";
+    std::cout << footer.str() << "\n";
+
+    // The loop's books must balance: every offered request ends in
+    // exactly one terminal state.
+    if (served + shed_queue_full + shed_deadline + shed_shutdown
+            + deadline_expired + dropped
+        != offered) {
+        std::cerr << "counter identity violated\n";
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -87,6 +263,12 @@ main(int argc, char **argv)
     serve::EngineConfig cfg;
     int db_seqs = 200;
     bool csv = false;
+    double qps = 0.0;
+    double duration_s = 2.0;
+    double deadline_ms = 0.0;
+    std::size_t queue_cap = 64;
+    std::string metrics_out;
+    std::string metrics_prom;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -137,6 +319,31 @@ main(int argc, char **argv)
             cfg.backend = *b;
         } else if (arg == "--db-seqs") {
             db_seqs = positive(value());
+        } else if (arg == "--qps") {
+            qps = std::atof(value().c_str());
+            if (qps <= 0.0) {
+                std::cerr << "--qps must be positive\n";
+                return 2;
+            }
+        } else if (arg == "--duration-s") {
+            duration_s = std::atof(value().c_str());
+            if (duration_s <= 0.0) {
+                std::cerr << "--duration-s must be positive\n";
+                return 2;
+            }
+        } else if (arg == "--deadline-ms") {
+            deadline_ms = std::atof(value().c_str());
+            if (deadline_ms <= 0.0) {
+                std::cerr << "--deadline-ms must be positive\n";
+                return 2;
+            }
+        } else if (arg == "--queue-cap") {
+            queue_cap =
+                static_cast<std::size_t>(positive(value()));
+        } else if (arg == "--metrics-out") {
+            metrics_out = value();
+        } else if (arg == "--metrics-prom") {
+            metrics_prom = value();
         } else if (arg == "--csv") {
             csv = true;
         } else {
@@ -145,9 +352,15 @@ main(int argc, char **argv)
         }
     }
 
-    const std::vector<bio::Sequence> pool = bio::makeQuerySet();
     const bio::SequenceDatabase db =
         bio::makeDefaultDatabase(db_seqs);
+
+    if (qps > 0.0)
+        return runOpenLoop(db, cfg, stream, qps, duration_s,
+                           deadline_ms, queue_cap, metrics_out,
+                           metrics_prom);
+
+    const std::vector<bio::Sequence> pool = bio::makeQuerySet();
     const std::vector<serve::Request> requests =
         serve::makeRequestStream(stream, pool);
 
@@ -155,6 +368,7 @@ main(int argc, char **argv)
     const serve::StreamReport report =
         engine.serveStream(requests);
     const serve::LatencySummary lat = report.latency.summary();
+    writeMetricsFiles(engine, metrics_out, metrics_prom);
 
     if (!csv) {
         std::cout << "# bioarch-serve: " << requests.size()
