@@ -5,11 +5,14 @@
  * magnitude faster than rigorous Smith-Waterman, measured on real
  * wall-clock rather than in simulation.
  *
- * Ends with an interleaved A/B of the model-vector scan
+ * Ends with an interleaved A/B/C of the model-vector scan
  * (swSimdScan<8>, the Altivec software model) against the native
- * striped backend (sw_striped_native), reported as GCUPS in the
- * standard JSON footer — the gate for the serving engine's kernel
- * swap.
+ * striped backend (sw_striped_native) and the native
+ * inter-sequence backend (sw_intersequence_native), reported as
+ * GCUPS in the standard JSON footer — the gate for the serving
+ * engine's kernel swap — plus a GCUPS-by-subject-length-bucket
+ * breakdown of striped vs inter-sequence that justifies the
+ * serving engine's kernel-selection cutover.
  */
 
 #include <benchmark/benchmark.h>
@@ -23,6 +26,7 @@
 #include "align/smith_waterman.hh"
 #include "align/ssearch.hh"
 #include "align/sw_simd.hh"
+#include "align/sw_intersequence_native.hh"
 #include "align/sw_striped.hh"
 #include "align/sw_striped_native.hh"
 #include "bench_common.hh"
@@ -210,11 +214,125 @@ registerNativeBenchmarks()
 }
 
 /**
- * The kernel-swap gate: interleaved A/B rounds of the model-vector
- * database scan vs the native striped backend, single-threaded,
- * per-arm minimum over the rounds, GCUPS = DP cells / wall-ns.
- * Interleaving (model, native, model, native, ...) means thermal
- * or scheduler drift hits both arms equally.
+ * GCUPS-by-subject-length-bucket A/B of the striped vs the
+ * inter-sequence kernel — the data behind the serving engine's
+ * kernel-selection cutover (align::interSequenceCutover). Returns
+ * a preformatted JSON object keyed by bucket label.
+ */
+std::string
+runLengthBucketBreakdown(const align::NativeQueryProfile &profile)
+{
+    constexpr int rounds = 3;
+    // A wider length spread than the default database — background
+    // sequences only (planted homologs would all land near the
+    // query lengths) — so every bucket, including the ones
+    // bracketing the cutover, has subjects in it.
+    static const bio::SequenceDatabase db = [] {
+        bio::DatabaseSpec spec;
+        spec.numSequences = 120;
+        spec.minLength = 40;
+        spec.maxLength = 2000;
+        spec.homologsPerQuery = 0;
+        spec.seed = 0xB0C4E75;
+        return bio::makeDatabase(spec, bio::makeQuerySet());
+    }();
+    const std::size_t m = query().length();
+
+    struct Bucket
+    {
+        const char *label;
+        std::size_t maxLen; // exclusive upper bound
+        std::vector<align::SubjectSpan> spans;
+        std::vector<const bio::Sequence *> seqs;
+        std::uint64_t cells = 0;
+    };
+    std::vector<Bucket> buckets{{"lt128", 128, {}, {}, 0},
+                                {"128_255", 256, {}, {}, 0},
+                                {"256_511", 512, {}, {}, 0},
+                                {"ge512",
+                                 std::numeric_limits<
+                                     std::size_t>::max(),
+                                 {}, {}, 0}};
+    for (const bio::Sequence &s : db) {
+        for (Bucket &b : buckets) {
+            if (s.length() < b.maxLen) {
+                b.spans.push_back(align::SubjectSpan{
+                    s.residues().data(), s.length()});
+                b.seqs.push_back(&s);
+                b.cells += static_cast<std::uint64_t>(s.length())
+                    * m;
+                break;
+            }
+        }
+    }
+
+    using Clock = std::chrono::steady_clock;
+    auto time_ms = [](auto &&scan) {
+        const Clock::time_point t0 = Clock::now();
+        int best = 0;
+        scan(best);
+        benchmark::DoNotOptimize(best);
+        return std::chrono::duration<double, std::milli>(
+                   Clock::now() - t0)
+            .count();
+    };
+
+    std::string json = "{";
+    bool first = true;
+    for (Bucket &b : buckets) {
+        if (b.spans.empty())
+            continue;
+        std::vector<align::LocalScore> out(b.spans.size());
+        double striped_ms =
+            std::numeric_limits<double>::infinity();
+        double inter_ms = std::numeric_limits<double>::infinity();
+        for (int r = 0; r < rounds; ++r) {
+            striped_ms = std::min(striped_ms, time_ms([&](int &x) {
+                for (const bio::Sequence *s : b.seqs)
+                    x = std::max(
+                        x,
+                        align::swStripedNativeScan(profile, *s,
+                                                   kGaps)
+                            .score);
+            }));
+            inter_ms = std::min(inter_ms, time_ms([&](int &x) {
+                align::swInterSequenceScan(profile,
+                                           b.spans.data(),
+                                           b.spans.size(), kGaps,
+                                           out.data());
+                for (const align::LocalScore &h : out)
+                    x = std::max(x, h.score);
+            }));
+        }
+        const auto gcups = [&b](double ms) {
+            return ms <= 0.0
+                ? 0.0
+                : static_cast<double>(b.cells) / (ms * 1e6);
+        };
+        std::cout << "#   length " << b.label << ": "
+                  << b.spans.size() << " subjects, striped "
+                  << gcups(striped_ms) << " GCUPS / inter-seq "
+                  << gcups(inter_ms) << " GCUPS\n";
+        json += std::string(first ? "" : ",") + "\"" + b.label
+            + "\":{\"subjects\":" + std::to_string(b.spans.size())
+            + ",\"cells\":" + std::to_string(b.cells)
+            + ",\"gcups_striped\":"
+            + std::to_string(gcups(striped_ms))
+            + ",\"gcups_intersequence\":"
+            + std::to_string(gcups(inter_ms)) + "}";
+        first = false;
+    }
+    json += "}";
+    return json;
+}
+
+/**
+ * The kernel-swap gate: interleaved A/B/C rounds of the
+ * model-vector database scan vs the native striped and native
+ * inter-sequence backends, single-threaded, per-arm minimum over
+ * the rounds, GCUPS = DP cells / wall-ns. Interleaving (model,
+ * striped, inter-seq, model, ...) means thermal or scheduler
+ * drift hits every arm equally.
  */
 void
 runModelVsNativeGcups()
@@ -228,6 +346,13 @@ runModelVsNativeGcups()
     const align::SimdBackend backend = align::bestNativeBackend();
     const align::NativeQueryProfile native_profile(q, kMat,
                                                    backend);
+
+    std::vector<align::SubjectSpan> spans;
+    spans.reserve(db.size());
+    for (const bio::Sequence &s : db)
+        spans.push_back(
+            align::SubjectSpan{s.residues().data(), s.length()});
+    std::vector<align::LocalScore> inter_out(spans.size());
 
     using Clock = std::chrono::steady_clock;
     auto time_ms = [](auto &&scan_all) {
@@ -253,19 +378,30 @@ runModelVsNativeGcups()
                 align::swStripedNativeScan(native_profile, s, kGaps)
                     .score);
     };
+    auto inter_scan = [&](int &best) {
+        align::swInterSequenceScan(native_profile, spans.data(),
+                                   spans.size(), kGaps,
+                                   inter_out.data());
+        for (const align::LocalScore &h : inter_out)
+            best = std::max(best, h.score);
+    };
 
     double model_ms = std::numeric_limits<double>::infinity();
     double native_ms = std::numeric_limits<double>::infinity();
+    double inter_ms = std::numeric_limits<double>::infinity();
     std::vector<double> point_ms;
     double wall_ms = 0.0;
     for (int r = 0; r < rounds; ++r) {
         const double m = time_ms(model_scan);
         const double n = time_ms(native_scan);
+        const double i = time_ms(inter_scan);
         model_ms = std::min(model_ms, m);
         native_ms = std::min(native_ms, n);
+        inter_ms = std::min(inter_ms, i);
         point_ms.push_back(m);
         point_ms.push_back(n);
-        wall_ms += m + n;
+        point_ms.push_back(i);
+        wall_ms += m + n + i;
     }
 
     const auto gcups = [cells](double ms) {
@@ -273,20 +409,29 @@ runModelVsNativeGcups()
             ? 0.0
             : static_cast<double>(cells) / (ms * 1e6);
     };
-    std::cout << "# model vs native striped scan ("
+    std::cout << "# model vs native striped vs inter-sequence scan ("
               << align::backendName(backend) << "), " << rounds
               << " interleaved rounds, per-arm min: model "
-              << model_ms << " ms / native " << native_ms
-              << " ms\n";
+              << model_ms << " ms / striped " << native_ms
+              << " ms / inter-seq " << inter_ms << " ms\n";
+    const std::string buckets =
+        runLengthBucketBreakdown(native_profile);
     bench::printJsonFooter(
         "bench_aligners", 1, point_ms.size(), wall_ms, wall_ms,
         {{"cells", std::to_string(cells)},
          {"model_ms", std::to_string(model_ms)},
          {"native_ms", std::to_string(native_ms)},
+         {"interseq_ms", std::to_string(inter_ms)},
          {"gcups_model", std::to_string(gcups(model_ms))},
          {"gcups_native", std::to_string(gcups(native_ms))},
+         {"gcups_intersequence", std::to_string(gcups(inter_ms))},
          {"native_speedup",
           std::to_string(model_ms / native_ms)},
+         {"interseq_speedup_vs_striped",
+          std::to_string(native_ms / inter_ms)},
+         {"interseq_cutover",
+          std::to_string(align::interSequenceCutover())},
+         {"gcups_by_subject_length", buckets},
          {"native_backend",
           "\"" + std::string(align::backendName(backend)) + "\""}},
         point_ms);

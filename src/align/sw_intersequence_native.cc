@@ -1,0 +1,175 @@
+#include "sw_intersequence_native.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "sw_intersequence_native_impl.hh"
+
+namespace bioarch::align
+{
+
+#if BIOARCH_NATIVE_AVX2
+// Implemented in sw_striped_avx2.cc (the only -mavx2 TU).
+namespace detail
+{
+void interScanU8Avx2(const std::uint8_t *mat_t,
+                     const bio::Residue *query, int m,
+                     const InterSubject *subjects,
+                     std::size_t count, int open_cost, int ext_cost,
+                     int bias, InterLaneResult *results);
+} // namespace detail
+#endif
+
+namespace
+{
+
+void
+dispatchInterU8(SimdBackend backend, const std::uint8_t *mat_t,
+                const bio::Residue *query, int m,
+                const detail::InterSubject *subjects,
+                std::size_t count, int open_cost, int ext_cost,
+                int bias, detail::InterLaneResult *results)
+{
+    switch (backend) {
+#if BIOARCH_NATIVE_SIMD && defined(__SSE2__)
+    case SimdBackend::SSE2:
+        detail::interScanU8<vec::native::Sse2U8>(
+            mat_t, query, m, subjects, count, open_cost, ext_cost,
+            bias, results);
+        return;
+#endif
+#if BIOARCH_NATIVE_AVX2
+    case SimdBackend::AVX2:
+        detail::interScanU8Avx2(mat_t, query, m, subjects, count,
+                                open_cost, ext_cost, bias, results);
+        return;
+#endif
+#if BIOARCH_NATIVE_SIMD && defined(__ARM_NEON) && defined(__aarch64__)
+    case SimdBackend::NEON:
+        detail::interScanU8<vec::native::NeonU8>(
+            mat_t, query, m, subjects, count, open_cost, ext_cost,
+            bias, results);
+        return;
+#endif
+    default:
+        detail::interScanU8<vec::native::PortableU8>(
+            mat_t, query, m, subjects, count, open_cost, ext_cost,
+            bias, results);
+        return;
+    }
+}
+
+} // namespace
+
+void
+swInterSequenceScan(const NativeQueryProfile &profile,
+                    const SubjectSpan *subjects, std::size_t count,
+                    const bio::GapPenalties &gaps, LocalScore *out,
+                    std::uint64_t *cells, NativeScanStats *stats)
+{
+    const int m = profile.queryLength();
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = LocalScore{};
+    if (cells) {
+        std::uint64_t total = 0;
+        for (std::size_t i = 0; i < count; ++i)
+            total += subjects[i].length;
+        *cells += static_cast<std::uint64_t>(m) * total;
+    }
+    if (m == 0 || count == 0)
+        return;
+
+    const int open_cost = gaps.openCost();
+    const int ext_cost = gaps.extendCost();
+    const bool u8_ok = profile.hasU8() && open_cost >= 0
+        && ext_cost >= 0 && open_cost <= 255 && ext_cost <= 255;
+    if (!u8_ok) {
+        // The whole batch rides the striped ladder per subject
+        // (cells were already accounted above).
+        for (std::size_t i = 0; i < count; ++i)
+            if (subjects[i].length > 0)
+                out[i] = swStripedNativeScan(
+                    profile, subjects[i].data, subjects[i].length,
+                    gaps, nullptr, stats);
+        return;
+    }
+
+    // Length-sorted lane schedule: lanes retire together, and the
+    // stable (length, index) key makes the schedule — and therefore
+    // the retire/refill sequence — a pure function of the batch,
+    // independent of how the caller discovered the subjects.
+    thread_local std::vector<std::uint32_t> order;
+    order.clear();
+    for (std::size_t i = 0; i < count; ++i)
+        if (subjects[i].length > 0)
+            order.push_back(static_cast<std::uint32_t>(i));
+    if (order.empty())
+        return;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (subjects[a].length != subjects[b].length)
+                      return subjects[a].length
+                          < subjects[b].length;
+                  return a < b;
+              });
+
+    thread_local std::vector<detail::InterSubject> sorted;
+    thread_local std::vector<detail::InterLaneResult> results;
+    sorted.resize(order.size());
+    results.assign(order.size(), detail::InterLaneResult{});
+    for (std::size_t k = 0; k < order.size(); ++k)
+        sorted[k] = detail::InterSubject{
+            subjects[order[k]].data,
+            static_cast<int>(subjects[order[k]].length)};
+
+    dispatchInterU8(profile.backend(), profile.interMatrix(),
+                    profile.query().residues().data(), m,
+                    sorted.data(), sorted.size(), open_cost,
+                    ext_cost, profile.bias(), results.data());
+    if (stats) {
+        stats->scans += order.size();
+        stats->interSequence += order.size();
+    }
+
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        const std::size_t slot = order[k];
+        const detail::InterLaneResult &r = results[k];
+        if (!r.saturated) {
+            out[slot].score = static_cast<int>(r.best);
+            out[slot].subjectEnd = r.subjectEnd;
+            continue;
+        }
+        // Same climb the striped scan takes after 8-bit clipping:
+        // 16-bit lanes, then the scalar reference.
+        if (stats)
+            ++stats->rescans16;
+        out[slot] = swStripedScan16Tail(profile, subjects[slot].data,
+                                        subjects[slot].length, gaps,
+                                        stats);
+    }
+}
+
+std::size_t
+interSequenceCutover()
+{
+    if (const char *env =
+            std::getenv("BIOARCH_INTERSEQ_CUTOVER")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 0)
+            return static_cast<std::size_t>(v);
+    }
+    // From bench_aligners' GCUPS-by-length-bucket breakdown (AVX2,
+    // reference container): with lanes filled, the inter-sequence
+    // kernel leads in every bucket — ~1.1x at 128-255 residues,
+    // ~1.9x at >= 512 — so only outliers several times the
+    // SwissProt-like median stay striped, where a lone subject
+    // monopolizes the lane schedule (tail divergence) and u8
+    // overflow rescans get likelier. Lane *underfill* is the other
+    // reason to prefer striped, and the serving shard scan handles
+    // that separately with a batch-occupancy floor.
+    return 2048;
+}
+
+} // namespace bioarch::align

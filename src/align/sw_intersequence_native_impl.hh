@@ -1,0 +1,336 @@
+/**
+ * @file
+ * The inter-sequence (multi-subject) Smith-Waterman kernel template
+ * instantiated once per native SIMD backend. Private to
+ * sw_intersequence_native.cc and sw_striped_avx2.cc — everything
+ * else goes through the dispatching API in
+ * sw_intersequence_native.hh.
+ *
+ * Where the striped kernel (sw_striped_native_impl.hh) spreads ONE
+ * subject's DP column across all lanes — paying Farrar's lazy-F
+ * correction for the stripe permutation — this kernel assigns one
+ * database subject per lane (the SWIPE / SWAPHI arrangement) and
+ * walks the DP column-by-column *down the query*. Within a column
+ * the vertical gap F is carried serially in a register, so the
+ * recurrence is exact with no correction loop at all; lanes never
+ * interact except through refill masking. The trade-off is a
+ * per-column gather: each lane's subject residue selects a column
+ * of the transposed score matrix, scattered into a [query-residue]
+ * [lane] scratch table the inner loop then loads by query residue.
+ *
+ * The arithmetic is the same biased unsigned 8-bit scheme as the
+ * striped kernel (profile stores score+bias; unsigned saturating
+ * subtraction is the local-alignment zero clamp), and a lane whose
+ * running best enters the clip band [255-bias, 255] is flagged so
+ * the caller can rescan that one subject up the striped 16-bit ->
+ * scalar ladder. Scores and end coordinates are therefore
+ * bit-identical to swStripedNativeScan for every subject.
+ */
+
+#ifndef BIOARCH_ALIGN_SW_INTERSEQUENCE_NATIVE_IMPL_HH
+#define BIOARCH_ALIGN_SW_INTERSEQUENCE_NATIVE_IMPL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "bio/alphabet.hh"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wignored-attributes"
+#endif
+
+namespace bioarch::align::detail
+{
+
+#if defined(__SSE2__)
+
+/**
+ * 16x16 byte transpose as a 4-stage unpack network. On return,
+ * output row kInterBitrev16[c] holds input column c (the network
+ * permutes rows by 4-bit bit-reversal; callers index through the
+ * table, which is its own inverse).
+ */
+inline constexpr int kInterBitrev16[16] = {0, 8, 4, 12, 2, 10,
+                                           6, 14, 1, 9,  5, 13,
+                                           3, 11, 7, 15};
+
+inline void
+interTranspose16(__m128i v[16])
+{
+    __m128i b[16], c[16], d[16];
+    for (int i = 0; i < 8; ++i) {
+        b[i] = _mm_unpacklo_epi8(v[2 * i], v[2 * i + 1]);
+        b[i + 8] = _mm_unpackhi_epi8(v[2 * i], v[2 * i + 1]);
+    }
+    for (int i = 0; i < 8; ++i) {
+        c[i] = _mm_unpacklo_epi16(b[2 * i], b[2 * i + 1]);
+        c[i + 8] = _mm_unpackhi_epi16(b[2 * i], b[2 * i + 1]);
+    }
+    for (int i = 0; i < 8; ++i) {
+        d[i] = _mm_unpacklo_epi32(c[2 * i], c[2 * i + 1]);
+        d[i + 8] = _mm_unpackhi_epi32(c[2 * i], c[2 * i + 1]);
+    }
+    for (int i = 0; i < 8; ++i) {
+        v[i] = _mm_unpacklo_epi64(d[2 * i], d[2 * i + 1]);
+        v[i + 8] = _mm_unpackhi_epi64(d[2 * i], d[2 * i + 1]);
+    }
+}
+
+/**
+ * Gather one column's substitution scores for 16 lanes by SIMD
+ * transpose instead of 16 x num_symbols scalar scatter stores: load
+ * each lane's matrix row in two overlapping 16-byte slices (bytes
+ * 0..15 and 7..22 — the pad row is the last row, and its second
+ * slice ends exactly at the end of the matrix buffer), transpose
+ * both blocks, and store one 16-byte vector per query symbol.
+ */
+inline void
+interGatherGroup16(const std::uint8_t *mat_t, const int *col_idx,
+                   std::uint8_t *scratch_group, int lanes)
+{
+    constexpr int num_symbols = bio::Alphabet::numSymbols;
+    static_assert(num_symbols == 23,
+                  "slice offsets assume 23 matrix columns");
+    __m128i lo[16], hi[16];
+    for (int l = 0; l < 16; ++l) {
+        const std::uint8_t *row = mat_t
+            + static_cast<std::size_t>(col_idx[l]) * num_symbols;
+        lo[l] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(row));
+        hi[l] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(row + 7));
+    }
+    interTranspose16(lo);
+    interTranspose16(hi);
+    for (int r = 0; r < 16; ++r)
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(
+                scratch_group
+                + static_cast<std::size_t>(r) * lanes),
+            lo[kInterBitrev16[r]]);
+    for (int r = 16; r < num_symbols; ++r)
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(
+                scratch_group
+                + static_cast<std::size_t>(r) * lanes),
+            hi[kInterBitrev16[r - 7]]);
+}
+
+#endif // __SSE2__
+
+/** One lane's worth of work: a packed-arena subject slice. */
+struct InterSubject
+{
+    const bio::Residue *data;
+    int length;
+};
+
+/** Per-subject kernel output, in the caller's subject order. */
+struct InterLaneResult
+{
+    std::uint8_t best = 0;
+    std::int32_t subjectEnd = -1;
+    bool saturated = false;
+};
+
+/**
+ * Scan @p count subjects, one per u8 lane, against the query.
+ * Subjects should arrive length-sorted so co-resident lanes retire
+ * together (correct in any order, just slower). A retiring lane is
+ * refilled from the queue immediately; its H/E/best state is zeroed
+ * with a lane mask, and exhausted lanes idle on the all-zero pad
+ * row of @p mat_t until the batch drains.
+ *
+ * @param mat_t  transposed biased matrix: row per *subject* symbol
+ *               (numSymbols rows + one all-zero pad row), each row
+ *               numSymbols biased scores indexed by query residue
+ *               (NativeQueryProfile::interMatrix())
+ * @param query  encoded query residues
+ * @param m      query length (> 0)
+ * @param results one entry per subject: best score (biased scale
+ *               clips flagged via `saturated`), and the 0-based
+ *               subject column the final best was first attained in
+ *               (the striped kernel's subjectEnd convention)
+ */
+template <class V>
+void
+interScanU8(const std::uint8_t *mat_t, const bio::Residue *query,
+            int m, const InterSubject *subjects, std::size_t count,
+            int open_cost, int ext_cost, int bias,
+            InterLaneResult *results)
+{
+    using Reg = typename V::Reg;
+    using Elem = typename V::Elem;
+    constexpr int lanes = V::lanes;
+    constexpr int num_symbols = bio::Alphabet::numSymbols;
+
+    const Reg v_open = V::splat(static_cast<Elem>(open_cost));
+    const Reg v_ext = V::splat(static_cast<Elem>(ext_cost));
+    const Reg v_bias = V::splat(static_cast<Elem>(bias));
+
+    // Per-query-position state, reused across calls on this thread.
+    thread_local std::vector<Reg> h;
+    thread_local std::vector<Reg> e;
+    thread_local std::vector<std::size_t> qoff;
+    const std::size_t mm = static_cast<std::size_t>(m);
+    h.assign(mm, V::zero());
+    e.assign(mm, V::zero());
+    qoff.resize(mm);
+    for (std::size_t i = 0; i < mm; ++i)
+        qoff[i] = static_cast<std::size_t>(query[i])
+            * static_cast<std::size_t>(lanes);
+
+    int slot[lanes];      // subject index per lane, -1 = idle
+    int pos[lanes];       // current column within the subject
+    Elem lane_best[lanes];
+    int lane_end[lanes];
+    alignas(64) Elem mask[lanes];
+    alignas(64) Elem best_now[lanes];
+    alignas(64) Elem best_was[lanes];
+    alignas(64) Elem scratch[static_cast<std::size_t>(num_symbols)
+                             * static_cast<std::size_t>(lanes)];
+
+    Reg v_best = V::zero();
+    std::size_t next = 0;
+    int active = 0;
+    for (int l = 0; l < lanes; ++l) {
+        slot[l] = -1;
+        pos[l] = 0;
+        lane_best[l] = 0;
+        lane_end[l] = -1;
+    }
+    for (int l = 0; l < lanes && next < count; ++l, ++next) {
+        slot[l] = static_cast<int>(next);
+        ++active;
+    }
+
+    while (active > 0) {
+        // Retire finished subjects and refill from the queue. The
+        // mask zeroes a refilled lane's H/E/best columns in one
+        // vectorized pass; length-sorted input makes simultaneous
+        // retirements (one mask pass for many lanes) the common
+        // case.
+        bool retired = false;
+        for (int l = 0; l < lanes; ++l) {
+            mask[l] = static_cast<Elem>(0xFF);
+            if (slot[l] < 0 || pos[l] < subjects[slot[l]].length)
+                continue;
+            InterLaneResult &r = results[slot[l]];
+            r.best = lane_best[l];
+            r.subjectEnd = lane_end[l];
+            r.saturated =
+                static_cast<int>(lane_best[l]) >= 255 - bias;
+            retired = true;
+            mask[l] = 0;
+            lane_best[l] = 0;
+            lane_end[l] = -1;
+            pos[l] = 0;
+            if (next < count) {
+                slot[l] = static_cast<int>(next++);
+            } else {
+                slot[l] = -1;
+                --active;
+            }
+        }
+        if (active == 0)
+            break;
+        if (retired) {
+            const Reg v_mask = V::load(mask);
+            for (std::size_t i = 0; i < mm; ++i) {
+                h[i] = V::band(h[i], v_mask);
+                e[i] = V::band(e[i], v_mask);
+            }
+            v_best = V::band(v_best, v_mask);
+        }
+
+        // Gather this column's substitution scores: each lane's
+        // subject residue picks a row of the transposed matrix,
+        // scattered to [query residue][lane] so the inner loop is a
+        // single aligned load per query position. Idle lanes read
+        // the pad row (all zeros == score -bias), which only ever
+        // decays their already-zero state. On x86 the scatter runs
+        // as 16-lane SIMD transposes — the scalar form is
+        // store-port-bound at lanes x num_symbols byte stores per
+        // column, a sizable share of the kernel.
+        int col_idx[lanes];
+        for (int l = 0; l < lanes; ++l)
+            col_idx[l] = slot[l] >= 0
+                ? static_cast<int>(subjects[slot[l]].data[pos[l]])
+                : num_symbols;
+#if defined(__SSE2__)
+        if constexpr (sizeof(Elem) == 1 && lanes % 16 == 0) {
+            for (int g = 0; g < lanes / 16; ++g)
+                interGatherGroup16(
+                    mat_t, col_idx + g * 16,
+                    reinterpret_cast<std::uint8_t *>(scratch)
+                        + g * 16,
+                    lanes);
+        } else
+#endif
+        {
+            for (int l = 0; l < lanes; ++l) {
+                const std::uint8_t *col = mat_t
+                    + static_cast<std::size_t>(col_idx[l])
+                        * num_symbols;
+                for (int r = 0; r < num_symbols; ++r)
+                    scratch[static_cast<std::size_t>(r) * lanes
+                            + l] = static_cast<Elem>(col[r]);
+            }
+        }
+
+        // One DP column for all lanes. F is carried serially down
+        // the query, so the recurrence is exact — the inter-sequence
+        // arrangement never needs a lazy-F correction.
+        Reg v_f = V::zero();
+        Reg v_diag = V::zero();
+        const Reg v_best_in = v_best;
+        for (std::size_t i = 0; i < mm; ++i) {
+            const Reg old_h = h[i];
+            const Reg v_e = V::max(V::subs(e[i], v_ext),
+                                   V::subs(old_h, v_open));
+            Reg v_h = V::subs(
+                V::adds(v_diag, V::load(scratch + qoff[i])),
+                v_bias);
+            v_h = V::max(v_h, v_e);
+            v_h = V::max(v_h, v_f);
+            h[i] = v_h;
+            e[i] = v_e;
+            v_best = V::max(v_best, v_h);
+            v_f = V::max(V::subs(v_f, v_ext),
+                         V::subs(v_h, v_open));
+            v_diag = old_h;
+        }
+
+        // Track, per lane, the column its best last strictly
+        // improved in — the striped kernel's subjectEnd convention,
+        // extracted only on the (self-limiting: at most 255 per
+        // lane) columns where some lane actually improved.
+        if (V::anyGt(v_best, v_best_in)) {
+            std::memcpy(best_now, &v_best, sizeof(Reg));
+            std::memcpy(best_was, &v_best_in, sizeof(Reg));
+            for (int l = 0; l < lanes; ++l) {
+                if (best_now[l] > best_was[l]) {
+                    lane_best[l] = best_now[l];
+                    lane_end[l] = pos[l];
+                }
+            }
+        }
+        for (int l = 0; l < lanes; ++l)
+            pos[l] += slot[l] >= 0 ? 1 : 0;
+    }
+}
+
+} // namespace bioarch::align::detail
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif // BIOARCH_ALIGN_SW_INTERSEQUENCE_NATIVE_IMPL_HH

@@ -1,11 +1,13 @@
 /**
  * @file
- * The only translation unit compiled with -mavx2: the two AVX2
- * kernel instantiations, reached through plain function pointers so
- * the rest of the library stays at the baseline ISA and dispatch is
- * guarded by runtime CPUID (sw_striped_native.cc).
+ * The only translation unit compiled with -mavx2: the AVX2 kernel
+ * instantiations (striped u8/i16 and inter-sequence u8), reached
+ * through plain function pointers so the rest of the library stays
+ * at the baseline ISA and dispatch is guarded by runtime CPUID
+ * (sw_striped_native.cc / sw_intersequence_native.cc).
  */
 
+#include "sw_intersequence_native_impl.hh"
 #include "sw_striped_native_impl.hh"
 
 #include "vec/simd_native.hh"
@@ -34,6 +36,17 @@ scanI16Avx2(const std::int16_t *profile, int seg,
 {
     return stripedScanI16<vec::native::Avx2I16>(
         profile, seg, subject, n, open_cost, ext_cost, saturated);
+}
+
+void
+interScanU8Avx2(const std::uint8_t *mat_t, const bio::Residue *query,
+                int m, const InterSubject *subjects,
+                std::size_t count, int open_cost, int ext_cost,
+                int bias, InterLaneResult *results)
+{
+    interScanU8<vec::native::Avx2U8>(mat_t, query, m, subjects,
+                                     count, open_cost, ext_cost,
+                                     bias, results);
 }
 
 } // namespace bioarch::align::detail

@@ -224,6 +224,25 @@ NativeQueryProfile::NativeQueryProfile(
             }
         }
     }
+
+    // Transposed biased matrix for the inter-sequence kernel: row
+    // per subject symbol, columns indexed by query residue, plus an
+    // all-zero pad row (index numSymbols) idle lanes read — zero is
+    // score -bias, which only ever decays an already-dead lane.
+    const std::size_t n_sym =
+        static_cast<std::size_t>(bio::Alphabet::numSymbols);
+    _matT = vec::native::allocateAligned<std::uint8_t>(
+        (n_sym + 1) * n_sym);
+    for (int c = 0; c < bio::Alphabet::numSymbols; ++c)
+        for (int r = 0; r < bio::Alphabet::numSymbols; ++r)
+            _matT[static_cast<std::size_t>(c) * n_sym
+                  + static_cast<std::size_t>(r)] =
+                static_cast<std::uint8_t>(
+                    matrix.score(static_cast<bio::Residue>(r),
+                                 static_cast<bio::Residue>(c))
+                    + _bias);
+    for (std::size_t r = 0; r < n_sym; ++r)
+        _matT[n_sym * n_sym + r] = 0;
 }
 
 #if BIOARCH_NATIVE_AVX2
@@ -320,8 +339,10 @@ swStripedNativeScan(const NativeQueryProfile &profile,
     LocalScore out;
     if (m == 0 || n == 0)
         return out;
-    if (stats)
+    if (stats) {
         ++stats->scans;
+        ++stats->striped;
+    }
 
     const int open_cost = gaps.openCost();
     const int ext_cost = gaps.extendCost();
@@ -347,18 +368,31 @@ swStripedNativeScan(const NativeQueryProfile &profile,
             ++stats->rescans16;
     }
 
-    out = dispatchI16(profile.backend(), profile.profile16(),
-                      profile.segmentLength16(), subject, n,
-                      open_cost, ext_cost, &saturated);
+    return swStripedScan16Tail(profile, subject, n, gaps, stats);
+}
+
+LocalScore
+swStripedScan16Tail(const NativeQueryProfile &profile,
+                    const bio::Residue *subject, std::size_t n,
+                    const bio::GapPenalties &gaps,
+                    NativeScanStats *stats)
+{
+    const int open_cost = gaps.openCost();
+    const int ext_cost = gaps.extendCost();
+    bool saturated = false;
+    const LocalScore out = dispatchI16(
+        profile.backend(), profile.profile16(),
+        profile.segmentLength16(), subject, n, open_cost, ext_cost,
+        &saturated);
     if (!saturated)
         return out;
 
     if (stats)
         ++stats->rescansScalar;
-    return smithWatermanScoreRaw(profile.query().residues().data(),
-                                 static_cast<std::size_t>(m),
-                                 subject, n, profile.matrix(),
-                                 gaps);
+    return smithWatermanScoreRaw(
+        profile.query().residues().data(),
+        static_cast<std::size_t>(profile.queryLength()), subject, n,
+        profile.matrix(), gaps);
 }
 
 LocalScore

@@ -88,6 +88,10 @@ struct NativeScanStats
     std::uint64_t scans = 0;         ///< subjects scanned
     std::uint64_t rescans16 = 0;     ///< 8-bit saturated, redone @16
     std::uint64_t rescansScalar = 0; ///< 16-bit saturated too
+    /** Subjects whose 8-bit pass ran in the inter-sequence kernel. */
+    std::uint64_t interSequence = 0;
+    /** Subjects scanned by the striped kernel. */
+    std::uint64_t striped = 0;
 };
 
 /** Merge per-task ladder counts (e.g. per-shard into per-batch). */
@@ -97,6 +101,8 @@ operator+=(NativeScanStats &a, const NativeScanStats &b)
     a.scans += b.scans;
     a.rescans16 += b.rescans16;
     a.rescansScalar += b.rescansScalar;
+    a.interSequence += b.interSequence;
+    a.striped += b.striped;
     return a;
 }
 
@@ -132,6 +138,15 @@ class NativeQueryProfile
     const std::int16_t *profile16() const { return _i16.get(); }
     const bio::ScoringMatrix &matrix() const { return *_matrix; }
 
+    /**
+     * Transposed biased matrix for the inter-sequence kernel: one
+     * row per *subject* symbol (numSymbols rows plus one all-zero
+     * pad row for idle lanes), each row numSymbols biased scores
+     * indexed by *query* residue. Built whenever the 8-bit level
+     * exists (hasU8()); nullptr otherwise.
+     */
+    const std::uint8_t *interMatrix() const { return _matT.get(); }
+
   private:
     const bio::Sequence *_query;
     const bio::ScoringMatrix *_matrix;
@@ -142,6 +157,7 @@ class NativeQueryProfile
     int _seg16;
     vec::native::AlignedArray<std::uint8_t> _u8;
     vec::native::AlignedArray<std::int16_t> _i16;
+    vec::native::AlignedArray<std::uint8_t> _matT;
 };
 
 /**
@@ -168,6 +184,21 @@ LocalScore swStripedNativeScan(const NativeQueryProfile &profile,
                                const bio::Sequence &subject,
                                const bio::GapPenalties &gaps,
                                std::uint64_t *cells = nullptr,
+                               NativeScanStats *stats = nullptr);
+
+/**
+ * The upper half of the overflow ladder on its own: scan at 16
+ * bits, falling back to the scalar reference (counted in
+ * stats->rescansScalar) if those lanes saturate too. Used by the
+ * striped scan after 8-bit saturation and by the inter-sequence
+ * driver to rescan clipped lanes — both climbs are the same code,
+ * so the two kernels share one ladder contract. Does not touch
+ * stats->scans/rescans16 or the cell count; the caller owns those.
+ */
+LocalScore swStripedScan16Tail(const NativeQueryProfile &profile,
+                               const bio::Residue *subject,
+                               std::size_t n,
+                               const bio::GapPenalties &gaps,
                                NativeScanStats *stats = nullptr);
 
 } // namespace bioarch::align

@@ -5,10 +5,15 @@
  * sw_striped_native.cc and sw_striped_avx2.cc — everything else
  * goes through the dispatching API in sw_striped_native.hh.
  *
- * The recurrence and the lazy-F loop mirror align/sw_striped.cc
- * (the model-vector striped kernel, already asserted bit-identical
- * to the scalar reference), with two differences:
+ * The recurrence mirrors align/sw_striped.cc (the model-vector
+ * striped kernel, already asserted bit-identical to the scalar
+ * reference), with three differences:
  *
+ *  - the lazy-F correction is deconstructed (Snytsar): a prefix
+ *    scan folds every wrap's boundary-crossing gap flow into one
+ *    steady-state inflow, replacing the data-dependent wrap loop
+ *    with a single bounded sweep — same H/E values, column for
+ *    column, as the classic loop;
  *  - the 8-bit level runs Farrar's biased unsigned arithmetic: the
  *    profile stores score+bias, each H update adds the biased score
  *    and subtracts the bias back out, and unsigned saturating
@@ -24,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -68,11 +74,23 @@ stripedScanImpl(const typename V::Elem *profile, int seg,
     const Reg v_bias = V::splat(bias);
     const Reg v_zero = V::zero();
 
-    std::vector<Reg> h_store(static_cast<std::size_t>(seg),
-                             V::zero());
-    std::vector<Reg> h_load(static_cast<std::size_t>(seg),
-                            V::zero());
-    std::vector<Reg> e(static_cast<std::size_t>(seg), V::zero());
+    // Reused across scans on this thread: the serving engine calls
+    // this once per database subject, and for the short-subject
+    // tail three heap allocations per scan used to dominate the
+    // kernel itself.
+    thread_local std::vector<Reg> h_store;
+    thread_local std::vector<Reg> h_load;
+    thread_local std::vector<Reg> e;
+    h_store.assign(static_cast<std::size_t>(seg), V::zero());
+    h_load.assign(static_cast<std::size_t>(seg), V::zero());
+    e.assign(static_cast<std::size_t>(seg), V::zero());
+
+    // Per-lane decay of a vertical gap passing through one whole
+    // segment's stripe, clamped to the element range (the clamp
+    // only ever *over*-decays flow that was already dead).
+    const Elem seg_decay_max = std::numeric_limits<Elem>::max();
+    const long seg_decay = static_cast<long>(seg)
+        * static_cast<long>(ext_cost);
 
     Elem best = 0;
     int best_column = -1;
@@ -113,29 +131,72 @@ stripedScanImpl(const typename V::Elem *profile, int seg,
             v_h = h_load[ss];
         }
 
-        // Lazy F, exactly as in the model striped kernel: keep
-        // propagating the vertical gap across segment boundaries
-        // while it can still raise some H; the improvement flag
-        // guarantees termination when extend == 0.
-        v_f = V::shiftInZero(v_f);
-        int s = 0;
-        bool improved_this_wrap = true;
-        while (V::anyGt(
-            v_f,
-            V::subs(h_store[static_cast<std::size_t>(s)], v_open))) {
-            const std::size_t ss = static_cast<std::size_t>(s);
-            const Reg h_new = V::max(h_store[ss], v_f);
-            improved_this_wrap |= V::anyGt(h_new, h_store[ss]);
-            h_store[ss] = h_new;
-            e[ss] = V::max(e[ss], V::subs(h_new, v_open));
-            v_col_best = V::max(v_col_best, h_new);
-            v_f = V::subs(v_f, v_ext);
-            if (++s >= seg) {
-                if (!improved_this_wrap)
+        // Lazy-F correction, deconstructed (after Snytsar,
+        // "De(con)struction of the lazy-F loop"). The classic
+        // correction chases the vertical gap across segment
+        // boundaries with a data-dependent wrap loop — worst case
+        // seg x lanes serialized iterations per column. Inside the
+        // correction the gap only ever decays (raised H never
+        // regenerates flow that isn't dominated, the same invariant
+        // the classic early exit rests on), so wrap w's inflow to a
+        // lane is just the outflow of the lane w below, decayed by
+        // w-1 whole segments — a shift-subtract-max prefix scan can
+        // fold every remaining wrap into one steady-state inflow
+        // applied by a single bounded sweep. Staging: the cheap
+        // entry check first (most columns carry no boundary-
+        // crossing gap at all), then ONE classic early-exit sweep
+        // (when flow does cross, it near-always dies within a few
+        // segments — the prefix scan's 31 single-element shifts
+        // would cost more than it saves), and only if that sweep
+        // runs the column end-to-end without converging does the
+        // deconstructed steady state take over and finish the
+        // correction in one more bounded pass.
+        Reg v_in = V::shiftInZero(v_f);
+        if (V::anyGt(v_in, V::subs(h_store[0], v_open))) {
+            bool converged = false;
+            for (int s = 0; s < seg; ++s) {
+                const std::size_t ss = static_cast<std::size_t>(s);
+                if (!V::anyGt(v_in,
+                              V::subs(h_store[ss], v_open))) {
+                    converged = true;
                     break;
-                improved_this_wrap = false;
-                s = 0;
-                v_f = V::shiftInZero(v_f);
+                }
+                const Reg h_new = V::max(h_store[ss], v_in);
+                h_store[ss] = h_new;
+                e[ss] = V::max(e[ss], V::subs(h_new, v_open));
+                v_col_best = V::max(v_col_best, h_new);
+                v_in = V::subs(v_in, v_ext);
+            }
+            if (!converged) {
+                // v_in is the first sweep's outflow; scan it into
+                // the max-over-all-further-wraps inflow.
+                Reg g = v_in;
+                for (int k = 1; k < lanes; k <<= 1) {
+                    Reg sh = g;
+                    for (int t = 0; t < k; ++t)
+                        sh = V::shiftInZero(sh);
+                    const long dec =
+                        static_cast<long>(k) * seg_decay;
+                    const Elem d =
+                        dec > static_cast<long>(seg_decay_max)
+                        ? seg_decay_max
+                        : static_cast<Elem>(dec);
+                    g = V::max(g, V::subs(sh, V::splat(d)));
+                }
+                v_in = V::shiftInZero(g);
+                for (int s = 0; s < seg; ++s) {
+                    const std::size_t ss =
+                        static_cast<std::size_t>(s);
+                    if (!V::anyGt(v_in,
+                                  V::subs(h_store[ss], v_open)))
+                        break;
+                    const Reg h_new = V::max(h_store[ss], v_in);
+                    h_store[ss] = h_new;
+                    e[ss] =
+                        V::max(e[ss], V::subs(h_new, v_open));
+                    v_col_best = V::max(v_col_best, h_new);
+                    v_in = V::subs(v_in, v_ext);
+                }
             }
         }
 

@@ -123,8 +123,15 @@ ThreadPool::workerLoop(unsigned self)
         bool drained;
         {
             std::lock_guard lock(_mutex);
-            if (err && !_error)
-                _error = err;
+            if (err) {
+                if (!_error)
+                    _error = std::move(err);
+                // Release the worker's reference inside the lock:
+                // the waiter that rethrows must be the last owner,
+                // or the exception object's teardown on this thread
+                // races the waiter's use of it.
+                err = nullptr;
+            }
             drained = --_pending == 0;
         }
         if (drained)

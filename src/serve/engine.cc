@@ -58,6 +58,10 @@ Engine::Engine(const bio::SequenceDatabase &db, EngineConfig config)
         &m.counter("native_rescans16_total", backend_label);
     _mNativeRescansScalar =
         &m.counter("native_rescans_scalar_total", backend_label);
+    _mNativeInterseq =
+        &m.counter("native_intersequence_total", backend_label);
+    _mNativeStriped =
+        &m.counter("native_striped_total", backend_label);
     _mScanUs = &m.histogram("serve_scan_us");
     _mBatchUs = &m.histogram("serve_batch_us");
     _mLatencyUs = &m.histogram("serve_latency_us");
@@ -162,7 +166,7 @@ Engine::runBatch(const Request *requests, std::size_t count,
         const WallClock::time_point t0 = WallClock::now();
         scans[u] = scanShard(*prepared[rep[r]], *_db,
                              _sharded.shard(s), top_k, _karlin,
-                             total);
+                             total, _cfg.interseqCutover);
         scans[u].elapsedUs = elapsedUs(t0, WallClock::now());
         _mScanUs->record(scans[u].elapsedUs);
     });
@@ -209,6 +213,8 @@ Engine::runBatch(const Request *requests, std::size_t count,
     _mNativeScans->inc(native.scans);
     _mNativeRescans16->inc(native.rescans16);
     _mNativeRescansScalar->inc(native.rescansScalar);
+    _mNativeInterseq->inc(native.interSequence);
+    _mNativeStriped->inc(native.striped);
     return out;
 }
 

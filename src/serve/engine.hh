@@ -58,6 +58,14 @@ struct EngineConfig
      * kernels.
      */
     align::SimdBackend backend = align::defaultScanBackend();
+    /**
+     * Native-path kernel heuristic: subjects strictly shorter than
+     * this go to the inter-sequence kernel (one subject per SIMD
+     * lane), the rest to the striped kernel. Hit lists are
+     * bit-identical either way; 0 keeps everything striped. The
+     * default follows BIOARCH_INTERSEQ_CUTOVER when set.
+     */
+    std::size_t interseqCutover = align::interSequenceCutover();
     bio::GapPenalties gaps;
     align::FastaParams fasta;
     align::BlastParams blast;
@@ -223,6 +231,8 @@ class Engine
     obs::Counter *_mNativeScans;
     obs::Counter *_mNativeRescans16;
     obs::Counter *_mNativeRescansScalar;
+    obs::Counter *_mNativeInterseq;
+    obs::Counter *_mNativeStriped;
     obs::Histogram *_mScanUs;
     obs::Histogram *_mBatchUs;
     obs::Histogram *_mLatencyUs;

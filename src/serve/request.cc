@@ -104,6 +104,17 @@ PreparedQuery::scanPacked(const bio::Residue *subject,
                                       cells, stats);
 }
 
+void
+PreparedQuery::scanPackedBatch(const align::SubjectSpan *subjects,
+                               std::size_t count,
+                               align::LocalScore *out,
+                               std::uint64_t *cells,
+                               align::NativeScanStats *stats) const
+{
+    align::swInterSequenceScan(*_native, subjects, count, _gaps,
+                               out, cells, stats);
+}
+
 std::vector<Request>
 makeRequestStream(const StreamSpec &spec,
                   const std::vector<bio::Sequence> &query_pool)

@@ -20,6 +20,7 @@
 #include "align/blast.hh"
 #include "align/fasta.hh"
 #include "align/ssearch.hh"
+#include "align/sw_intersequence_native.hh"
 #include "align/sw_simd.hh"
 #include "align/sw_striped_native.hh"
 #include "align/types.hh"
@@ -127,6 +128,21 @@ class PreparedQuery
     scanPacked(const bio::Residue *subject, std::size_t n,
                std::uint64_t *cells,
                align::NativeScanStats *stats = nullptr) const;
+
+    /**
+     * Scan a whole batch of packed-arena subjects with the
+     * inter-sequence kernel (one subject per SIMD lane), writing
+     * one LocalScore per subject in the caller's order. Results are
+     * bit-identical to scanPacked per subject — the shard scan
+     * routes short subjects here and long ones through scanPacked
+     * purely as a throughput decision. Only valid when
+     * usesNativeScan().
+     */
+    void
+    scanPackedBatch(const align::SubjectSpan *subjects,
+                    std::size_t count, align::LocalScore *out,
+                    std::uint64_t *cells,
+                    align::NativeScanStats *stats = nullptr) const;
 
   private:
     kernels::Workload _kind;

@@ -39,7 +39,7 @@ ShardScan
 scanShard(const PreparedQuery &query,
           const bio::SequenceDatabase &db, const Shard &shard,
           std::size_t top_k, const align::KarlinParams &karlin,
-          double total_residues)
+          double total_residues, std::size_t interseq_cutover)
 {
     ShardScan out;
     TopKHeap heap(top_k);
@@ -49,18 +49,79 @@ scanShard(const PreparedQuery &query,
     // residue arena (one contiguous stream per shard); the model
     // kernels and the heuristics keep taking the Sequence path.
     const bool packed = query.usesNativeScan();
-    const bio::Residue *arena =
-        packed ? db.packedResidues() : nullptr;
     const std::vector<std::uint64_t> &offsets = db.packedOffsets();
 
-    for (std::size_t idx = shard.begin; idx < shard.end; ++idx) {
-        const align::LocalScore ls = packed
-            ? query.scanPacked(
-                  arena + offsets[idx],
-                  static_cast<std::size_t>(offsets[idx + 1]
-                                           - offsets[idx]),
-                  &out.cells, &out.native)
-            : query.scan(db[idx], &out.cells, &out.native);
+    if (packed) {
+        // Kernel choice per subject: lengths under the cutover go
+        // to the inter-sequence kernel (one subject per lane), the
+        // rest through the striped kernel. Whatever the batching
+        // does internally, scores land in a per-subject slot and
+        // the heap is fed in ascending db index afterwards, so the
+        // hit list's total order is a pure function of (query,
+        // shard) — never of the lane schedule.
+        const bio::Residue *arena = db.packedResidues();
+        const std::size_t n_subjects = shard.end - shard.begin;
+        std::vector<align::LocalScore> scores(n_subjects);
+        std::vector<align::SubjectSpan> batch;
+        std::vector<std::uint32_t> batch_slot;
+        batch.reserve(n_subjects);
+        batch_slot.reserve(n_subjects);
+        for (std::size_t idx = shard.begin; idx < shard.end;
+             ++idx) {
+            const std::size_t slot = idx - shard.begin;
+            const std::size_t len = static_cast<std::size_t>(
+                offsets[idx + 1] - offsets[idx]);
+            if (len > 0 && len < interseq_cutover) {
+                batch.push_back(align::SubjectSpan{
+                    arena + offsets[idx], len});
+                batch_slot.push_back(
+                    static_cast<std::uint32_t>(slot));
+            } else {
+                scores[slot] = query.scanPacked(
+                    arena + offsets[idx], len, &out.cells,
+                    &out.native);
+            }
+        }
+        // Batch-occupancy floor: the inter-sequence kernel's edge
+        // comes from keeping all lanes busy, and a near-empty batch
+        // leaves most of them idling on the pad row. Too few
+        // subjects to fill even a quarter of the widest lane set
+        // scan striped instead — scores are bit-identical either
+        // way, this is purely a throughput choice.
+        constexpr std::size_t min_batch_occupancy = 8;
+        if (batch.size() > 0
+            && batch.size() < min_batch_occupancy) {
+            for (std::size_t k = 0; k < batch.size(); ++k)
+                scores[batch_slot[k]] = query.scanPacked(
+                    batch[k].data, batch[k].length, &out.cells,
+                    &out.native);
+        } else if (!batch.empty()) {
+            std::vector<align::LocalScore> batch_scores(
+                batch.size());
+            query.scanPackedBatch(batch.data(), batch.size(),
+                                  batch_scores.data(), &out.cells,
+                                  &out.native);
+            for (std::size_t k = 0; k < batch.size(); ++k)
+                scores[batch_slot[k]] = batch_scores[k];
+        }
+        out.sequences += n_subjects;
+        for (std::size_t slot = 0; slot < n_subjects; ++slot) {
+            const align::LocalScore &ls = scores[slot];
+            if (ls.score <= 0)
+                continue;
+            align::SearchHit hit;
+            hit.dbIndex = shard.begin + slot;
+            hit.score = ls.score;
+            hit.queryEnd = ls.queryEnd;
+            hit.subjectEnd = ls.subjectEnd;
+            heap.consider(hit);
+        }
+    }
+
+    for (std::size_t idx = shard.begin; !packed && idx < shard.end;
+         ++idx) {
+        const align::LocalScore ls =
+            query.scan(db[idx], &out.cells, &out.native);
         ++out.sequences;
         if (ls.score <= 0)
             continue;

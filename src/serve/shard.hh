@@ -94,12 +94,22 @@ struct ShardScan
  * @p top_k hits. Bit scores and E-values use @p karlin with the
  * query length and @p total_residues (the whole database), matching
  * the library's *Search drivers.
+ *
+ * On the native (packed-arena) path, subjects shorter than
+ * @p interseq_cutover are scanned in batch by the inter-sequence
+ * kernel and the rest by the striped kernel; batches too small to
+ * keep the lanes busy fall back to striped (occupancy floor). All
+ * routes produce bit-identical hits, so the cutover is purely a
+ * throughput knob (EngineConfig::interseqCutover; 0 keeps
+ * everything striped).
  */
 ShardScan scanShard(const PreparedQuery &query,
                     const bio::SequenceDatabase &db,
                     const Shard &shard, std::size_t top_k,
                     const align::KarlinParams &karlin,
-                    double total_residues);
+                    double total_residues,
+                    std::size_t interseq_cutover =
+                        align::interSequenceCutover());
 
 } // namespace bioarch::serve
 

@@ -22,6 +22,7 @@
  *   lanes, Elem, Reg
  *   zero(), splat(x), load(p)          // load requires 64B-aligned p
  *   adds(a,b), subs(a,b), max(a,b)     // saturating add/sub, max
+ *   band(a,b)                          // bitwise AND (lane masking)
  *   shiftInZero(a)                     // one lane toward higher
  *                                      // index, 0 into lane 0
  *   hmax(a)                            // horizontal maximum
@@ -154,6 +155,14 @@ struct PortableU8
         return r;
     }
     static Reg
+    band(Reg a, Reg b)
+    {
+        Reg r;
+        for (int i = 0; i < lanes; ++i)
+            r.v[i] = a.v[i] & b.v[i];
+        return r;
+    }
+    static Reg
     shiftInZero(Reg a)
     {
         Reg r;
@@ -241,6 +250,14 @@ struct PortableI16
         return r;
     }
     static Reg
+    band(Reg a, Reg b)
+    {
+        Reg r;
+        for (int i = 0; i < lanes; ++i)
+            r.v[i] = static_cast<Elem>(a.v[i] & b.v[i]);
+        return r;
+    }
+    static Reg
     shiftInZero(Reg a)
     {
         Reg r;
@@ -289,6 +306,7 @@ struct Sse2U8
     static Reg adds(Reg a, Reg b) { return _mm_adds_epu8(a, b); }
     static Reg subs(Reg a, Reg b) { return _mm_subs_epu8(a, b); }
     static Reg max(Reg a, Reg b) { return _mm_max_epu8(a, b); }
+    static Reg band(Reg a, Reg b) { return _mm_and_si128(a, b); }
     static Reg shiftInZero(Reg a) { return _mm_slli_si128(a, 1); }
     static Elem
     hmax(Reg a)
@@ -326,6 +344,7 @@ struct Sse2I16
     static Reg adds(Reg a, Reg b) { return _mm_adds_epi16(a, b); }
     static Reg subs(Reg a, Reg b) { return _mm_subs_epi16(a, b); }
     static Reg max(Reg a, Reg b) { return _mm_max_epi16(a, b); }
+    static Reg band(Reg a, Reg b) { return _mm_and_si128(a, b); }
     static Reg shiftInZero(Reg a) { return _mm_slli_si128(a, 2); }
     static Elem
     hmax(Reg a)
@@ -385,6 +404,7 @@ struct Avx2U8
     static Reg adds(Reg a, Reg b) { return _mm256_adds_epu8(a, b); }
     static Reg subs(Reg a, Reg b) { return _mm256_subs_epu8(a, b); }
     static Reg max(Reg a, Reg b) { return _mm256_max_epu8(a, b); }
+    static Reg band(Reg a, Reg b) { return _mm256_and_si256(a, b); }
     static Reg
     shiftInZero(Reg a)
     {
@@ -426,6 +446,7 @@ struct Avx2I16
     static Reg adds(Reg a, Reg b) { return _mm256_adds_epi16(a, b); }
     static Reg subs(Reg a, Reg b) { return _mm256_subs_epi16(a, b); }
     static Reg max(Reg a, Reg b) { return _mm256_max_epi16(a, b); }
+    static Reg band(Reg a, Reg b) { return _mm256_and_si256(a, b); }
     static Reg
     shiftInZero(Reg a)
     {
@@ -464,6 +485,7 @@ struct NeonU8
     static Reg adds(Reg a, Reg b) { return vqaddq_u8(a, b); }
     static Reg subs(Reg a, Reg b) { return vqsubq_u8(a, b); }
     static Reg max(Reg a, Reg b) { return vmaxq_u8(a, b); }
+    static Reg band(Reg a, Reg b) { return vandq_u8(a, b); }
     static Reg
     shiftInZero(Reg a)
     {
@@ -489,6 +511,7 @@ struct NeonI16
     static Reg adds(Reg a, Reg b) { return vqaddq_s16(a, b); }
     static Reg subs(Reg a, Reg b) { return vqsubq_s16(a, b); }
     static Reg max(Reg a, Reg b) { return vmaxq_s16(a, b); }
+    static Reg band(Reg a, Reg b) { return vandq_s16(a, b); }
     static Reg
     shiftInZero(Reg a)
     {

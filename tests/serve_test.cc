@@ -317,6 +317,131 @@ TEST(ServeEngine, NativeBackendMatchesModelScores)
     }
 }
 
+TEST(ServeDeterminism, HitsBitIdenticalAcrossKernelChoices)
+{
+    // The inter-sequence/striped cutover is a pure throughput knob:
+    // ranked hits — ids, scores, bit scores, E-values, end
+    // coordinates — must be bit-for-bit identical whether every
+    // subject goes striped (cutover 0), every subject goes
+    // inter-sequence (huge cutover), or the mix splits at the
+    // default, across jobs {1, 2, 8}.
+    std::vector<serve::Request> stream;
+    for (std::size_t i = 0; i < 4; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.kind = kernels::Workload::Ssearch34;
+        r.query = queryPool()[i % queryPool().size()];
+        stream.push_back(std::move(r));
+    }
+
+    // Reference: all-striped, serial.
+    serve::EngineConfig ref_cfg;
+    ref_cfg.jobs = 1;
+    ref_cfg.interseqCutover = 0;
+    serve::Engine ref_engine(testDb(), ref_cfg);
+    const std::vector<serve::Response> reference =
+        ref_engine.serveBatch(stream);
+    ASSERT_TRUE(ref_engine.config().interseqCutover == 0);
+
+    for (const std::size_t cutover :
+         {std::size_t{0}, align::interSequenceCutover(),
+          std::size_t{1} << 30}) {
+        for (const unsigned jobs : {1u, 2u, 8u}) {
+            serve::EngineConfig cfg;
+            cfg.jobs = jobs;
+            cfg.interseqCutover = cutover;
+            serve::Engine engine(testDb(), cfg);
+            const std::vector<serve::Response> got =
+                engine.serveBatch(stream);
+            ASSERT_EQ(got.size(), reference.size());
+            for (std::size_t i = 0; i < got.size(); ++i)
+                expectSameHits(
+                    got[i].hits, reference[i].hits,
+                    "cutover=" + std::to_string(cutover)
+                        + " jobs=" + std::to_string(jobs)
+                        + " request=" + std::to_string(i));
+
+            // The per-kernel accounting covers every scan exactly
+            // once, and the extreme cutovers route exclusively.
+            const obs::Registry &m = engine.metrics();
+            const std::uint64_t inter = m.counterValue(
+                "native_intersequence_total",
+                "backend=\""
+                    + std::string(align::backendName(
+                        engine.config().backend))
+                    + "\"");
+            const std::uint64_t striped = m.counterValue(
+                "native_striped_total",
+                "backend=\""
+                    + std::string(align::backendName(
+                        engine.config().backend))
+                    + "\"");
+            EXPECT_EQ(inter + striped,
+                      m.counterValue(
+                          "native_scans_total",
+                          "backend=\""
+                              + std::string(align::backendName(
+                                  engine.config().backend))
+                              + "\""));
+            // Cutover 0 never forms a batch; a huge cutover
+            // batches everything except shards below the
+            // occupancy floor, which fall back to striped.
+            if (cutover == 0) {
+                EXPECT_EQ(inter, 0u);
+            } else if (cutover == (std::size_t{1} << 30)) {
+                EXPECT_GT(inter, 0u);
+            }
+        }
+    }
+}
+
+TEST(ServeDeterminism, ShardScanOrderInvariantUnderBatching)
+{
+    // Regression for the length-sorted batching: however the lane
+    // schedule reorders the actual scans, the hit list's total
+    // order must stay a pure function of (query, shard) — the heap
+    // is fed per-subject slots in ascending db index, never in
+    // schedule order. Score ties across subjects (the planted
+    // homolog pairs) are what make feed order observable.
+    serve::Request r;
+    r.kind = kernels::Workload::Ssearch34;
+    r.query = queryPool().front();
+    serve::EngineConfig cfg;
+    const serve::PreparedQuery prepared(
+        r, bio::blosum62(), cfg.gaps, cfg.fasta, cfg.blast);
+    ASSERT_TRUE(prepared.usesNativeScan());
+    const align::KarlinParams &ka = align::blosum62Karlin();
+    const double total =
+        static_cast<double>(testDb().totalResidues());
+
+    serve::Shard whole;
+    whole.begin = 0;
+    whole.end = testDb().size();
+
+    const serve::ShardScan ref = serve::scanShard(
+        prepared, testDb(), whole, 16, ka, total, 0);
+    for (const std::size_t cutover : {7u, 40u, 1u << 20}) {
+        const serve::ShardScan got = serve::scanShard(
+            prepared, testDb(), whole, 16, ka, total, cutover);
+        ASSERT_EQ(got.hits.size(), ref.hits.size())
+            << "cutover=" << cutover;
+        for (std::size_t h = 0; h < got.hits.size(); ++h) {
+            EXPECT_EQ(got.hits[h].dbIndex, ref.hits[h].dbIndex)
+                << "cutover=" << cutover << " hit " << h;
+            EXPECT_EQ(got.hits[h].score, ref.hits[h].score)
+                << "cutover=" << cutover << " hit " << h;
+            EXPECT_EQ(got.hits[h].subjectEnd,
+                      ref.hits[h].subjectEnd)
+                << "cutover=" << cutover << " hit " << h;
+        }
+        EXPECT_EQ(got.sequences, ref.sequences);
+        EXPECT_EQ(got.cells, ref.cells);
+        EXPECT_EQ(got.native.scans, ref.native.scans);
+        EXPECT_EQ(got.native.interSequence + got.native.striped,
+                  got.native.scans);
+    }
+}
+
 TEST(ServeEngine, BatchDedupSharesIdenticalRequests)
 {
     serve::EngineConfig cfg;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "align/smith_waterman.hh"
+#include "align/sw_intersequence_native.hh"
 #include "align/sw_striped_native.hh"
 #include "bio/random.hh"
 #include "bio/scoring.hh"
@@ -237,6 +238,301 @@ TEST(SwNativeScan, EmptyInputsScoreZero)
         EXPECT_EQ(align::swStripedNativeScan(eprofile, q, gaps)
                       .score,
                   0);
+    }
+}
+
+// ---- inter-sequence (multi-subject) kernel ---------------------
+
+std::vector<align::SubjectSpan>
+spansOf(const std::vector<bio::Sequence> &subjects)
+{
+    std::vector<align::SubjectSpan> spans;
+    spans.reserve(subjects.size());
+    for (const bio::Sequence &s : subjects)
+        spans.push_back(
+            align::SubjectSpan{s.residues().data(), s.length()});
+    return spans;
+}
+
+// Mixed-length batches, larger and smaller than the lane count, in
+// shuffled length order: every subject's score AND subjectEnd must
+// be bit-identical to both the scalar oracle and the striped
+// kernel, on every compiled backend. Exercises lane refill (batch
+// > lanes), partial fills (batch < lanes), and the in-kernel
+// (length, index) sort.
+TEST(SwInterSequence, FuzzBatchesMatchScalarOnAllBackends)
+{
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    bio::Rng rng(0x1A7E5);
+
+    for (int round = 0; round < 12; ++round) {
+        const int m = 1 + static_cast<int>(rng.below(120));
+        const bio::Sequence q = randomSeq(rng, m, "q");
+        // 1..96 subjects of wildly mixed lengths (1..200).
+        const int count = 1 + static_cast<int>(rng.below(96));
+        std::vector<bio::Sequence> subjects;
+        for (int i = 0; i < count; ++i)
+            subjects.push_back(randomSeq(
+                rng, 1 + static_cast<int>(rng.below(200)),
+                "s" + std::to_string(i)));
+        const std::vector<align::SubjectSpan> spans =
+            spansOf(subjects);
+
+        for (const align::SimdBackend backend :
+             align::compiledNativeBackends()) {
+            const align::NativeQueryProfile profile(q, mat,
+                                                    backend);
+            std::vector<align::LocalScore> got(spans.size());
+            align::NativeScanStats stats;
+            std::uint64_t cells = 0;
+            align::swInterSequenceScan(profile, spans.data(),
+                                       spans.size(), gaps,
+                                       got.data(), &cells, &stats);
+            EXPECT_EQ(stats.scans,
+                      static_cast<std::uint64_t>(count));
+            EXPECT_EQ(stats.interSequence,
+                      static_cast<std::uint64_t>(count));
+            std::uint64_t expect_cells = 0;
+            for (int i = 0; i < count; ++i) {
+                const align::LocalScore ref =
+                    align::smithWatermanScore(q, subjects[i], mat,
+                                              gaps);
+                const align::LocalScore striped =
+                    align::swStripedNativeScan(profile,
+                                               subjects[i], gaps);
+                ASSERT_EQ(got[i].score, ref.score)
+                    << "round " << round << " subject " << i
+                    << " backend "
+                    << align::backendName(backend);
+                ASSERT_EQ(got[i].subjectEnd, striped.subjectEnd)
+                    << "round " << round << " subject " << i
+                    << " backend "
+                    << align::backendName(backend);
+                expect_cells += static_cast<std::uint64_t>(m)
+                    * subjects[i].length();
+            }
+            EXPECT_EQ(cells, expect_cells);
+        }
+    }
+}
+
+// A batch whose lanes retire at every boundary the refill logic
+// has: length-1 subjects, runs of equal lengths (mass simultaneous
+// retirement under the sorted schedule), and one subject much
+// longer than the rest that outlives several refill generations.
+TEST(SwInterSequence, LaneRefillBoundaries)
+{
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    bio::Rng rng(0x2EF111);
+
+    const bio::Sequence q = randomSeq(rng, 48, "q");
+    std::vector<bio::Sequence> subjects;
+    int id = 0;
+    for (int rep = 0; rep < 40; ++rep) // forty length-1 subjects
+        subjects.push_back(
+            randomSeq(rng, 1, "a" + std::to_string(id++)));
+    for (int rep = 0; rep < 40; ++rep) // forty equal mid-length
+        subjects.push_back(
+            randomSeq(rng, 17, "b" + std::to_string(id++)));
+    subjects.push_back(randomSeq(rng, 900, "long"));
+    const std::vector<align::SubjectSpan> spans =
+        spansOf(subjects);
+
+    for (const align::SimdBackend backend :
+         align::compiledNativeBackends()) {
+        const align::NativeQueryProfile profile(q, mat, backend);
+        std::vector<align::LocalScore> got(spans.size());
+        align::swInterSequenceScan(profile, spans.data(),
+                                   spans.size(), gaps, got.data());
+        for (std::size_t i = 0; i < subjects.size(); ++i) {
+            const align::LocalScore ref = align::smithWatermanScore(
+                q, subjects[i], mat, gaps);
+            ASSERT_EQ(got[i].score, ref.score)
+                << "subject " << i << " backend "
+                << align::backendName(backend);
+        }
+    }
+}
+
+// One lane saturating must not disturb its neighbors: a batch of
+// ordinary subjects with a near-identical copy of a 600-residue
+// query (u8 saturation -> 16-bit rescan of that one subject) and a
+// 3200-residue tryptophan homopolymer against a matching query
+// elsewhere would be i16 saturation; here, drive u8 saturation in
+// individual lanes and check the whole batch still lands on the
+// scalar reference with the expected ladder counts.
+TEST(SwInterSequence, SaturationInIndividualLanes)
+{
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    bio::Rng rng(0x5A77);
+
+    const bio::Sequence q = randomSeq(rng, 600, "q");
+    std::vector<bio::Sequence> subjects;
+    for (int i = 0; i < 20; ++i)
+        subjects.push_back(randomSeq(
+            rng, 30 + static_cast<int>(rng.below(60)),
+            "s" + std::to_string(i)));
+    subjects.push_back(q); // self-alignment: score >> 255
+    for (int i = 0; i < 20; ++i)
+        subjects.push_back(randomSeq(
+            rng, 30 + static_cast<int>(rng.below(60)),
+            "t" + std::to_string(i)));
+    const std::vector<align::SubjectSpan> spans =
+        spansOf(subjects);
+
+    const align::LocalScore hot_ref =
+        align::smithWatermanScore(q, q, mat, gaps);
+    ASSERT_GT(hot_ref.score, 255);
+
+    for (const align::SimdBackend backend :
+         align::compiledNativeBackends()) {
+        const align::NativeQueryProfile profile(q, mat, backend);
+        ASSERT_TRUE(profile.hasU8());
+        std::vector<align::LocalScore> got(spans.size());
+        align::NativeScanStats stats;
+        align::swInterSequenceScan(profile, spans.data(),
+                                   spans.size(), gaps, got.data(),
+                                   nullptr, &stats);
+        // Exactly the hot lane climbed the ladder.
+        EXPECT_EQ(stats.rescans16, 1u)
+            << align::backendName(backend);
+        EXPECT_EQ(stats.rescansScalar, 0u);
+        for (std::size_t i = 0; i < subjects.size(); ++i) {
+            const align::LocalScore ref = align::smithWatermanScore(
+                q, subjects[i], mat, gaps);
+            ASSERT_EQ(got[i].score, ref.score)
+                << "subject " << i << " backend "
+                << align::backendName(backend);
+        }
+    }
+}
+
+// Forced i16 saturation inside one lane: the homopolymer subject
+// must fall through to the scalar level (rescansScalar == 1) while
+// the rest of the batch stays on the 8-bit inter-sequence pass.
+TEST(SwInterSequence, I16SaturationInOneLaneFallsBackToScalar)
+{
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    bio::Rng rng(0x16B);
+
+    const bio::Sequence q("w", "", std::string(3200, 'W'));
+    std::vector<bio::Sequence> subjects;
+    for (int i = 0; i < 10; ++i)
+        subjects.push_back(randomSeq(
+            rng, 20 + static_cast<int>(rng.below(40)),
+            "s" + std::to_string(i)));
+    subjects.push_back(q); // 3200*11 = 35200 > INT16_MAX
+    const std::vector<align::SubjectSpan> spans =
+        spansOf(subjects);
+
+    for (const align::SimdBackend backend :
+         align::compiledNativeBackends()) {
+        const align::NativeQueryProfile profile(q, mat, backend);
+        std::vector<align::LocalScore> got(spans.size());
+        align::NativeScanStats stats;
+        align::swInterSequenceScan(profile, spans.data(),
+                                   spans.size(), gaps, got.data(),
+                                   nullptr, &stats);
+        EXPECT_EQ(stats.rescans16, 1u);
+        EXPECT_EQ(stats.rescansScalar, 1u);
+        for (std::size_t i = 0; i < subjects.size(); ++i) {
+            const align::LocalScore ref = align::smithWatermanScore(
+                q, subjects[i], mat, gaps);
+            ASSERT_EQ(got[i].score, ref.score)
+                << "subject " << i << " backend "
+                << align::backendName(backend);
+        }
+        // The scalar level tracks end coordinates.
+        EXPECT_EQ(got.back().queryEnd,
+                  align::smithWatermanScore(q, q, mat, gaps)
+                      .queryEnd);
+    }
+}
+
+// Degenerate inputs: empty batch, empty query, zero-length
+// subjects mixed into a batch.
+TEST(SwInterSequence, EmptyAndZeroLengthInputs)
+{
+    const bio::ScoringMatrix &mat = bio::blosum62();
+    const bio::GapPenalties gaps;
+    bio::Rng rng(0xE2);
+    const bio::Sequence q = randomSeq(rng, 12, "q");
+    const bio::Sequence empty("e", "", std::string());
+
+    for (const align::SimdBackend backend :
+         align::compiledNativeBackends()) {
+        const align::NativeQueryProfile profile(q, mat, backend);
+        // Empty batch is a no-op.
+        align::swInterSequenceScan(profile, nullptr, 0, gaps,
+                                   nullptr);
+        // Zero-length subjects score 0 and cost no cells.
+        std::vector<bio::Sequence> subjects = {
+            empty, randomSeq(rng, 9, "s"), empty};
+        const std::vector<align::SubjectSpan> spans =
+            spansOf(subjects);
+        std::vector<align::LocalScore> got(spans.size());
+        std::uint64_t cells = 0;
+        align::NativeScanStats stats;
+        align::swInterSequenceScan(profile, spans.data(),
+                                   spans.size(), gaps, got.data(),
+                                   &cells, &stats);
+        EXPECT_EQ(got[0].score, 0);
+        EXPECT_EQ(got[2].score, 0);
+        EXPECT_EQ(got[1].score,
+                  align::smithWatermanScore(q, subjects[1], mat,
+                                            gaps)
+                      .score);
+        EXPECT_EQ(cells, 12u * 9u);
+        EXPECT_EQ(stats.scans, 1u);
+
+        // Empty query scores every subject 0.
+        const align::NativeQueryProfile eprofile(empty, mat,
+                                                 backend);
+        std::vector<align::LocalScore> egot(spans.size());
+        align::swInterSequenceScan(eprofile, spans.data(),
+                                   spans.size(), gaps,
+                                   egot.data());
+        for (const align::LocalScore &ls : egot)
+            EXPECT_EQ(ls.score, 0);
+    }
+}
+
+// The most extreme int8 matrix saturates the 8-bit level on the
+// first match; every subject in the batch must climb to 16 bits
+// and still match the scalar reference.
+TEST(SwInterSequence, ExtremeMatrixSaturatesEveryLane)
+{
+    const bio::ScoringMatrix mat =
+        bio::makeMatchMismatch(127, -128);
+    const bio::GapPenalties gaps;
+    const bio::Sequence q("q", "", std::string(21, 'A'));
+    std::vector<bio::Sequence> subjects;
+    for (int n : {1, 3, 8, 21, 40})
+        subjects.push_back(bio::Sequence(
+            "s" + std::to_string(n), "", std::string(n, 'A')));
+    const std::vector<align::SubjectSpan> spans =
+        spansOf(subjects);
+
+    for (const align::SimdBackend backend :
+         align::compiledNativeBackends()) {
+        const align::NativeQueryProfile profile(q, mat, backend);
+        std::vector<align::LocalScore> got(spans.size());
+        align::NativeScanStats stats;
+        align::swInterSequenceScan(profile, spans.data(),
+                                   spans.size(), gaps, got.data(),
+                                   nullptr, &stats);
+        EXPECT_EQ(stats.rescans16, spans.size());
+        for (std::size_t i = 0; i < subjects.size(); ++i)
+            EXPECT_EQ(got[i].score,
+                      align::smithWatermanScore(q, subjects[i],
+                                                mat, gaps)
+                          .score)
+                << "subject " << i << " backend "
+                << align::backendName(backend);
     }
 }
 
