@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Seed-index harness: probe selectivity of the persistent k-mer
+ * index (src/index) on the Zipf serving database, plus the
+ * indexed-vs-full-scan serve A/B that backs the "Indexed serving"
+ * numbers in EXPERIMENTS.md.
+ *
+ * Segment 1 sweeps the BLAST neighborhood threshold T over the
+ * Table II query set and reports, per (query, T), the fraction of
+ * database sequences and residues a probe marks as candidates —
+ * the selectivity the indexed route's <= 20% scanned-residue
+ * budget depends on.
+ *
+ * Segment 2 replays a BLAST-only request stream through two
+ * engines over the same database — one with the seed index, one
+ * without — in interleaved rounds, asserts the ranked hit lists
+ * are identical, and reports the end-to-end speedup plus the
+ * measured scanned-residue fraction (Response::residuesScanned).
+ *
+ * Knobs: BIOARCH_JOBS, BIOARCH_DB_SEQS (default 2000),
+ * BIOARCH_INDEX_T (A/B neighborhood threshold, default 16 — the
+ * indexed serving tier's reference configuration; at blastp's
+ * T=11 the background noise of the synthetic database triggers
+ * two-hit extensions nearly everywhere and the selectivity gate
+ * correctly refuses to use the index).
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "bench_common.hh"
+#include "bio/synthetic.hh"
+#include "index/seed_index.hh"
+#include "serve/engine.hh"
+
+using namespace bioarch;
+
+namespace
+{
+
+int
+envInt(const char *name, int fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    return fallback;
+}
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Candidate residues of one probe over the whole database. */
+std::uint64_t
+candidateResidues(const bio::SequenceDatabase &db,
+                  const std::vector<std::uint32_t> &candidates)
+{
+    std::uint64_t residues = 0;
+    for (const std::uint32_t c : candidates)
+        residues += db[c].length();
+    return residues;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int db_seqs = envInt("BIOARCH_DB_SEQS", 2000);
+    const int ab_threshold = envInt("BIOARCH_INDEX_T", 16);
+
+    const std::vector<bio::Sequence> queries = bio::makeQuerySet();
+    const bio::SequenceDatabase db = bio::makeZipfDatabase(db_seqs);
+    const bio::ScoringMatrix &matrix = bio::blosum62();
+
+    const auto t_build = std::chrono::steady_clock::now();
+    const index::SeedIndex idx = index::SeedIndex::build(db);
+    const double build_ms = msSince(t_build);
+
+    std::cout << "# bench_index - seed-index probe selectivity + "
+                 "indexed serve A/B\n"
+              << "# database: " << db.size() << " sequences / "
+              << db.totalResidues()
+              << " residues, Zipf lengths (BIOARCH_DB_SEQS to "
+                 "scale)\n"
+              << "# index: w=" << idx.wordSize() << ", "
+              << idx.numPostings() << " postings, built in "
+              << build_ms << " ms\n";
+
+    // Segment 1: probe selectivity per (query, T). The probe never
+    // touches subject residues, so this sweep times the pure
+    // index-join cost as well.
+    core::Table sel({"query", "T", "candidates", "seq frac",
+                     "residue frac", "seed hits", "probe us"});
+    for (const bio::Sequence &q : queries) {
+        for (const int t : {11, 13, 15, 16, 17}) {
+            align::BlastParams params;
+            params.neighborThreshold = t;
+            const align::NeighborhoodIndex nbhd(q, matrix, params);
+            index::ProbeStats stats;
+            const auto t_probe = std::chrono::steady_clock::now();
+            const std::vector<std::uint32_t> candidates =
+                index::probeCandidates(idx, nbhd, params, 0,
+                                       db.size(), &stats);
+            const double probe_ms = msSince(t_probe);
+            const double seq_frac =
+                static_cast<double>(candidates.size())
+                / static_cast<double>(db.size());
+            const double res_frac =
+                static_cast<double>(
+                    candidateResidues(db, candidates))
+                / static_cast<double>(db.totalResidues());
+            sel.row()
+                .add(q.id())
+                .add(t)
+                .add(static_cast<std::uint64_t>(candidates.size()))
+                .add(seq_frac, 3)
+                .add(res_frac, 3)
+                .add(stats.seedHits)
+                .add(probe_ms * 1000.0, 1);
+        }
+    }
+    sel.print(std::cout);
+
+    // Segment 2: indexed vs full-scan serving of a BLAST-only
+    // stream, interleaved rounds, per-arm min. Both arms run the
+    // same neighborhood threshold so the ranked hit lists must be
+    // bit-identical (the indexed route only skips sequences whose
+    // hit pattern can never trigger an extension).
+    serve::StreamSpec stream;
+    stream.requests = 32;
+    stream.kinds = {kernels::Workload::Blast};
+    const std::vector<serve::Request> requests =
+        serve::makeRequestStream(stream, queries);
+
+    serve::EngineConfig full_cfg;
+    full_cfg.jobs = bench::jobs();
+    full_cfg.shards = 4;
+    full_cfg.batch = 8;
+    full_cfg.blast.neighborThreshold = ab_threshold;
+    serve::EngineConfig indexed_cfg = full_cfg;
+    indexed_cfg.seedIndex = &idx;
+
+    serve::Engine full_engine(db, full_cfg);
+    serve::Engine indexed_engine(db, indexed_cfg);
+
+    constexpr int rounds = 3;
+    double full_ms = std::numeric_limits<double>::infinity();
+    double indexed_ms = std::numeric_limits<double>::infinity();
+    std::uint64_t full_residues = 0;
+    std::uint64_t indexed_residues = 0;
+    serve::StreamReport report;
+    std::vector<serve::Response> full_responses;
+    for (int r = 0; r < rounds; ++r) {
+        serve::StreamReport fr = full_engine.serveStream(requests);
+        full_ms = std::min(full_ms, fr.wallMs);
+        serve::StreamReport ir =
+            indexed_engine.serveStream(requests);
+        if (ir.wallMs < indexed_ms) {
+            indexed_ms = ir.wallMs;
+            report = std::move(ir);
+        }
+        if (r == 0) {
+            full_responses = std::move(fr.responses);
+            full_residues = 0;
+            indexed_residues = 0;
+            for (const serve::Response &resp : full_responses)
+                full_residues += resp.residuesScanned;
+            for (const serve::Response &resp : report.responses)
+                indexed_residues += resp.residuesScanned;
+        }
+    }
+
+    // The indexed route must be invisible in the ranked results.
+    for (std::size_t i = 0; i < full_responses.size(); ++i) {
+        const auto &a = full_responses[i].hits;
+        const auto &b = report.responses[i].hits;
+        if (a.size() != b.size()) {
+            std::cerr << "FAIL: request " << i
+                      << " hit count differs (indexed " << b.size()
+                      << " vs full " << a.size() << ")\n";
+            return 1;
+        }
+        for (std::size_t h = 0; h < a.size(); ++h)
+            if (a[h].dbIndex != b[h].dbIndex
+                || a[h].score != b[h].score) {
+                std::cerr << "FAIL: request " << i << " hit " << h
+                          << " differs (indexed db "
+                          << b[h].dbIndex << " score " << b[h].score
+                          << " vs full db " << a[h].dbIndex
+                          << " score " << a[h].score << ")\n";
+                return 1;
+            }
+    }
+
+    const double residue_frac = full_residues == 0
+        ? 0.0
+        : static_cast<double>(indexed_residues)
+            / static_cast<double>(full_residues);
+    const std::uint64_t fallbacks =
+        indexed_engine.metrics().counterValue(
+            "index_fallback_scan_total");
+    const std::uint64_t probes =
+        indexed_engine.metrics().counterValue("index_probe_total");
+
+    core::Table ab({"metric", "value"});
+    ab.row().add("requests").add(
+        static_cast<std::uint64_t>(requests.size()));
+    ab.row().add("neighborhood T").add(ab_threshold);
+    ab.row().add("full-scan wall ms").add(full_ms, 2);
+    ab.row().add("indexed wall ms").add(indexed_ms, 2);
+    ab.row().add("speedup").add(full_ms / indexed_ms, 2);
+    ab.row().add("residue fraction").add(residue_frac, 3);
+    ab.row().add("index probes").add(probes);
+    ab.row().add("fallback scans").add(fallbacks);
+    ab.print(std::cout);
+
+    std::vector<double> point_ms;
+    point_ms.reserve(report.responses.size());
+    for (const serve::Response &r : report.responses)
+        point_ms.push_back(r.latencyUs() / 1000.0);
+
+    bench::printJsonFooter(
+        "bench_index", report.jobs, report.responses.size(),
+        report.wallMs, report.cpuMs,
+        {{"db_seqs", std::to_string(db.size())},
+         {"db_residues", std::to_string(db.totalResidues())},
+         {"index_postings", std::to_string(idx.numPostings())},
+         {"index_build_ms", std::to_string(build_ms)},
+         {"neighbor_threshold", std::to_string(ab_threshold)},
+         {"full_wall_ms", std::to_string(full_ms)},
+         {"indexed_wall_ms", std::to_string(indexed_ms)},
+         {"index_speedup", std::to_string(full_ms / indexed_ms)},
+         {"residue_fraction", std::to_string(residue_frac)},
+         {"index_probes", std::to_string(probes)},
+         {"index_fallbacks", std::to_string(fallbacks)}},
+        point_ms);
+    return 0;
+}

@@ -23,9 +23,12 @@
 
 #include "bench_common.hh"
 #include "bio/synthetic.hh"
+#include "index/epoch.hh"
+#include "index/seed_index.hh"
 #include "obs/metrics.hh"
 #include "serve/engine.hh"
 #include "serve/loop.hh"
+#include "serve/reload.hh"
 
 using namespace bioarch;
 
@@ -118,6 +121,94 @@ main()
             .p99
         / 1000.0;
 
+    // Indexed-serving segment: a BLAST-only stream at the indexed
+    // tier's reference configuration (Zipf-length database,
+    // neighborhood threshold T=16), replayed through a full-scan
+    // engine and a seed-indexed engine in interleaved rounds. The
+    // ranked hits are bit-identical by construction (asserted by
+    // tests/index_test.cc); here we track the end-to-end speedup
+    // and the scanned-residue fraction. BIOARCH_INDEX_DB_SEQS
+    // scales the segment's database independently of the main
+    // stream's.
+    const int index_db_seqs = envInt("BIOARCH_INDEX_DB_SEQS", 2000);
+    const bio::SequenceDatabase zdb =
+        bio::makeZipfDatabase(index_db_seqs);
+    serve::StreamSpec blast_stream;
+    blast_stream.requests = 32;
+    blast_stream.kinds = {kernels::Workload::Blast};
+    const std::vector<serve::Request> blast_requests =
+        serve::makeRequestStream(blast_stream, pool);
+    const index::SeedIndex seed_index =
+        index::SeedIndex::build(zdb);
+    serve::EngineConfig iful_cfg = cfg;
+    iful_cfg.blast.neighborThreshold = 16;
+    serve::EngineConfig iidx_cfg = iful_cfg;
+    iidx_cfg.seedIndex = &seed_index;
+    serve::Engine iful_engine(zdb, iful_cfg);
+    serve::Engine iidx_engine(zdb, iidx_cfg);
+    double iful_ms = std::numeric_limits<double>::infinity();
+    double iidx_ms = std::numeric_limits<double>::infinity();
+    std::uint64_t iful_residues = 0;
+    std::uint64_t iidx_residues = 0;
+    for (int r = 0; r < rounds; ++r) {
+        const serve::StreamReport fr =
+            iful_engine.serveStream(blast_requests);
+        iful_ms = std::min(iful_ms, fr.wallMs);
+        const serve::StreamReport ir =
+            iidx_engine.serveStream(blast_requests);
+        iidx_ms = std::min(iidx_ms, ir.wallMs);
+        if (r == 0)
+            for (std::size_t i = 0; i < blast_requests.size();
+                 ++i) {
+                iful_residues += fr.responses[i].residuesScanned;
+                iidx_residues += ir.responses[i].residuesScanned;
+            }
+    }
+    const double indexed_speedup = iful_ms / iidx_ms;
+    const double indexed_residue_fraction = iful_residues == 0
+        ? 0.0
+        : static_cast<double>(iidx_residues)
+            / static_cast<double>(iful_residues);
+
+    // Hot-reload identity segment: push the BLAST stream through a
+    // ServeLoop fronting a ReloadableEngine and swap in a second
+    // database epoch halfway through the submissions. The loop's
+    // books must still balance afterwards — every offered request
+    // ends in exactly one terminal state — and the published epoch
+    // must be the new one.
+    serve::ReloadableEngine rengine(
+        index::makeEpoch(zdb, /*build_index=*/true, 1), iidx_cfg);
+    serve::LoopConfig rlcfg;
+    rlcfg.queueCapacity = blast_requests.size();
+    serve::ServeLoop rloop(rengine, rlcfg);
+    const bio::SequenceDatabase reload_db =
+        bio::makeZipfDatabase(index_db_seqs, 0xDBDBDBDC);
+    for (std::size_t i = 0; i < blast_requests.size(); ++i) {
+        if (i == blast_requests.size() / 2)
+            rengine.reload(index::makeEpoch(
+                reload_db, /*build_index=*/true, 2));
+        (void)rloop.submit(blast_requests[i]);
+    }
+    rloop.pumpAll();
+    const obs::Registry &rm = rengine.metrics();
+    const std::uint64_t r_offered =
+        rm.counterValue("loop_offered_total");
+    const std::uint64_t r_settled =
+        rm.counterValue("loop_served_total")
+        + rm.counterValue("loop_shed_queue_full_total")
+        + rm.counterValue("loop_shed_deadline_total")
+        + rm.counterValue("loop_shed_shutdown_total")
+        + rm.counterValue("loop_deadline_expired_total")
+        + rm.counterValue("loop_dropped_total");
+    const bool hot_reload_ok = r_offered != 0
+        && r_settled == r_offered
+        && rengine.epochNumber() == 2
+        && rm.gaugeValue("db_epoch") == 2.0;
+    if (!hot_reload_ok)
+        std::cerr << "FAIL: hot-reload identity (offered "
+                  << r_offered << ", settled " << r_settled
+                  << ", epoch " << rengine.epochNumber() << ")\n";
+
     core::Table t({"metric", "value"});
     t.row().add("requests").add(
         static_cast<std::uint64_t>(report.responses.size()));
@@ -137,6 +228,11 @@ main()
     t.row().add("total cells").add(report.totalCells);
     t.row().add("loop shed count").add(shed_count);
     t.row().add("queue wait p99 ms").add(queue_wait_p99_ms, 3);
+    t.row().add("indexed speedup").add(indexed_speedup, 2);
+    t.row().add("indexed residue frac").add(
+        indexed_residue_fraction, 3);
+    t.row().add("hot reload ok").add(
+        std::string(hot_reload_ok ? "yes" : "NO"));
     t.print(std::cout);
 
     std::vector<double> point_ms;
@@ -169,7 +265,11 @@ main()
           std::to_string(gcups(report.totalCells, native_ms))},
          {"serve_speedup", std::to_string(model_ms / native_ms)},
          {"queue_wait_p99_ms", std::to_string(queue_wait_p99_ms)},
-         {"shed_count", std::to_string(shed_count)}},
+         {"shed_count", std::to_string(shed_count)},
+         {"indexed_speedup", std::to_string(indexed_speedup)},
+         {"indexed_residue_fraction",
+          std::to_string(indexed_residue_fraction)},
+         {"hot_reload_ok", hot_reload_ok ? "true" : "false"}},
         point_ms);
-    return 0;
+    return hot_reload_ok ? 0 : 1;
 }

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# CI/ctest gate for the database container: a dbtool round trip
+# must survive build -> verify --deep -> inspect, and a corrupted
+# or truncated file must be *rejected* with a descriptive error.
+#
+# Usage: scripts/check_dbtool.sh <bioarch-dbtool>
+set -eu
+
+DBTOOL="${1:?usage: check_dbtool.sh <bioarch-dbtool>}"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+DB="$WORK/zipf.db"
+
+# Round trip: build with an index, verify deeply, inspect.
+"$DBTOOL" build "$DB" --db-seqs 64 --zipf > /dev/null
+"$DBTOOL" verify "$DB" --deep > /dev/null
+"$DBTOOL" inspect "$DB" | grep -q "index: present" \
+    || { echo "FAIL: inspect does not report the index"; exit 1; }
+
+# No-index build still round-trips.
+"$DBTOOL" build "$WORK/plain.db" --db-seqs 32 --no-index > /dev/null
+"$DBTOOL" verify "$WORK/plain.db" --deep > /dev/null
+
+# Corruption: flip one payload byte; verify must fail and say why.
+cp "$DB" "$WORK/corrupt.db"
+SIZE=$(wc -c < "$DB")
+OFF=$((SIZE / 2))
+printf '\377' | dd of="$WORK/corrupt.db" bs=1 seek="$OFF" \
+    conv=notrunc 2> /dev/null
+if "$DBTOOL" verify "$WORK/corrupt.db" > /dev/null 2> "$WORK/err"; then
+    echo "FAIL: corrupted file verified clean"
+    exit 1
+fi
+grep -qi "checksum\|corrupt\|monotone\|range" "$WORK/err" \
+    || { echo "FAIL: corruption error not descriptive:"; \
+         cat "$WORK/err"; exit 1; }
+
+# Truncation: cut the file short; verify must fail and say why.
+head -c $((SIZE - 64)) "$DB" > "$WORK/trunc.db"
+if "$DBTOOL" verify "$WORK/trunc.db" > /dev/null 2> "$WORK/err"; then
+    echo "FAIL: truncated file verified clean"
+    exit 1
+fi
+grep -qi "truncat" "$WORK/err" \
+    || { echo "FAIL: truncation error not descriptive:"; \
+         cat "$WORK/err"; exit 1; }
+
+# Not a database at all.
+printf 'not a database\n' > "$WORK/junk.db"
+if "$DBTOOL" verify "$WORK/junk.db" > /dev/null 2> "$WORK/err"; then
+    echo "FAIL: junk file verified clean"
+    exit 1
+fi
+
+echo "OK: dbtool round trip + corruption/truncation rejection"

@@ -1,5 +1,6 @@
 #include "synthetic.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <utility>
@@ -50,6 +51,24 @@ sampleLength(Rng &rng, int min_len, int max_len)
     const int len = min_len + static_cast<int>(
         skewed * static_cast<double>(max_len - min_len));
     return len;
+}
+
+/**
+ * Bounded Pareto (Zipf-tail) length in [min, max]: inverse-CDF of
+ * p(l) ~ l^-a truncated to the range. Most mass sits near the
+ * short end with a heavy tail toward max.
+ */
+int
+sampleZipfLength(Rng &rng, int min_len, int max_len, double a)
+{
+    const double lo = static_cast<double>(min_len);
+    const double hi = static_cast<double>(max_len);
+    const double u = rng.uniform();
+    const double k = 1.0 - a;
+    const double l = std::pow(
+        std::pow(lo, k) + u * (std::pow(hi, k) - std::pow(lo, k)),
+        1.0 / k);
+    return std::clamp(static_cast<int>(l), min_len, max_len);
 }
 
 } // namespace
@@ -185,8 +204,12 @@ makeDatabase(const DatabaseSpec &spec,
                 + src.id() + " id=" + std::to_string(p.identity);
             db.add(mutate(rng, src, p.identity, id, desc));
         } else {
-            const int len =
-                sampleLength(rng, spec.minLength, spec.maxLength);
+            const int len = spec.zipfLengths
+                ? sampleZipfLength(rng, spec.minLength,
+                                   spec.maxLength,
+                                   spec.zipfExponent)
+                : sampleLength(rng, spec.minLength,
+                               spec.maxLength);
             db.add(makeRandomSequence(
                 rng, len, "S" + std::to_string(i),
                 "synthetic background"));
@@ -201,6 +224,16 @@ makeDefaultDatabase(int num_sequences, std::uint64_t seed)
     DatabaseSpec spec;
     spec.numSequences = num_sequences;
     spec.seed = seed;
+    return makeDatabase(spec, makeQuerySet());
+}
+
+SequenceDatabase
+makeZipfDatabase(int num_sequences, std::uint64_t seed)
+{
+    DatabaseSpec spec;
+    spec.numSequences = num_sequences;
+    spec.seed = seed;
+    spec.zipfLengths = true;
     return makeDatabase(spec, makeQuerySet());
 }
 

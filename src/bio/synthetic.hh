@@ -69,6 +69,17 @@ struct DatabaseSpec
      * lengths cluster in the low hundreds. */
     int minLength = 80;
     int maxLength = 800;
+    /**
+     * Draw background lengths from a bounded Zipf (power-law)
+     * distribution instead of the SwissProt-like bell: most
+     * sequences near minLength with a heavy tail out to maxLength.
+     * This is the serving tier's reference workload — many short
+     * subjects (inter-sequence kernel territory) plus a long tail
+     * — used by the indexed-serving experiments.
+     */
+    bool zipfLengths = false;
+    /** Power-law exponent of the Zipf length tail (> 1). */
+    double zipfExponent = 1.6;
     /** Per-query planted homologs at each identity level. */
     int homologsPerQuery = 3;
     /** Identity levels for planted homologs (fraction of residues
@@ -92,6 +103,13 @@ SequenceDatabase makeDatabase(const DatabaseSpec &spec,
 /** Convenience: database with homologs of the full Table II set. */
 SequenceDatabase makeDefaultDatabase(int num_sequences = 1000,
                                      std::uint64_t seed = 0xDBDBDBDB);
+
+/**
+ * Convenience: the Zipf-length serving workload (DatabaseSpec with
+ * zipfLengths set, homologs of the full Table II set).
+ */
+SequenceDatabase makeZipfDatabase(int num_sequences = 1000,
+                                  std::uint64_t seed = 0xDBDBDBDB);
 
 /**
  * Generate a single random protein sequence from the background

@@ -1,0 +1,394 @@
+#include "container.hh"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace bioarch::index
+{
+
+static_assert(std::endian::native == std::endian::little,
+              "the container format is little-endian on disk and "
+              "is read back by pointer-cast");
+static_assert(sizeof(FileHeader)
+                  == 8 + 4 + 4 + 8 * 6 + 4 + 4
+                      + numSections * sizeof(SectionRef),
+              "FileHeader must be densely packed");
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &what)
+{
+    throw std::runtime_error("database file '" + path
+                             + "': " + what);
+}
+
+std::size_t
+align8(std::size_t n)
+{
+    return (n + 7) & ~static_cast<std::size_t>(7);
+}
+
+/** Append @p bytes of @p data to @p out, then pad to 8 bytes. */
+SectionRef
+appendSection(std::vector<std::byte> &out, const void *data,
+              std::size_t bytes)
+{
+    SectionRef ref;
+    ref.offset = sizeof(FileHeader) + out.size();
+    ref.bytes = bytes;
+    const auto *p = static_cast<const std::byte *>(data);
+    out.insert(out.end(), p, p + bytes);
+    out.resize(align8(out.size()), std::byte{0});
+    return ref;
+}
+
+/** Build a string table: u64 prefix offsets + concatenated blob. */
+template <typename GetString>
+void
+buildStringTable(std::size_t n, GetString get,
+                 std::vector<std::uint64_t> &offsets,
+                 std::string &blob)
+{
+    offsets.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        blob += get(i);
+        offsets[i + 1] = blob.size();
+    }
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t bytes, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+writeDatabaseFile(const std::string &path,
+                  const bio::SequenceDatabase &db,
+                  const SeedIndex *index)
+{
+    if (index != nullptr && index->ownsStorage() == false
+        && index->numPostings() > 0 && index->heads() == nullptr)
+        throw std::invalid_argument(
+            "writeDatabaseFile: index view has no storage");
+
+    FileHeader header;
+    header.headerBytes = sizeof(FileHeader);
+    header.numSequences = db.size();
+    header.totalResidues = db.totalResidues();
+    header.numSymbols = bio::Alphabet::numSymbols;
+
+    const std::size_t n = db.size();
+    std::vector<std::uint64_t> id_offsets;
+    std::string id_blob;
+    buildStringTable(
+        n, [&](std::size_t i) { return db[i].id(); }, id_offsets,
+        id_blob);
+    std::vector<std::uint64_t> desc_offsets;
+    std::string desc_blob;
+    buildStringTable(
+        n, [&](std::size_t i) { return db[i].description(); },
+        desc_offsets, desc_blob);
+
+    std::vector<std::byte> payload;
+    const auto sec = [&header](Section s) -> SectionRef & {
+        return header.sections[static_cast<std::size_t>(s)];
+    };
+    sec(Section::SeqOffsets) = appendSection(
+        payload, db.packedOffsets().data(), (n + 1) * 8);
+    sec(Section::Arena) = appendSection(
+        payload, db.packedResidues(),
+        static_cast<std::size_t>(db.totalResidues()));
+    sec(Section::IdOffsets) =
+        appendSection(payload, id_offsets.data(), (n + 1) * 8);
+    sec(Section::IdBlob) =
+        appendSection(payload, id_blob.data(), id_blob.size());
+    sec(Section::DescOffsets) =
+        appendSection(payload, desc_offsets.data(), (n + 1) * 8);
+    sec(Section::DescBlob) =
+        appendSection(payload, desc_blob.data(), desc_blob.size());
+    if (index != nullptr) {
+        header.flags |= flagHasIndex;
+        header.wordSize =
+            static_cast<std::uint32_t>(index->wordSize());
+        header.numPostings = index->numPostings();
+        sec(Section::IndexHeads) = appendSection(
+            payload, index->heads(),
+            (index->tableSize() + 1) * 8);
+        sec(Section::IndexPostings) = appendSection(
+            payload, index->postingData(),
+            index->numPostings() * sizeof(Posting));
+    }
+
+    header.fileBytes = sizeof(FileHeader) + payload.size();
+    header.payloadChecksum =
+        fnv1a64(payload.data(), payload.size());
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fail(path, "cannot open for writing");
+    out.write(reinterpret_cast<const char *>(&header),
+              sizeof(header));
+    out.write(reinterpret_cast<const char *>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out)
+        fail(path, "write failed");
+}
+
+std::shared_ptr<DatabaseFile>
+DatabaseFile::load(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        fail(path, "cannot open");
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        fail(path, "cannot stat");
+    }
+    const std::size_t bytes = static_cast<std::size_t>(st.st_size);
+    if (bytes < sizeof(FileHeader)) {
+        ::close(fd);
+        fail(path, "truncated: smaller than the file header");
+    }
+    void *map =
+        ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (map == MAP_FAILED)
+        fail(path, "mmap failed");
+
+    // From here the mapping must be released on any verification
+    // failure; funnel through the shared_ptr so its destructor
+    // (munmap) runs even when verifyStructure() throws.
+    std::shared_ptr<DatabaseFile> file(new DatabaseFile());
+    file->_path = path;
+    file->_map = static_cast<const std::byte *>(map);
+    file->_bytes = bytes;
+    std::memcpy(&file->_header, map, sizeof(FileHeader));
+    file->verifyStructure();
+    return file;
+}
+
+DatabaseFile::~DatabaseFile()
+{
+    if (_map != nullptr)
+        ::munmap(const_cast<std::byte *>(_map), _bytes);
+}
+
+const std::byte *
+DatabaseFile::section(Section s) const
+{
+    return _map
+        + _header.sections[static_cast<std::size_t>(s)].offset;
+}
+
+std::uint64_t
+DatabaseFile::sectionBytes(Section s) const
+{
+    return _header.sections[static_cast<std::size_t>(s)].bytes;
+}
+
+void
+DatabaseFile::verifyStructure() const
+{
+    const FileHeader &h = _header;
+    if (h.magic != containerMagic)
+        fail(_path, "bad magic (not a bioarch database file)");
+    if (h.version != containerVersion)
+        fail(_path,
+             "unsupported version "
+                 + std::to_string(h.version) + " (expected "
+                 + std::to_string(containerVersion) + ")");
+    if (h.headerBytes != sizeof(FileHeader))
+        fail(_path, "header size mismatch");
+    if (h.fileBytes != _bytes)
+        fail(_path,
+             "truncated: header says "
+                 + std::to_string(h.fileBytes) + " bytes, file has "
+                 + std::to_string(_bytes));
+    if (h.numSymbols != bio::Alphabet::numSymbols)
+        fail(_path, "alphabet size mismatch");
+
+    for (std::size_t i = 0; i < numSections; ++i) {
+        const SectionRef &s = h.sections[i];
+        if (s.bytes == 0 && s.offset == 0)
+            continue; // absent (index sections without an index)
+        if (s.offset < sizeof(FileHeader)
+            || s.offset % 8 != 0
+            || s.offset + s.bytes > _bytes)
+            fail(_path,
+                 "section " + std::to_string(i)
+                     + " out of bounds");
+    }
+
+    const std::uint64_t checksum = fnv1a64(
+        _map + sizeof(FileHeader), _bytes - sizeof(FileHeader));
+    if (checksum != h.payloadChecksum)
+        fail(_path, "payload checksum mismatch (file corrupt)");
+
+    const std::size_t n =
+        static_cast<std::size_t>(h.numSequences);
+    if (sectionBytes(Section::SeqOffsets) != (n + 1) * 8)
+        fail(_path, "sequence offset table has the wrong size");
+    const std::uint64_t *offs = seqOffsets();
+    if (offs[0] != 0)
+        fail(_path, "sequence offsets do not start at 0");
+    for (std::size_t i = 0; i < n; ++i)
+        if (offs[i + 1] < offs[i])
+            fail(_path, "sequence offsets are not monotone");
+    if (offs[n] != h.totalResidues)
+        fail(_path, "sequence offsets do not cover the arena");
+    if (sectionBytes(Section::Arena) != h.totalResidues)
+        fail(_path, "arena size does not match totalResidues");
+
+    const auto check_strings = [&](Section off_s, Section blob_s,
+                                   const char *what) {
+        if (sectionBytes(off_s) != (n + 1) * 8)
+            fail(_path, std::string(what)
+                            + " offset table has the wrong size");
+        const auto *t = reinterpret_cast<const std::uint64_t *>(
+            section(off_s));
+        if (t[0] != 0)
+            fail(_path,
+                 std::string(what) + " offsets do not start at 0");
+        for (std::size_t i = 0; i < n; ++i)
+            if (t[i + 1] < t[i])
+                fail(_path, std::string(what)
+                                + " offsets are not monotone");
+        if (t[n] != sectionBytes(blob_s))
+            fail(_path, std::string(what)
+                            + " offsets do not cover the blob");
+    };
+    check_strings(Section::IdOffsets, Section::IdBlob, "id");
+    check_strings(Section::DescOffsets, Section::DescBlob,
+                  "description");
+
+    if (!hasIndex()) {
+        if (sectionBytes(Section::IndexHeads) != 0
+            || sectionBytes(Section::IndexPostings) != 0)
+            fail(_path, "index sections present without the flag");
+        return;
+    }
+    if (h.wordSize < 1 || h.wordSize > 5)
+        fail(_path, "index word size out of range");
+    const std::size_t space =
+        SeedIndex::wordSpace(static_cast<int>(h.wordSize));
+    if (sectionBytes(Section::IndexHeads) != (space + 1) * 8)
+        fail(_path, "index head table has the wrong size");
+    const auto *heads = reinterpret_cast<const std::uint64_t *>(
+        section(Section::IndexHeads));
+    if (heads[0] != 0)
+        fail(_path, "index heads do not start at 0");
+    for (std::size_t wd = 0; wd < space; ++wd)
+        if (heads[wd + 1] < heads[wd])
+            fail(_path, "index heads are not monotone");
+    if (heads[space] != h.numPostings)
+        fail(_path, "index heads do not cover the posting list");
+    if (sectionBytes(Section::IndexPostings)
+        != h.numPostings * sizeof(Posting))
+        fail(_path, "posting list has the wrong size");
+    const auto *postings =
+        reinterpret_cast<const Posting *>(
+            section(Section::IndexPostings));
+    for (std::uint64_t i = 0; i < h.numPostings; ++i) {
+        const Posting &p = postings[i];
+        if (p.seq >= n)
+            fail(_path, "posting references a sequence out of "
+                        "range");
+        const std::uint64_t len = offs[p.seq + 1] - offs[p.seq];
+        if (p.pos + h.wordSize > len)
+            fail(_path,
+                 "posting position exceeds its sequence length");
+    }
+}
+
+const bio::Residue *
+DatabaseFile::arena() const
+{
+    return reinterpret_cast<const bio::Residue *>(
+        section(Section::Arena));
+}
+
+const std::uint64_t *
+DatabaseFile::seqOffsets() const
+{
+    return reinterpret_cast<const std::uint64_t *>(
+        section(Section::SeqOffsets));
+}
+
+std::string_view
+DatabaseFile::id(std::size_t i) const
+{
+    const auto *t = reinterpret_cast<const std::uint64_t *>(
+        section(Section::IdOffsets));
+    const auto *blob =
+        reinterpret_cast<const char *>(section(Section::IdBlob));
+    return {blob + t[i],
+            static_cast<std::size_t>(t[i + 1] - t[i])};
+}
+
+std::string_view
+DatabaseFile::description(std::size_t i) const
+{
+    const auto *t = reinterpret_cast<const std::uint64_t *>(
+        section(Section::DescOffsets));
+    const auto *blob = reinterpret_cast<const char *>(
+        section(Section::DescBlob));
+    return {blob + t[i],
+            static_cast<std::size_t>(t[i + 1] - t[i])};
+}
+
+SeedIndex
+DatabaseFile::indexView() const
+{
+    if (!hasIndex())
+        throw std::logic_error("database file '" + _path
+                               + "' carries no seed index");
+    const std::size_t space = SeedIndex::wordSpace(
+        static_cast<int>(_header.wordSize));
+    return SeedIndex::view(
+        static_cast<int>(_header.wordSize),
+        reinterpret_cast<const std::uint64_t *>(
+            section(Section::IndexHeads)),
+        space,
+        reinterpret_cast<const Posting *>(
+            section(Section::IndexPostings)),
+        static_cast<std::size_t>(_header.numPostings));
+}
+
+bio::SequenceDatabase
+DatabaseFile::materialize() const
+{
+    bio::SequenceDatabase db;
+    const std::uint64_t *offs = seqOffsets();
+    const bio::Residue *res = arena();
+    for (std::size_t i = 0; i < numSequences(); ++i) {
+        std::vector<bio::Residue> residues(
+            res + offs[i], res + offs[i + 1]);
+        db.add(bio::Sequence(std::string(id(i)),
+                             std::string(description(i)),
+                             std::move(residues)));
+    }
+    return db;
+}
+
+} // namespace bioarch::index

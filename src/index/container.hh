@@ -1,0 +1,176 @@
+/**
+ * @file
+ * On-disk database+index container: a single mmap-able file
+ * holding a sequence database (packed residue arena + offsets +
+ * id/description string tables) and, optionally, its seed index
+ * (container.hh is the persistence layer; seed_index.hh the
+ * in-memory structure).
+ *
+ * Layout (all little-endian, every section 8-byte aligned):
+ *
+ *   FileHeader               magic/version/flags, global counts,
+ *                            FNV-1a payload checksum, section table
+ *   SeqOffsets  u64[n+1]     residue prefix offsets
+ *   Arena       u8[total]    packed residues; byte-identical to
+ *                            bio::SequenceDatabase::packedResidues()
+ *   IdOffsets   u64[n+1] \
+ *   IdBlob      char[]    \  accession string table
+ *   DescOffsets u64[n+1]  /  description string table
+ *   DescBlob    char[]   /
+ *   IndexHeads  u64[space+1] seed-index CSR heads   (flag-gated)
+ *   IndexPost   Posting[m]   seed-index posting list (flag-gated)
+ *
+ * DatabaseFile::load() maps the file read-only, verifies the
+ * checksum and every structural invariant (monotone offsets,
+ * postings in range, ...), and rejects corrupted or truncated
+ * files with a descriptive error. The arena, offsets, and index
+ * sections are served zero-copy out of the mapping; materialize()
+ * rebuilds an owning bio::SequenceDatabase whose packed arena is
+ * byte-identical to the stored one.
+ */
+
+#ifndef BIOARCH_INDEX_CONTAINER_HH
+#define BIOARCH_INDEX_CONTAINER_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "bio/database.hh"
+#include "seed_index.hh"
+
+namespace bioarch::index
+{
+
+/** File-format constants. */
+inline constexpr std::uint64_t containerMagic =
+    0x4244435241'4F4942ULL; // "BIOARCDB" in little-endian bytes
+inline constexpr std::uint32_t containerVersion = 1;
+inline constexpr std::uint64_t flagHasIndex = 1ULL << 0;
+
+/** One section's location, relative to the start of the file. */
+struct SectionRef
+{
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+};
+
+enum class Section : std::size_t
+{
+    SeqOffsets = 0,
+    Arena,
+    IdOffsets,
+    IdBlob,
+    DescOffsets,
+    DescBlob,
+    IndexHeads,
+    IndexPostings,
+};
+inline constexpr std::size_t numSections = 8;
+
+/** The fixed-size file header (one fwrite / one struct read). */
+struct FileHeader
+{
+    std::uint64_t magic = containerMagic;
+    std::uint32_t version = containerVersion;
+    std::uint32_t headerBytes = 0; ///< sizeof(FileHeader)
+    std::uint64_t flags = 0;
+    std::uint64_t numSequences = 0;
+    std::uint64_t totalResidues = 0;
+    std::uint32_t wordSize = 0;   ///< 0 when no index
+    std::uint32_t numSymbols = 0; ///< alphabet size the words use
+    std::uint64_t numPostings = 0;
+    std::uint64_t fileBytes = 0; ///< total file size
+    /** FNV-1a 64 over every byte after the header. */
+    std::uint64_t payloadChecksum = 0;
+    std::array<SectionRef, numSections> sections{};
+};
+
+/** FNV-1a 64 (the container's checksum primitive). */
+std::uint64_t fnv1a64(const void *data, std::size_t bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/**
+ * Serialize @p db (and @p index, when non-null) to @p path.
+ * Throws std::runtime_error on I/O failure and
+ * std::invalid_argument when the index does not match the
+ * database.
+ */
+void writeDatabaseFile(const std::string &path,
+                       const bio::SequenceDatabase &db,
+                       const SeedIndex *index = nullptr);
+
+/**
+ * A loaded (mmap-ed) container file. Immutable; the mapping lives
+ * as long as the object, so zero-copy views (indexView(), arena())
+ * must not outlive it — epoch handles keep a shared_ptr for
+ * exactly this reason.
+ */
+class DatabaseFile
+{
+  public:
+    /**
+     * Map @p path read-only and verify it: magic, version, section
+     * table bounds, payload checksum, and structural invariants.
+     * Throws std::runtime_error with a descriptive message on any
+     * corruption (truncation, bit flips, malformed tables).
+     */
+    static std::shared_ptr<DatabaseFile> load(const std::string &path);
+
+    ~DatabaseFile();
+    DatabaseFile(const DatabaseFile &) = delete;
+    DatabaseFile &operator=(const DatabaseFile &) = delete;
+
+    const FileHeader &header() const { return _header; }
+    const std::string &path() const { return _path; }
+    std::size_t fileBytes() const { return _bytes; }
+
+    std::size_t numSequences() const
+    {
+        return static_cast<std::size_t>(_header.numSequences);
+    }
+    std::uint64_t totalResidues() const
+    {
+        return _header.totalResidues;
+    }
+    bool hasIndex() const
+    {
+        return (_header.flags & flagHasIndex) != 0;
+    }
+
+    /** Zero-copy views into the mapping. */
+    const bio::Residue *arena() const;
+    const std::uint64_t *seqOffsets() const; ///< numSequences()+1
+    std::string_view id(std::size_t i) const;
+    std::string_view description(std::size_t i) const;
+
+    /** Zero-copy seed-index view; hasIndex() must be true. */
+    SeedIndex indexView() const;
+
+    /**
+     * Rebuild an owning bio::SequenceDatabase from the mapping
+     * (copies). Its packedResidues() arena is byte-identical to
+     * arena() — asserted by tests — so engines built on it score
+     * exactly as they would against the original database.
+     */
+    bio::SequenceDatabase materialize() const;
+
+  private:
+    DatabaseFile() = default;
+
+    const std::byte *section(Section s) const;
+    std::uint64_t sectionBytes(Section s) const;
+    void verifyStructure() const;
+
+    std::string _path;
+    FileHeader _header{};
+    const std::byte *_map = nullptr;
+    std::size_t _bytes = 0;
+};
+
+} // namespace bioarch::index
+
+#endif // BIOARCH_INDEX_CONTAINER_HH

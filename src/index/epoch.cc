@@ -1,0 +1,31 @@
+#include "epoch.hh"
+
+namespace bioarch::index
+{
+
+std::shared_ptr<const DbEpoch>
+loadEpoch(const std::string &path, std::uint64_t epoch)
+{
+    auto file = DatabaseFile::load(path);
+    auto out = std::make_shared<DbEpoch>();
+    out->epoch = epoch;
+    out->db = file->materialize();
+    if (file->hasIndex())
+        out->index = file->indexView();
+    out->file = std::move(file); // keeps the index view mapped
+    return out;
+}
+
+std::shared_ptr<const DbEpoch>
+makeEpoch(bio::SequenceDatabase db, bool build_index,
+          std::uint64_t epoch, const IndexParams &params)
+{
+    auto out = std::make_shared<DbEpoch>();
+    out->epoch = epoch;
+    out->db = std::move(db);
+    if (build_index)
+        out->index = SeedIndex::build(out->db, params);
+    return out;
+}
+
+} // namespace bioarch::index

@@ -1,0 +1,276 @@
+#include "seed_index.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bioarch::index
+{
+
+std::size_t
+SeedIndex::wordSpace(int word_size)
+{
+    std::size_t space = 1;
+    for (int k = 0; k < word_size; ++k)
+        space *= static_cast<std::size_t>(bio::Alphabet::numSymbols);
+    return space;
+}
+
+std::uint32_t
+SeedIndex::encodeWord(const bio::Residue *residues, int word_size)
+{
+    std::uint32_t w = 0;
+    for (int k = 0; k < word_size; ++k)
+        w = w * bio::Alphabet::numSymbols + residues[k];
+    return w;
+}
+
+SeedIndex
+SeedIndex::build(const bio::SequenceDatabase &db,
+                 const IndexParams &params)
+{
+    if (params.wordSize < 1 || params.wordSize > 5)
+        throw std::invalid_argument(
+            "SeedIndex: word size must be in [1, 5]");
+
+    SeedIndex out;
+    out._wordSize = params.wordSize;
+    out._tableSize = wordSpace(params.wordSize);
+    out._ownHeads.assign(out._tableSize + 1, 0);
+
+    const bio::Residue *arena = db.packedResidues();
+    const std::vector<std::uint64_t> &offsets = db.packedOffsets();
+    const int w = params.wordSize;
+
+    // Pass 1: per-word posting counts (into heads[word + 1] so the
+    // prefix sum lands directly in CSR position).
+    for (std::size_t s = 0; s < db.size(); ++s) {
+        const std::uint64_t off = offsets[s];
+        const std::int64_t len =
+            static_cast<std::int64_t>(offsets[s + 1] - off);
+        for (std::int64_t j = 0; j + w <= len; ++j)
+            ++out._ownHeads[encodeWord(arena + off + j, w) + 1];
+    }
+    for (std::size_t i = 1; i < out._ownHeads.size(); ++i)
+        out._ownHeads[i] += out._ownHeads[i - 1];
+    out._numPostings = out._ownHeads.back();
+
+    // Pass 2: fill. Walking sequences in database order and
+    // positions left to right leaves every posting list sorted by
+    // (seq, pos) with no extra sort.
+    out._ownPostings.resize(out._numPostings);
+    std::vector<std::uint64_t> cursor(out._ownHeads.begin(),
+                                      out._ownHeads.end() - 1);
+    for (std::size_t s = 0; s < db.size(); ++s) {
+        const std::uint64_t off = offsets[s];
+        const std::int64_t len =
+            static_cast<std::int64_t>(offsets[s + 1] - off);
+        for (std::int64_t j = 0; j + w <= len; ++j) {
+            const std::uint32_t word =
+                encodeWord(arena + off + j, w);
+            out._ownPostings[cursor[word]++] =
+                Posting{static_cast<std::uint32_t>(s),
+                        static_cast<std::uint32_t>(j)};
+        }
+    }
+    return out;
+}
+
+SeedIndex
+SeedIndex::view(int word_size, const std::uint64_t *heads,
+                std::size_t table_size, const Posting *postings,
+                std::size_t num_postings)
+{
+    SeedIndex out;
+    out._wordSize = word_size;
+    out._tableSize = table_size;
+    out._numPostings = num_postings;
+    out._viewHeads = heads;
+    out._viewPostings = postings;
+    return out;
+}
+
+std::pair<const Posting *, const Posting *>
+SeedIndex::postingsInRange(std::uint32_t w, std::uint32_t seq_begin,
+                           std::uint32_t seq_end) const
+{
+    const auto [begin, end] = postings(w);
+    const auto by_seq = [](const Posting &p, std::uint32_t s) {
+        return p.seq < s;
+    };
+    const Posting *lo =
+        std::lower_bound(begin, end, seq_begin, by_seq);
+    const Posting *hi = std::lower_bound(lo, end, seq_end, by_seq);
+    return {lo, hi};
+}
+
+bool
+SeedIndex::equals(const SeedIndex &other) const
+{
+    if (_wordSize != other._wordSize
+        || _tableSize != other._tableSize
+        || _numPostings != other._numPostings)
+        return false;
+    if (!std::equal(heads(), heads() + _tableSize + 1,
+                    other.heads()))
+        return false;
+    return std::equal(postingData(),
+                      postingData() + _numPostings,
+                      other.postingData());
+}
+
+std::vector<std::uint32_t>
+probeCandidates(const SeedIndex &index,
+                const align::NeighborhoodIndex &nbhd,
+                const align::BlastParams &params,
+                std::size_t seq_begin, std::size_t seq_end,
+                ProbeStats *stats)
+{
+    if (nbhd.wordSize() != index.wordSize())
+        throw std::invalid_argument(
+            "probeCandidates: query neighborhood word size does "
+            "not match the index");
+
+    // Join the query neighborhood and the posting lists on the
+    // word: every (query position, posting) pair is one seed hit,
+    // identified by its subject position and diagonal — exactly
+    // the hits the BlastWordFinder scan would see, in a different
+    // order. The join is walked twice (count, then scatter) so the
+    // hits land directly in per-sequence buckets: a global
+    // (seq, diag, pos) sort would dominate the probe, while the
+    // per-sequence buckets are a handful of hits each and sort for
+    // nearly free. The matched word ranges are remembered so the
+    // second walk skips the direct-address table and the per-word
+    // binary searches.
+    struct WordJoin
+    {
+        const Posting *pb, *pe;       ///< postings in shard range
+        const std::int32_t *qb, *qe;  ///< query positions
+    };
+    std::vector<WordJoin> joins;
+    const std::size_t range = seq_end - seq_begin;
+    // counts[s + 1] accumulates sequence seq_begin+s's hits so the
+    // prefix sum below lands directly in CSR position.
+    std::vector<std::uint32_t> counts(range + 1, 0);
+    const std::size_t words = index.tableSize();
+    for (std::uint32_t w = 0; w < words; ++w) {
+        const auto [qb, qe] = nbhd.positions(w);
+        if (qb == qe)
+            continue;
+        const auto [pb, pe] = index.postingsInRange(
+            w, static_cast<std::uint32_t>(seq_begin),
+            static_cast<std::uint32_t>(seq_end));
+        if (pb == pe)
+            continue;
+        if (stats)
+            ++stats->wordsMatched;
+        joins.push_back(WordJoin{pb, pe, qb, qe});
+        const std::uint32_t nq =
+            static_cast<std::uint32_t>(qe - qb);
+        for (const Posting *p = pb; p != pe; ++p)
+            counts[p->seq - seq_begin + 1] += nq;
+    }
+
+    std::vector<std::uint32_t> candidates;
+
+    // Single-hit mode: any seed hit is a trigger, so the counts
+    // alone decide and the hits are never materialized.
+    if (!params.twoHit) {
+        std::uint64_t seed_hits = 0;
+        for (std::size_t s = 0; s < range; ++s) {
+            seed_hits += counts[s + 1];
+            if (counts[s + 1] != 0)
+                candidates.push_back(
+                    static_cast<std::uint32_t>(seq_begin + s));
+        }
+        if (stats) {
+            stats->seedHits += seed_hits;
+            stats->candidates += candidates.size();
+        }
+        return candidates;
+    }
+
+    for (std::size_t s = 0; s < range; ++s)
+        counts[s + 1] += counts[s];
+    const std::size_t num_hits = counts[range];
+    if (stats)
+        stats->seedHits += num_hits;
+
+    // A hit is one u64: the diagonal (sign flipped into an
+    // order-preserving unsigned) in the high half, the subject
+    // position in the low half — so a plain integer sort orders a
+    // bucket by (diag, pos) and the replay recovers both fields
+    // with shifts.
+    const auto pack = [](std::int32_t diag, std::int32_t pos) {
+        const std::uint64_t d =
+            static_cast<std::uint32_t>(diag) ^ 0x80000000u;
+        return (d << 32) | static_cast<std::uint32_t>(pos);
+    };
+    std::vector<std::uint64_t> hits(num_hits);
+    std::vector<std::uint32_t> cursor(counts.begin(),
+                                      counts.end() - 1);
+    for (const WordJoin &join : joins)
+        for (const Posting *p = join.pb; p != join.pe; ++p) {
+            const std::int32_t j =
+                static_cast<std::int32_t>(p->pos);
+            std::uint32_t &c = cursor[p->seq - seq_begin];
+            for (const std::int32_t *q = join.qb; q != join.qe;
+                 ++q)
+                hits[c++] = pack(j - *q, j);
+        }
+
+    // Replay blastScan's trigger per (sequence, diagonal). Within
+    // one diagonal the subject positions ascend exactly as the
+    // word-by-word scan visits them, so the last-hit state machine
+    // below is the same one blastScan runs — up to the first
+    // trigger, after which the sequence is already a candidate and
+    // the rest of its hits are irrelevant.
+    const int w = index.wordSize();
+    for (std::size_t s = 0; s < range; ++s) {
+        std::uint64_t *const sb = hits.data() + counts[s];
+        std::uint64_t *const se = hits.data() + counts[s + 1];
+        const std::size_t n = static_cast<std::size_t>(se - sb);
+        if (n < 2)
+            continue; // one hit can never satisfy the two-hit rule
+        if (n <= 24) {
+            // Buckets are a handful of hits; insertion sort beats
+            // a std::sort call at this size.
+            for (std::size_t a = 1; a < n; ++a) {
+                const std::uint64_t v = sb[a];
+                std::size_t b = a;
+                for (; b > 0 && sb[b - 1] > v; --b)
+                    sb[b] = sb[b - 1];
+                sb[b] = v;
+            }
+        } else {
+            std::sort(sb, se);
+        }
+        bool is_candidate = false;
+        std::uint64_t run_diag = ~(*sb >> 32); // != any diagonal
+        std::int32_t last_hit = 0;
+        for (const std::uint64_t *h = sb; h != se; ++h) {
+            const std::uint64_t diag = *h >> 32;
+            const std::int32_t pos = static_cast<std::int32_t>(
+                *h & 0xffffffffu);
+            if (diag != run_diag) {
+                run_diag = diag;
+                last_hit = -1000000; // blastScan's fresh-diagonal state
+            }
+            const std::int32_t dist = pos - last_hit;
+            if (dist < w)
+                continue; // overlapping: neither triggers nor updates
+            if (dist <= params.twoHitWindow) {
+                is_candidate = true;
+                break;
+            }
+            last_hit = pos;
+        }
+        if (is_candidate)
+            candidates.push_back(
+                static_cast<std::uint32_t>(seq_begin + s));
+    }
+    if (stats)
+        stats->candidates += candidates.size();
+    return candidates;
+}
+
+} // namespace bioarch::index

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Persistent database-side k-mer seed index: an inverted map from
+ * every length-w word of the database to the posting list of
+ * (sequence, position) pairs where it occurs.
+ *
+ * This is the database half of the BLAST index-then-extend
+ * decomposition (Nguyen & Lavenier, PAPERS.md): the query side
+ * already exists as align::NeighborhoodIndex (word -> query
+ * positions whose T-threshold neighborhood contains it); joining
+ * the two on the word gives exactly the seed hits the
+ * BlastWordFinder scan would discover — without touching the
+ * subject residues at all. probeCandidates() then replays the
+ * two-hit diagonal heuristic over those hits and returns the
+ * sequences whose hit pattern would have triggered at least one
+ * ungapped extension.
+ *
+ * Exactness: before the first extension on a subject, blastScan's
+ * diagonal state (last-hit positions; extendedTo is still -1
+ * everywhere) evolves identically to the probe's replay, so the
+ * first trigger happens at the same seed hit in both. Hence
+ *
+ *   candidates == { seq : blastScan(seq).extensionsTried >= 1 }
+ *     superset-of { seq : blastScan(seq).score > 0 }
+ *
+ * and rescoring only the candidates reproduces the full scan's
+ * ranked hit list bit for bit (asserted by tests/index_test.cc).
+ *
+ * The index is either owned (build()) or a zero-copy view into an
+ * mmap-ed container file (container.hh); accessors hide which.
+ */
+
+#ifndef BIOARCH_INDEX_SEED_INDEX_HH
+#define BIOARCH_INDEX_SEED_INDEX_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "align/blast.hh"
+#include "bio/database.hh"
+
+namespace bioarch::index
+{
+
+/** Index build tunables. */
+struct IndexParams
+{
+    /** Word length; must match the query-side BlastParams::wordSize
+     * for a probe to be usable. */
+    int wordSize = 3;
+};
+
+/**
+ * One posting: word occurrence at @p pos of database sequence
+ * @p seq. The on-disk posting array is exactly this layout
+ * (little-endian), so a mapped file serves postings zero-copy.
+ */
+struct Posting
+{
+    std::uint32_t seq = 0;
+    std::uint32_t pos = 0;
+
+    bool operator==(const Posting &other) const = default;
+};
+
+static_assert(sizeof(Posting) == 8,
+              "Posting must be 8 bytes for the on-disk layout");
+
+/** Work accounting of one probe. */
+struct ProbeStats
+{
+    /** Words present in both the query neighborhood and the db. */
+    std::uint64_t wordsMatched = 0;
+    /** (query position, posting) seed hits joined on the word. */
+    std::uint64_t seedHits = 0;
+    /** Sequences whose hits passed the two-hit trigger. */
+    std::uint64_t candidates = 0;
+};
+
+/**
+ * The inverted word index: CSR posting lists over the full word
+ * space (Alphabet::numSymbols ^ wordSize slots, ~12k for protein
+ * w=3). Posting lists are sorted by (seq, pos) — the natural order
+ * of a database-order build — so a shard probe can binary-search
+ * the sequence range.
+ */
+class SeedIndex
+{
+  public:
+    /** Index @p db (reads the packed residue arena). */
+    static SeedIndex build(const bio::SequenceDatabase &db,
+                           const IndexParams &params = {});
+
+    /**
+     * Zero-copy view over externally owned CSR arrays (the mmap-ed
+     * container). @p heads has tableSize+1 entries; both arrays
+     * must outlive the view.
+     */
+    static SeedIndex view(int word_size, const std::uint64_t *heads,
+                          std::size_t table_size,
+                          const Posting *postings,
+                          std::size_t num_postings);
+
+    int wordSize() const { return _wordSize; }
+    /** Direct-address table slots (numSymbols ^ wordSize). */
+    std::size_t tableSize() const { return _tableSize; }
+    std::size_t numPostings() const { return _numPostings; }
+    bool ownsStorage() const { return !_ownHeads.empty(); }
+
+    /** CSR heads, tableSize()+1 entries. */
+    const std::uint64_t *heads() const
+    {
+        return _ownHeads.empty() ? _viewHeads : _ownHeads.data();
+    }
+    const Posting *postingData() const
+    {
+        return _ownPostings.empty() ? _viewPostings
+                                    : _ownPostings.data();
+    }
+
+    /** Posting list of word @p w, sorted by (seq, pos). */
+    std::pair<const Posting *, const Posting *>
+    postings(std::uint32_t w) const
+    {
+        const std::uint64_t *h = heads();
+        const Posting *base = postingData();
+        return {base + h[w], base + h[w + 1]};
+    }
+
+    /**
+     * Posting sub-list of word @p w restricted to sequences in
+     * [@p seq_begin, @p seq_end) — the shard probe's view.
+     */
+    std::pair<const Posting *, const Posting *>
+    postingsInRange(std::uint32_t w, std::uint32_t seq_begin,
+                    std::uint32_t seq_end) const;
+
+    /** Structural equality (word size, heads, postings). */
+    bool equals(const SeedIndex &other) const;
+
+    /** Encode the word starting at @p residues (matches
+     * align::NeighborhoodIndex::encode). */
+    static std::uint32_t encodeWord(const bio::Residue *residues,
+                                    int word_size);
+
+    /** numSymbols ^ word_size. */
+    static std::size_t wordSpace(int word_size);
+
+  private:
+    int _wordSize = 0;
+    std::size_t _tableSize = 0;
+    std::size_t _numPostings = 0;
+    std::vector<std::uint64_t> _ownHeads;
+    std::vector<Posting> _ownPostings;
+    const std::uint64_t *_viewHeads = nullptr;
+    const Posting *_viewPostings = nullptr;
+};
+
+/**
+ * Probe the index for one prepared query: join the query's
+ * neighborhood word table against the posting lists of sequences
+ * in [@p seq_begin, @p seq_end), replay the two-hit diagonal
+ * trigger (BlastParams::twoHit / twoHitWindow; single-hit mode
+ * marks a candidate on the first seed hit), and return the
+ * triggering sequence indices in ascending database order.
+ *
+ * @p nbhd.wordSize() must equal the index's word size.
+ */
+std::vector<std::uint32_t>
+probeCandidates(const SeedIndex &index,
+                const align::NeighborhoodIndex &nbhd,
+                const align::BlastParams &params,
+                std::size_t seq_begin, std::size_t seq_end,
+                ProbeStats *stats = nullptr);
+
+} // namespace bioarch::index
+
+#endif // BIOARCH_INDEX_SEED_INDEX_HH

@@ -262,4 +262,17 @@ Registry::counterValue(std::string_view name,
     return it->second.counter->value();
 }
 
+double
+Registry::gaugeValue(std::string_view name,
+                     std::string_view labels) const
+{
+    const Shard &shard = shardFor(name, labels);
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.entries.find(entryKey(name, labels));
+    if (it == shard.entries.end()
+        || it->second.type != MetricType::Gauge)
+        return 0.0;
+    return it->second.gauge->value();
+}
+
 } // namespace bioarch::obs

@@ -201,6 +201,13 @@ class Registry
     std::uint64_t counterValue(std::string_view name,
                                std::string_view labels = {}) const;
 
+    /**
+     * Current value of a registered gauge, 0.0 when @p name is not
+     * registered (convenience for tests and report footers).
+     */
+    double gaugeValue(std::string_view name,
+                      std::string_view labels = {}) const;
+
   private:
     struct Entry
     {

@@ -50,6 +50,9 @@ Engine::Engine(const bio::SequenceDatabase &db, EngineConfig config)
     _mCells = &m.counter("serve_cells_total");
     _mShardsScanned = &m.counter("serve_shards_scanned_total");
     _mShardsSkipped = &m.counter("serve_shards_skipped_total");
+    _mIndexProbes = &m.counter("index_probe_total");
+    _mIndexCandidates = &m.counter("index_candidates_total");
+    _mIndexFallbacks = &m.counter("index_fallback_scan_total");
     const std::string backend_label = "backend=\""
         + std::string(align::backendName(_cfg.backend)) + "\"";
     _mNativeScans =
@@ -146,11 +149,59 @@ Engine::runBatch(const Request *requests, std::size_t count,
             _cfg.blast, _cfg.backend);
     });
 
+    // Phase 1.5: probe the seed index once per distinct eligible
+    // request, in parallel. The probe never touches subject
+    // residues and its cost is independent of the shard count, so
+    // it runs at request granularity; shard tasks then slice the
+    // candidate list. A probe that marks too much of the database
+    // falls back to the full scan (the index would not pay for
+    // itself at that density).
+    struct ProbeOutcome
+    {
+        std::vector<std::uint32_t> candidates;
+        bool fallback = false;
+    };
+    std::vector<std::unique_ptr<ProbeOutcome>> probes(count);
+    std::uint64_t index_probes = 0;
+    std::uint64_t index_candidates = 0;
+    std::uint64_t index_fallbacks = 0;
+    if (_cfg.seedIndex != nullptr) {
+        _pool.parallelFor(unique.size(), [&](std::size_t i) {
+            const std::size_t r = unique[i];
+            const PreparedQuery *q = prepared[r].get();
+            if (q == nullptr
+                || q->kind() != kernels::Workload::Blast
+                || q->neighborhoodIndex() == nullptr
+                || _cfg.seedIndex->wordSize()
+                    != q->blastParams().wordSize)
+                return;
+            auto probe = std::make_unique<ProbeOutcome>();
+            probe->candidates = index::probeCandidates(
+                *_cfg.seedIndex, *q->neighborhoodIndex(),
+                q->blastParams(), 0, _db->size());
+            probe->fallback =
+                static_cast<double>(probe->candidates.size())
+                > _cfg.indexMaxSelectivity
+                    * static_cast<double>(_db->size());
+            probes[r] = std::move(probe);
+        });
+        for (const std::size_t u : unique)
+            if (probes[u] != nullptr) {
+                ++index_probes;
+                index_candidates += probes[u]->candidates.size();
+                if (probes[u]->fallback)
+                    ++index_fallbacks;
+            }
+    }
+
     // Phase 2: fan (request x shard) scans out; each task writes
     // its preallocated slot, so the schedule cannot reorder
     // results. The deadline check sits immediately before the
     // scan: an expired request stops consuming scan time at shard
     // granularity.
+    ScanRoute route;
+    route.interseqCutover = _cfg.interseqCutover;
+
     std::vector<ShardScan> scans(count * shards);
     _pool.parallelFor(count * shards, [&](std::size_t u) {
         const std::size_t r = u / shards;
@@ -163,10 +214,14 @@ Engine::runBatch(const Request *requests, std::size_t count,
         const std::size_t top_k = requests[r].topK
             ? requests[r].topK
             : _cfg.topK;
+        ScanRoute task_route = route;
+        const ProbeOutcome *probe = probes[rep[r]].get();
+        if (probe != nullptr && !probe->fallback)
+            task_route.indexCandidates = &probe->candidates;
         const WallClock::time_point t0 = WallClock::now();
         scans[u] = scanShard(*prepared[rep[r]], *_db,
                              _sharded.shard(s), top_k, _karlin,
-                             total, _cfg.interseqCutover);
+                             total, task_route);
         scans[u].elapsedUs = elapsedUs(t0, WallClock::now());
         _mScanUs->record(scans[u].elapsedUs);
     });
@@ -195,9 +250,17 @@ Engine::runBatch(const Request *requests, std::size_t count,
                 ++shards_skipped;
                 continue;
             }
-            ++shards_scanned;
+            // A prefilter skip (probe found no candidates) is a
+            // *complete* answer reached without alignment work, so
+            // it counts as a skipped shard in the metrics but never
+            // as a deadline skip on the response.
+            if (scan.prefilterSkipped)
+                ++shards_skipped;
+            else
+                ++shards_scanned;
             resp.cellsComputed += scan.cells;
             resp.sequencesSearched += scan.sequences;
+            resp.residuesScanned += scan.residues;
             resp.scanUs += scan.elapsedUs;
             cells += scan.cells;
             karlin_fills += scan.karlinFills;
@@ -210,6 +273,9 @@ Engine::runBatch(const Request *requests, std::size_t count,
     _mKarlinFills->inc(karlin_fills);
     _mShardsScanned->inc(shards_scanned);
     _mShardsSkipped->inc(shards_skipped);
+    _mIndexProbes->inc(index_probes);
+    _mIndexCandidates->inc(index_candidates);
+    _mIndexFallbacks->inc(index_fallbacks);
     _mNativeScans->inc(native.scans);
     _mNativeRescans16->inc(native.rescans16);
     _mNativeRescansScalar->inc(native.rescansScalar);

@@ -27,10 +27,12 @@
 #include "align/blast.hh"
 #include "align/fasta.hh"
 #include "align/karlin.hh"
+#include "batch_server.hh"
 #include "bio/database.hh"
 #include "bio/scoring.hh"
 #include "clock.hh"
 #include "core/thread_pool.hh"
+#include "index/seed_index.hh"
 #include "latency.hh"
 #include "obs/metrics.hh"
 #include "request.hh"
@@ -69,6 +71,23 @@ struct EngineConfig
     bio::GapPenalties gaps;
     align::FastaParams fasta;
     align::BlastParams blast;
+    /**
+     * Database-side seed index for the indexed BLAST serving
+     * route (nullptr = every scan is a full scan). Must outlive
+     * the engine and must have been built over exactly the served
+     * database; word size must match blast.wordSize or the index
+     * is ignored. See ScanRoute (shard.hh) for the route itself.
+     */
+    const index::SeedIndex *seedIndex = nullptr;
+    /**
+     * Selectivity gate of the indexed route: when a request's
+     * probe marks more than this fraction of the database's
+     * sequences as candidates, the request falls back to the full
+     * scan (the index would not pay for itself). The probe runs
+     * once per distinct request, before the shard fan-out. See
+     * ScanRoute.
+     */
+    double indexMaxSelectivity = 0.2;
     /**
      * Metrics registry the engine reports into. nullptr (default)
      * makes the engine own a private registry; the serving loop
@@ -120,7 +139,7 @@ struct StreamReport
  * intended to be called from one thread (the pool parallelizes
  * inside a batch).
  */
-class Engine
+class Engine : public BatchServer
 {
   public:
     explicit Engine(const bio::SequenceDatabase &db,
@@ -133,29 +152,10 @@ class Engine
     /** Serve one request (a batch of one). */
     Response serve(const Request &request);
 
-    /**
-     * Per-request cancellation plumbed into a batch: request r's
-     * shard-scan tasks check deadlinesUs[r] (absolute, in @p
-     * clock's time base; <= 0 means no deadline) immediately
-     * before scanning and skip the scan once the deadline has
-     * passed — cancellation at shard-scan granularity. Skipped
-     * shards are reported in Response::shardsSkipped.
-     */
-    struct BatchControl
-    {
-        /** Per-request absolute deadlines (may be nullptr). */
-        const double *deadlinesUs = nullptr;
-        /** Clock the deadlines are expressed in. */
-        const Clock *clock = nullptr;
-
-        bool
-        expired(std::size_t r) const
-        {
-            return deadlinesUs != nullptr && clock != nullptr
-                && deadlinesUs[r] > 0.0
-                && clock->nowUs() >= deadlinesUs[r];
-        }
-    };
+    /** Deadline plumbing, now shared with every BatchServer
+     * implementation (batch_server.hh); the nested name stays for
+     * source compatibility. */
+    using BatchControl = serve::BatchControl;
 
     /**
      * Serve @p requests as a single batch: all (request, shard)
@@ -168,7 +168,13 @@ class Engine
     /** serveBatch with per-request deadline cancellation. */
     std::vector<Response>
     serveBatch(const std::vector<Request> &requests,
-               const BatchControl &control);
+               const BatchControl &control) override;
+
+    /** ServeLoop's batch size when LoopConfig::batch is 0. */
+    std::size_t defaultBatch() const override
+    {
+        return _cfg.batch;
+    }
 
     /**
      * Replay a whole stream: cut it into config().batch-sized
@@ -190,7 +196,7 @@ class Engine
      * mirrored thread-pool tasks/steals. Histograms:
      * serve_scan_us, serve_batch_us, serve_latency_us.
      */
-    obs::Registry &metrics() { return *_metrics; }
+    obs::Registry &metrics() override { return *_metrics; }
     const obs::Registry &metrics() const { return *_metrics; }
 
     /**
@@ -200,7 +206,7 @@ class Engine
      * exporting a snapshot; single-threaded with respect to other
      * refresh calls.
      */
-    void refreshPoolMetrics();
+    void refreshPoolMetrics() override;
 
     /** The engine's worker pool (for loop/bench introspection). */
     const core::ThreadPool &pool() const { return _pool; }
@@ -228,6 +234,9 @@ class Engine
     obs::Counter *_mCells;
     obs::Counter *_mShardsScanned;
     obs::Counter *_mShardsSkipped;
+    obs::Counter *_mIndexProbes;
+    obs::Counter *_mIndexCandidates;
+    obs::Counter *_mIndexFallbacks;
     obs::Counter *_mNativeScans;
     obs::Counter *_mNativeRescans16;
     obs::Counter *_mNativeRescansScalar;

@@ -37,7 +37,7 @@ loopStatusName(LoopStatus s)
     return "unknown";
 }
 
-ServeLoop::ServeLoop(Engine &engine, LoopConfig config,
+ServeLoop::ServeLoop(BatchServer &engine, LoopConfig config,
                      const Clock *clock)
     : _engine(&engine),
       _cfg(config),
@@ -46,7 +46,9 @@ ServeLoop::ServeLoop(Engine &engine, LoopConfig config,
     if (_cfg.queueCapacity == 0)
         _cfg.queueCapacity = 1;
     if (_cfg.batch == 0)
-        _cfg.batch = _engine->config().batch;
+        _cfg.batch = _engine->defaultBatch();
+    if (_cfg.batch == 0)
+        _cfg.batch = 1;
 
     obs::Registry &m = _engine->metrics();
     _mOffered = &m.counter("loop_offered_total");
@@ -207,7 +209,7 @@ ServeLoop::processBatch(std::vector<Queued> batch)
         requests.push_back(q.request);
         deadlines.push_back(q.deadlineUs);
     }
-    Engine::BatchControl control;
+    BatchControl control;
     control.deadlinesUs = deadlines.data();
     control.clock = _clock;
     std::vector<Response> responses =

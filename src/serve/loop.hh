@@ -53,8 +53,8 @@
 #include <thread>
 #include <vector>
 
+#include "batch_server.hh"
 #include "clock.hh"
-#include "engine.hh"
 #include "obs/metrics.hh"
 #include "request.hh"
 
@@ -129,11 +129,13 @@ struct LoopResult
 };
 
 /**
- * The loop. One ServeLoop fronts one Engine; submissions may come
- * from any number of threads, dispatch happens either on the
- * caller's thread (pumpOne/pumpAll — deterministic mode) or on the
- * loop's own dispatcher thread (start/drain/stop). Do not mix
- * pump calls with a started dispatcher.
+ * The loop. One ServeLoop fronts one BatchServer — a plain Engine,
+ * or a ReloadableEngine whose database epoch can be hot-swapped
+ * mid-run; submissions may come from any number of threads,
+ * dispatch happens either on the caller's thread (pumpOne/pumpAll
+ * — deterministic mode) or on the loop's own dispatcher thread
+ * (start/drain/stop). Do not mix pump calls with a started
+ * dispatcher.
  */
 class ServeLoop
 {
@@ -142,7 +144,7 @@ class ServeLoop
      * @param clock time source for arrivals/deadlines; nullptr =
      *        an internal SteadyClock. Must outlive the loop.
      */
-    explicit ServeLoop(Engine &engine, LoopConfig config = {},
+    explicit ServeLoop(BatchServer &engine, LoopConfig config = {},
                        const Clock *clock = nullptr);
     /** Stops as stop() does when the dispatcher is running. */
     ~ServeLoop();
@@ -218,7 +220,7 @@ class ServeLoop
     void dropQueuedLocked();
     double estimatedWaitUsLocked(Priority priority) const;
 
-    Engine *_engine;
+    BatchServer *_engine;
     LoopConfig _cfg;
     SteadyClock _ownedClock;
     const Clock *_clock;

@@ -1,0 +1,107 @@
+#include "reload.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bioarch::serve
+{
+
+ReloadableEngine::ReloadableEngine(
+    std::shared_ptr<const index::DbEpoch> epoch,
+    EngineConfig config)
+    : _cfg(config)
+{
+    if (epoch == nullptr)
+        throw std::invalid_argument(
+            "ReloadableEngine: null epoch");
+    if (_cfg.metrics == nullptr) {
+        _ownedMetrics = std::make_unique<obs::Registry>();
+        _metrics = _ownedMetrics.get();
+    } else {
+        _metrics = _cfg.metrics;
+    }
+    _cfg.metrics = _metrics;
+    _mEpoch = &_metrics->gauge("db_epoch");
+
+    std::shared_ptr<const Bound> bound = bind(std::move(epoch));
+    // Adopt the engine's normalized knobs (jobs/shards/batch) so
+    // defaultBatch() answers without chasing the current epoch.
+    _cfg = bound->engine->config();
+    _mEpoch->set(static_cast<double>(bound->epoch->epoch));
+    _bound = std::move(bound);
+}
+
+std::shared_ptr<const ReloadableEngine::Bound>
+ReloadableEngine::bind(
+    std::shared_ptr<const index::DbEpoch> epoch) const
+{
+    auto bound = std::make_shared<Bound>();
+    EngineConfig cfg = _cfg;
+    cfg.seedIndex =
+        epoch->index.has_value() ? &*epoch->index : nullptr;
+    bound->engine =
+        std::make_unique<Engine>(epoch->db, cfg);
+    bound->epoch = std::move(epoch);
+    return bound;
+}
+
+void
+ReloadableEngine::reload(
+    std::shared_ptr<const index::DbEpoch> epoch)
+{
+    if (epoch == nullptr)
+        throw std::invalid_argument(
+            "ReloadableEngine: null epoch");
+    std::shared_ptr<const Bound> bound = bind(std::move(epoch));
+    std::lock_guard lock(_mutex);
+    _mEpoch->set(static_cast<double>(bound->epoch->epoch));
+    _bound = std::move(bound);
+    // The old Bound keeps its epoch and engine alive until the
+    // last in-flight serveBatch drops its reference.
+}
+
+std::shared_ptr<const ReloadableEngine::Bound>
+ReloadableEngine::current() const
+{
+    std::lock_guard lock(_mutex);
+    return _bound;
+}
+
+std::shared_ptr<const index::DbEpoch>
+ReloadableEngine::epoch() const
+{
+    return current()->epoch;
+}
+
+std::uint64_t
+ReloadableEngine::epochNumber() const
+{
+    return current()->epoch->epoch;
+}
+
+std::vector<Response>
+ReloadableEngine::serveBatch(const std::vector<Request> &requests,
+                             const BatchControl &control)
+{
+    // Pin the epoch for the whole batch: a reload landing mid-batch
+    // swaps the *next* batch's database, never this one's.
+    const std::shared_ptr<const Bound> bound = current();
+    return bound->engine->serveBatch(requests, control);
+}
+
+std::size_t
+ReloadableEngine::defaultBatch() const
+{
+    return _cfg.batch;
+}
+
+void
+ReloadableEngine::refreshPoolMetrics()
+{
+    // Per-engine delta tracking starts at zero for each epoch's
+    // fresh pool, so mirroring stays monotone in the shared
+    // registry across reloads.
+    current()->engine->refreshPoolMetrics();
+}
+
+} // namespace bioarch::serve

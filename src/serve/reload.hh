@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Epoch-based hot reload for the serving tier: a BatchServer that
+ * delegates to the Engine of the *current* database epoch and can
+ * swap epochs while a ServeLoop keeps dispatching.
+ *
+ * How the swap stays safe and invisible:
+ *  - Each epoch is bound to its own Engine (engines are cheap
+ *    relative to a database generation: a thread pool + shard
+ *    layout). The binding is published as a shared_ptr; serveBatch
+ *    grabs a reference under a short lock, so an in-flight batch
+ *    keeps its epoch — database, index, and engine — alive until
+ *    it finishes, no matter how many reloads land meanwhile.
+ *  - Every per-epoch engine reports into ONE shared registry, so
+ *    counters stay monotone across reloads and the loop's
+ *    served+shed+deadline_expired+dropped == offered identity
+ *    holds through a swap (asserted by tests/index_test.cc and
+ *    bench_serve_throughput's hot-reload segment).
+ *  - The db_epoch gauge tracks the published epoch number.
+ */
+
+#ifndef BIOARCH_SERVE_RELOAD_HH
+#define BIOARCH_SERVE_RELOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "batch_server.hh"
+#include "engine.hh"
+#include "index/epoch.hh"
+
+namespace bioarch::serve
+{
+
+/**
+ * BatchServer over a reloadable database epoch. reload() may be
+ * called from any thread while another thread is serving;
+ * serveBatch itself follows the one-dispatcher-at-a-time contract.
+ */
+class ReloadableEngine final : public BatchServer
+{
+  public:
+    /**
+     * Serve @p epoch with @p config. config.metrics (when null, an
+     * internally owned registry) is shared by the engines of every
+     * later epoch; config.seedIndex is overridden per epoch by the
+     * epoch's own index.
+     */
+    explicit ReloadableEngine(
+        std::shared_ptr<const index::DbEpoch> epoch,
+        EngineConfig config = {});
+
+    /** Publish @p epoch; in-flight batches finish on their own. */
+    void reload(std::shared_ptr<const index::DbEpoch> epoch);
+
+    /** The currently published epoch. */
+    std::shared_ptr<const index::DbEpoch> epoch() const;
+    std::uint64_t epochNumber() const;
+
+    /** Normalized engine knobs (jobs/shards/batch) of epoch 0. */
+    const EngineConfig &config() const { return _cfg; }
+
+    std::vector<Response>
+    serveBatch(const std::vector<Request> &requests,
+               const BatchControl &control) override;
+
+    obs::Registry &metrics() override { return *_metrics; }
+    std::size_t defaultBatch() const override;
+    void refreshPoolMetrics() override;
+
+  private:
+    /** One epoch bound to its engine; published atomically. */
+    struct Bound
+    {
+        std::shared_ptr<const index::DbEpoch> epoch;
+        std::unique_ptr<Engine> engine;
+    };
+
+    std::shared_ptr<const Bound>
+    bind(std::shared_ptr<const index::DbEpoch> epoch) const;
+    std::shared_ptr<const Bound> current() const;
+
+    EngineConfig _cfg;
+    std::unique_ptr<obs::Registry> _ownedMetrics;
+    obs::Registry *_metrics;
+    obs::Gauge *_mEpoch;
+
+    mutable std::mutex _mutex;
+    std::shared_ptr<const Bound> _bound;
+};
+
+} // namespace bioarch::serve
+
+#endif // BIOARCH_SERVE_RELOAD_HH

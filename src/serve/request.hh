@@ -51,6 +51,13 @@ struct Response
     std::vector<align::SearchHit> hits;
     std::uint64_t cellsComputed = 0;
     std::uint64_t sequencesSearched = 0;
+    /**
+     * Residues aligned against across all shards: the whole
+     * database on a full scan, only the index candidates on the
+     * indexed route (how the serving tier proves its <= 20%
+     * scanned-residue budget).
+     */
+    std::uint64_t residuesScanned = 0;
     /** Time the request spent queued behind earlier batches (us). */
     double queueUs = 0.0;
     /** Wall time of the batch that served the request (us). */
@@ -104,6 +111,22 @@ class PreparedQuery
 
     /** True when scans go through the native striped kernel. */
     bool usesNativeScan() const { return _native != nullptr; }
+
+    /**
+     * BLAST's query-side neighborhood word index (nullptr for
+     * every other kind) — the query half the seed-index probe
+     * joins against (index/seed_index.hh).
+     */
+    const align::NeighborhoodIndex *neighborhoodIndex() const
+    {
+        return _neighborhood.get();
+    }
+
+    /** The BLAST parameters this query was prepared with. */
+    const align::BlastParams &blastParams() const
+    {
+        return _blast;
+    }
 
     /**
      * Scan one subject sequence. The reported score matches what

@@ -1,5 +1,7 @@
 #include "shard.hh"
 
+#include <algorithm>
+
 namespace bioarch::serve
 {
 
@@ -39,17 +41,53 @@ ShardScan
 scanShard(const PreparedQuery &query,
           const bio::SequenceDatabase &db, const Shard &shard,
           std::size_t top_k, const align::KarlinParams &karlin,
-          double total_residues, std::size_t interseq_cutover)
+          double total_residues, const ScanRoute &route)
 {
     ShardScan out;
     TopKHeap heap(top_k);
     const double m = static_cast<double>(query.query().length());
+    const std::vector<std::uint64_t> &offsets = db.packedOffsets();
+
+    // Indexed BLAST route: the engine probed the seed index once
+    // for this request; align only the candidates that fall in
+    // this shard. The candidate set provably contains every
+    // sequence blastScan would score above 0 (see
+    // index/seed_index.hh), so the heap sees exactly the hits a
+    // full scan would feed it and the ranked list is bit-identical.
+    const bool indexed = route.indexCandidates != nullptr;
+    if (indexed) {
+        const std::vector<std::uint32_t> &cand =
+            *route.indexCandidates;
+        const auto lo = std::lower_bound(
+            cand.begin(), cand.end(),
+            static_cast<std::uint32_t>(shard.begin));
+        const auto hi = std::lower_bound(
+            lo, cand.end(),
+            static_cast<std::uint32_t>(shard.end));
+        out.prefilterSkipped = lo == hi;
+        for (auto it = lo; it != hi; ++it) {
+            const std::size_t idx = *it;
+            const align::LocalScore ls =
+                query.scan(db[idx], &out.cells, &out.native);
+            ++out.sequences;
+            out.residues += offsets[idx + 1] - offsets[idx];
+            if (ls.score <= 0)
+                continue;
+            align::SearchHit hit;
+            hit.dbIndex = idx;
+            hit.score = ls.score;
+            hit.queryEnd = ls.queryEnd;
+            hit.subjectEnd = ls.subjectEnd;
+            heap.consider(hit);
+        }
+    }
 
     // Native Smith-Waterman scans walk the database's packed
     // residue arena (one contiguous stream per shard); the model
     // kernels and the heuristics keep taking the Sequence path.
-    const bool packed = query.usesNativeScan();
-    const std::vector<std::uint64_t> &offsets = db.packedOffsets();
+    const bool packed = !indexed && query.usesNativeScan();
+    if (!indexed)
+        out.residues = shard.residues;
 
     if (packed) {
         // Kernel choice per subject: lengths under the cutover go
@@ -71,7 +109,7 @@ scanShard(const PreparedQuery &query,
             const std::size_t slot = idx - shard.begin;
             const std::size_t len = static_cast<std::size_t>(
                 offsets[idx + 1] - offsets[idx]);
-            if (len > 0 && len < interseq_cutover) {
+            if (len > 0 && len < route.interseqCutover) {
                 batch.push_back(align::SubjectSpan{
                     arena + offsets[idx], len});
                 batch_slot.push_back(
@@ -118,8 +156,8 @@ scanShard(const PreparedQuery &query,
         }
     }
 
-    for (std::size_t idx = shard.begin; !packed && idx < shard.end;
-         ++idx) {
+    for (std::size_t idx = shard.begin;
+         !packed && !indexed && idx < shard.end; ++idx) {
         const align::LocalScore ls =
             query.scan(db[idx], &out.cells, &out.native);
         ++out.sequences;

@@ -23,6 +23,7 @@
 #include "align/karlin.hh"
 #include "bio/database.hh"
 #include "hit_list.hh"
+#include "index/seed_index.hh"
 #include "request.hh"
 
 namespace bioarch::serve
@@ -64,6 +65,29 @@ class ShardedDatabase
     std::vector<Shard> _shards;
 };
 
+/**
+ * How scanShard routes its work: the kernel cutover knob plus the
+ * optional indexed BLAST route. Everything here is a throughput
+ * decision — every route produces bit-identical ranked hits (the
+ * index probe's candidate set provably contains every sequence
+ * whose score could exceed 0; see index/seed_index.hh).
+ */
+struct ScanRoute
+{
+    /** Inter-sequence/striped kernel cutover (native SW kinds). */
+    std::size_t interseqCutover = align::interSequenceCutover();
+    /**
+     * This request's whole-database seed-index candidate list
+     * (ascending db index), or nullptr for a full scan. The engine
+     * probes once per distinct request — the probe cost is
+     * independent of the shard count — and every shard task
+     * rescans only the candidates inside its [begin, end) slice.
+     * Only ever set for Blast-kind requests that passed the
+     * selectivity gate (EngineConfig::indexMaxSelectivity).
+     */
+    const std::vector<std::uint32_t> *indexCandidates = nullptr;
+};
+
 /** What one (request, shard) scan task produces. */
 struct ShardScan
 {
@@ -71,6 +95,20 @@ struct ShardScan
     std::vector<align::SearchHit> hits;
     std::uint64_t cells = 0;
     std::uint64_t sequences = 0;
+    /**
+     * Residues actually aligned against: the shard's residue total
+     * on a full scan, the candidates' total on the indexed route
+     * (the measured numerator of the <= 20% acceptance gate).
+     */
+    std::uint64_t residues = 0;
+    /**
+     * True when the index probe found no candidates, so the shard
+     * contributed nothing without any alignment work. Reported
+     * into serve_shards_skipped_total but NOT into
+     * Response::shardsSkipped — the response is complete, unlike a
+     * deadline skip.
+     */
+    bool prefilterSkipped = false;
     /**
      * Hits whose Karlin statistics (bit score / E-value) were
      * filled lazily — i.e. heap survivors; everything below the
@@ -96,20 +134,19 @@ struct ShardScan
  * the library's *Search drivers.
  *
  * On the native (packed-arena) path, subjects shorter than
- * @p interseq_cutover are scanned in batch by the inter-sequence
+ * route.interseqCutover are scanned in batch by the inter-sequence
  * kernel and the rest by the striped kernel; batches too small to
- * keep the lanes busy fall back to striped (occupancy floor). All
- * routes produce bit-identical hits, so the cutover is purely a
- * throughput knob (EngineConfig::interseqCutover; 0 keeps
- * everything striped).
+ * keep the lanes busy fall back to striped (occupancy floor).
+ * When route.indexCandidates is set, only the candidates inside
+ * the shard are rescored. All routes produce bit-identical hits,
+ * so the route is purely a throughput knob.
  */
 ShardScan scanShard(const PreparedQuery &query,
                     const bio::SequenceDatabase &db,
                     const Shard &shard, std::size_t top_k,
                     const align::KarlinParams &karlin,
                     double total_residues,
-                    std::size_t interseq_cutover =
-                        align::interSequenceCutover());
+                    const ScanRoute &route = {});
 
 } // namespace bioarch::serve
 

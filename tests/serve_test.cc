@@ -418,11 +418,15 @@ TEST(ServeDeterminism, ShardScanOrderInvariantUnderBatching)
     whole.begin = 0;
     whole.end = testDb().size();
 
+    serve::ScanRoute ref_route;
+    ref_route.interseqCutover = 0;
     const serve::ShardScan ref = serve::scanShard(
-        prepared, testDb(), whole, 16, ka, total, 0);
+        prepared, testDb(), whole, 16, ka, total, ref_route);
     for (const std::size_t cutover : {7u, 40u, 1u << 20}) {
+        serve::ScanRoute route;
+        route.interseqCutover = cutover;
         const serve::ShardScan got = serve::scanShard(
-            prepared, testDb(), whole, 16, ka, total, cutover);
+            prepared, testDb(), whole, 16, ka, total, route);
         ASSERT_EQ(got.hits.size(), ref.hits.size())
             << "cutover=" << cutover;
         for (std::size_t h = 0; h < got.hits.size(); ++h) {

@@ -37,9 +37,12 @@
 #include "bio/synthetic.hh"
 #include "core/percentile.hh"
 #include "core/report.hh"
+#include "index/epoch.hh"
+#include "index/seed_index.hh"
 #include "obs/snapshot.hh"
 #include "serve/engine.hh"
 #include "serve/loop.hh"
+#include "serve/reload.hh"
 
 using namespace bioarch;
 
@@ -77,6 +80,25 @@ usage(std::ostream &out)
            "\n"
            "working set:\n"
            "  --db-seqs N       database sequences (default 200)\n"
+           "  --zipf            Zipf (power-law) background\n"
+           "                    lengths instead of the\n"
+           "                    SwissProt-like bell\n"
+           "\n"
+           "indexed serving:\n"
+           "  --index           build a seed index over the\n"
+           "                    database and route blast-kind\n"
+           "                    requests through probe ->\n"
+           "                    candidate rescore\n"
+           "  --blast-t T       BLAST neighborhood threshold\n"
+           "                    (default 11; the indexed tier's\n"
+           "                    reference configuration is 16 —\n"
+           "                    lower values mark most of the\n"
+           "                    synthetic database as candidates\n"
+           "                    and the probe falls back to full\n"
+           "                    scans)\n"
+           "  --hot-reload      (open loop) swap in a fresh\n"
+           "                    database epoch halfway through the\n"
+           "                    arrivals, while serving\n"
            "\n"
            "open loop (online serving):\n"
            "  --qps Q           offered load (requests/sec);\n"
@@ -113,8 +135,8 @@ parseWorkload(const std::string &name)
 
 /** Refresh pool mirrors, then dump the requested snapshot files. */
 void
-writeMetricsFiles(serve::Engine &engine, const std::string &json,
-                  const std::string &prom)
+writeMetricsFiles(serve::BatchServer &engine,
+                  const std::string &json, const std::string &prom)
 {
     engine.refreshPoolMetrics();
     if (!json.empty()) {
@@ -155,7 +177,8 @@ runOpenLoop(const bio::SequenceDatabase &db,
             const serve::StreamSpec &stream_spec, double qps,
             double duration_s, double deadline_ms,
             std::size_t queue_cap, const std::string &metrics_out,
-            const std::string &metrics_prom)
+            const std::string &metrics_prom, bool use_index,
+            bool hot_reload, int db_seqs, bool zipf)
 {
     const std::vector<double> arrivals =
         arrivalSchedule(qps, duration_s, stream_spec.seed);
@@ -164,7 +187,12 @@ runOpenLoop(const bio::SequenceDatabase &db,
     const std::vector<serve::Request> requests =
         serve::makeRequestStream(spec, bio::makeQuerySet());
 
-    serve::Engine engine(db, cfg);
+    // The open loop always fronts a ReloadableEngine: with
+    // --hot-reload a second epoch slides in mid-run while the loop
+    // keeps dispatching; without it the engine simply never
+    // reloads.
+    serve::ReloadableEngine engine(
+        index::makeEpoch(db, use_index, 1), cfg);
     serve::LoopConfig lcfg;
     lcfg.queueCapacity = queue_cap;
     serve::ServeLoop loop(engine, lcfg);
@@ -185,8 +213,18 @@ runOpenLoop(const bio::SequenceDatabase &db,
         const serve::Priority priority =
             static_cast<serve::Priority>(i % 3);
         (void)loop.submit(requests[i], priority, deadline);
-        if (!metrics_out.empty() && i + 1 == arrivals.size() / 2)
-            writeMetricsFiles(engine, metrics_out + ".mid", "");
+        if (i + 1 == arrivals.size() / 2) {
+            if (!metrics_out.empty())
+                writeMetricsFiles(engine, metrics_out + ".mid",
+                                  "");
+            if (hot_reload)
+                engine.reload(index::makeEpoch(
+                    zipf ? bio::makeZipfDatabase(
+                               db_seqs, 0xDBDBDBDC)
+                         : bio::makeDefaultDatabase(
+                               db_seqs, 0xDBDBDBDC),
+                    use_index, 2));
+        }
     }
     loop.drain();
     writeMetricsFiles(engine, metrics_out, metrics_prom);
@@ -233,7 +271,18 @@ runOpenLoop(const bio::SequenceDatabase &db,
            << ",\"shed_total\":"
            << shed_queue_full + shed_deadline + shed_shutdown
            << ",\"deadline_expired\":" << deadline_expired
-           << ",\"dropped\":" << dropped << ",\"p50_ms\":"
+           << ",\"dropped\":" << dropped
+           << ",\"index\":" << (use_index ? "true" : "false")
+           << ",\"hot_reload\":"
+           << (hot_reload ? "true" : "false")
+           << ",\"db_epoch\":" << m.gaugeValue("db_epoch")
+           << ",\"index_probes\":"
+           << counter("index_probe_total")
+           << ",\"index_candidates\":"
+           << counter("index_candidates_total")
+           << ",\"index_fallbacks\":"
+           << counter("index_fallback_scan_total")
+           << ",\"p50_ms\":"
            << core::percentile(latencies, 50.0) / 1000.0
            << ",\"p99_ms\":"
            << core::percentile(latencies, 99.0) / 1000.0
@@ -263,6 +312,9 @@ main(int argc, char **argv)
     serve::EngineConfig cfg;
     int db_seqs = 200;
     bool csv = false;
+    bool zipf = false;
+    bool use_index = false;
+    bool hot_reload = false;
     double qps = 0.0;
     double duration_s = 2.0;
     double deadline_ms = 0.0;
@@ -319,6 +371,14 @@ main(int argc, char **argv)
             cfg.backend = *b;
         } else if (arg == "--db-seqs") {
             db_seqs = positive(value());
+        } else if (arg == "--zipf") {
+            zipf = true;
+        } else if (arg == "--index") {
+            use_index = true;
+        } else if (arg == "--blast-t") {
+            cfg.blast.neighborThreshold = positive(value());
+        } else if (arg == "--hot-reload") {
+            hot_reload = true;
         } else if (arg == "--qps") {
             qps = std::atof(value().c_str());
             if (qps <= 0.0) {
@@ -352,18 +412,29 @@ main(int argc, char **argv)
         }
     }
 
-    const bio::SequenceDatabase db =
-        bio::makeDefaultDatabase(db_seqs);
+    const bio::SequenceDatabase db = zipf
+        ? bio::makeZipfDatabase(db_seqs)
+        : bio::makeDefaultDatabase(db_seqs);
 
     if (qps > 0.0)
         return runOpenLoop(db, cfg, stream, qps, duration_s,
                            deadline_ms, queue_cap, metrics_out,
-                           metrics_prom);
+                           metrics_prom, use_index, hot_reload,
+                           db_seqs, zipf);
+    if (hot_reload) {
+        std::cerr << "--hot-reload needs the open loop (--qps)\n";
+        return 2;
+    }
 
     const std::vector<bio::Sequence> pool = bio::makeQuerySet();
     const std::vector<serve::Request> requests =
         serve::makeRequestStream(stream, pool);
 
+    index::SeedIndex seed_index;
+    if (use_index) {
+        seed_index = index::SeedIndex::build(db);
+        cfg.seedIndex = &seed_index;
+    }
     serve::Engine engine(db, cfg);
     const serve::StreamReport report =
         engine.serveStream(requests);
