@@ -13,11 +13,20 @@
  * so the footer tracks the end-to-end win of the kernel swap
  * (GCUPS and wall-time speedup) alongside absolute throughput.
  *
+ * Fleet segments (PR 8) ride the same stream: a replicas {1,2}
+ * A/B through the ReplicaRouter (hits must stay bit-identical to
+ * the serial engine), a cache cold/hot A/B (pass 2 answered
+ * entirely from the sharded LRU, cache_hit_p99_us in the footer),
+ * and a three-tenant overload run on a ManualClock whose
+ * per-tenant counters must satisfy served + shed +
+ * deadline_expired + dropped == offered.
+ *
  * Knobs: BIOARCH_JOBS (worker threads), BIOARCH_DB_SEQS (database
  * size, default 200 here), BIOARCH_SIMD_BACKEND (native backend
  * selection).
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 
@@ -26,9 +35,11 @@
 #include "index/epoch.hh"
 #include "index/seed_index.hh"
 #include "obs/metrics.hh"
+#include "serve/clock.hh"
 #include "serve/engine.hh"
 #include "serve/loop.hh"
 #include "serve/reload.hh"
+#include "serve/router.hh"
 
 using namespace bioarch;
 
@@ -209,6 +220,148 @@ main()
                   << r_offered << ", settled " << r_settled
                   << ", epoch " << rengine.epochNumber() << ")\n";
 
+    // Fleet segments (PR 8). All three reuse the main stream and
+    // database.
+    //
+    // (a) Replica A/B: the same stream through a 1-replica and a
+    // 2-replica router, caches off. The ranked hits must be
+    // bit-identical (the router only changes *where* a scan runs);
+    // the wall-time ratio tracks scatter-gather overhead — note
+    // that on a single-core runner 2 replicas cannot beat 1.
+    const auto wall_ms_of = [](const auto &fn) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    const auto same_hits = [](const std::vector<serve::Response> &a,
+                              const std::vector<serve::Response> &b) {
+        if (a.size() != b.size())
+            return false;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (a[i].hits.size() != b[i].hits.size())
+                return false;
+            for (std::size_t h = 0; h < a[i].hits.size(); ++h) {
+                const align::SearchHit &x = a[i].hits[h];
+                const align::SearchHit &y = b[i].hits[h];
+                if (x.dbIndex != y.dbIndex || x.score != y.score
+                    || x.bitScore != y.bitScore
+                    || x.evalue != y.evalue)
+                    return false;
+            }
+        }
+        return true;
+    };
+
+    serve::RouterConfig r1cfg;
+    r1cfg.replicas = 1;
+    r1cfg.engine = cfg;
+    serve::RouterConfig r2cfg = r1cfg;
+    r2cfg.replicas = 2;
+    serve::ReplicaRouter router1(index::makeEpoch(db, false, 1),
+                                 r1cfg);
+    serve::ReplicaRouter router2(index::makeEpoch(db, false, 1),
+                                 r2cfg);
+    double replicas1_ms = std::numeric_limits<double>::infinity();
+    double replicas2_ms = std::numeric_limits<double>::infinity();
+    std::vector<serve::Response> r1_out;
+    std::vector<serve::Response> r2_out;
+    for (int r = 0; r < rounds; ++r) {
+        replicas1_ms = std::min(replicas1_ms, wall_ms_of([&] {
+            r1_out = router1.serveBatch(requests, {});
+        }));
+        replicas2_ms = std::min(replicas2_ms, wall_ms_of([&] {
+            r2_out = router2.serveBatch(requests, {});
+        }));
+    }
+    bool fleet_identity_ok = same_hits(r1_out, r2_out)
+        && same_hits(r1_out, report.responses);
+
+    // (b) Cache cold/hot A/B: one cached router, same stream
+    // twice. Pass 2 is answered entirely from the sharded LRU and
+    // must be bit-identical to the cold pass.
+    serve::RouterConfig ccfg = r1cfg;
+    ccfg.cache.capacityBytes = 16u << 20;
+    serve::ReplicaRouter crouter(index::makeEpoch(db, false, 1),
+                                 ccfg);
+    std::vector<serve::Response> cold_out;
+    std::vector<serve::Response> hot_out;
+    const double cache_cold_ms = wall_ms_of(
+        [&] { cold_out = crouter.serveBatch(requests, {}); });
+    const double cache_hot_ms = wall_ms_of(
+        [&] { hot_out = crouter.serveBatch(requests, {}); });
+    obs::Registry &cm = crouter.metrics();
+    const std::uint64_t cache_hits =
+        cm.counterValue("serve_cache_hits_total");
+    const double cache_hit_p99_us =
+        cm.histogram("serve_cache_hit_us").summary().p99;
+    const double cache_speedup = cache_hot_ms <= 0.0
+        ? 0.0
+        : cache_cold_ms / cache_hot_ms;
+    std::size_t hot_from_cache = 0;
+    for (const serve::Response &r : hot_out)
+        if (r.fromCache)
+            ++hot_from_cache;
+    fleet_identity_ok = fleet_identity_ok
+        && same_hits(cold_out, r1_out) && same_hits(hot_out, cold_out)
+        && hot_from_cache == hot_out.size()
+        && cache_hits >= hot_out.size();
+    if (!fleet_identity_ok)
+        std::cerr << "FAIL: fleet identity (replica/cache hits "
+                     "diverge from the serial engine)\n";
+
+    // (c) Multi-tenant identity under overload: three tenants on a
+    // ManualClock, tenant 0 offering 4x its quota. Every offered
+    // request must settle in exactly one per-tenant terminal
+    // state.
+    serve::ManualClock tclock;
+    serve::LoopConfig tcfg;
+    tcfg.queueCapacity = 24;
+    tcfg.batch = 8;
+    tcfg.tenants = {{0, 50.0, 4.0, 3.0},
+                    {1, 200.0, 8.0, 1.0},
+                    {2, 200.0, 8.0, 1.0}};
+    // Fresh engine: the open-loop segment above already billed the
+    // default tenant 0 in `engine`'s registry.
+    serve::Engine tenant_engine(db, cfg);
+    serve::ServeLoop tloop(tenant_engine, tcfg, &tclock);
+    std::uint64_t offered_per_tenant[3] = {0, 0, 0};
+    for (std::uint64_t i = 0; i < 96; ++i) {
+        tclock.set(static_cast<double>(i) * 2500.0); // 400 qps
+        serve::Request r = requests[i % requests.size()];
+        // Tenant 0 offers 2 of every 4 arrivals = 200 qps against
+        // a 50 qps quota; tenants 1-2 stay inside theirs.
+        const std::uint32_t tenant = i % 4 < 2 ? 0 : i % 4 - 1;
+        r.tenant = tenant;
+        ++offered_per_tenant[tenant];
+        (void)tloop.submit(r);
+        if (i % 8 == 7)
+            tloop.pumpOne();
+    }
+    tloop.stop();
+    bool tenant_identity_ok = true;
+    const obs::Registry &tm = tenant_engine.metrics();
+    for (std::uint32_t tenant = 0; tenant < 3; ++tenant) {
+        const std::string label =
+            "tenant=\"" + std::to_string(tenant) + "\"";
+        const std::uint64_t offered = tm.counterValue(
+            "serve_tenant_offered_total", label);
+        const std::uint64_t settled =
+            tm.counterValue("serve_tenant_served_total", label)
+            + tm.counterValue("serve_tenant_shed_total", label)
+            + tm.counterValue("serve_tenant_deadline_expired_total",
+                              label)
+            + tm.counterValue("serve_tenant_dropped_total", label);
+        if (offered != offered_per_tenant[tenant]
+            || settled != offered) {
+            tenant_identity_ok = false;
+            std::cerr << "FAIL: tenant " << tenant
+                      << " identity (offered " << offered
+                      << ", settled " << settled << ")\n";
+        }
+    }
+
     core::Table t({"metric", "value"});
     t.row().add("requests").add(
         static_cast<std::uint64_t>(report.responses.size()));
@@ -233,6 +386,15 @@ main()
         indexed_residue_fraction, 3);
     t.row().add("hot reload ok").add(
         std::string(hot_reload_ok ? "yes" : "NO"));
+    t.row().add("replicas=1 wall ms").add(replicas1_ms, 2);
+    t.row().add("replicas=2 wall ms").add(replicas2_ms, 2);
+    t.row().add("cache cold ms").add(cache_cold_ms, 2);
+    t.row().add("cache hot ms").add(cache_hot_ms, 2);
+    t.row().add("cache hit p99 us").add(cache_hit_p99_us, 3);
+    t.row().add("fleet identity ok").add(
+        std::string(fleet_identity_ok ? "yes" : "NO"));
+    t.row().add("tenant identity ok").add(
+        std::string(tenant_identity_ok ? "yes" : "NO"));
     t.print(std::cout);
 
     std::vector<double> point_ms;
@@ -269,7 +431,19 @@ main()
          {"indexed_speedup", std::to_string(indexed_speedup)},
          {"indexed_residue_fraction",
           std::to_string(indexed_residue_fraction)},
-         {"hot_reload_ok", hot_reload_ok ? "true" : "false"}},
+         {"hot_reload_ok", hot_reload_ok ? "true" : "false"},
+         {"replicas1_ms", std::to_string(replicas1_ms)},
+         {"replicas2_ms", std::to_string(replicas2_ms)},
+         {"cache_cold_ms", std::to_string(cache_cold_ms)},
+         {"cache_hot_ms", std::to_string(cache_hot_ms)},
+         {"cache_hit_p99_us", std::to_string(cache_hit_p99_us)},
+         {"cache_speedup", std::to_string(cache_speedup)},
+         {"fleet_identity_ok",
+          fleet_identity_ok ? "true" : "false"},
+         {"tenant_identity_ok",
+          tenant_identity_ok ? "true" : "false"}},
         point_ms);
-    return hot_reload_ok ? 0 : 1;
+    return hot_reload_ok && fleet_identity_ok && tenant_identity_ok
+        ? 0
+        : 1;
 }

@@ -3,8 +3,10 @@
 # sensitive tests (the sweep engine / thread pool, the traced
 # kernels the sweep replays concurrently, the query-serving
 # engine's batched fan-out, the online serving loop, the indexed
-# serving route with its hot-reload epoch swaps, and the metrics
-# registry). Keeps the pool, loop, and registry race-free.
+# serving route with its hot-reload epoch swaps, the replica
+# router's scatter-gather threads and sharded result cache, and
+# the metrics registry). Keeps the pool, loop, cache, and registry
+# race-free.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -13,7 +15,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." -DBIOARCH_TSAN=ON
 cmake --build "$BUILD_DIR" -j --target sweep_test kernels_test \
-    serve_test obs_test index_test
+    serve_test obs_test index_test router_test
 ctest --test-dir "$BUILD_DIR" \
-    -L 'sweep_test|kernels_test|serve_test|obs_test|index_test' \
+    -L 'sweep_test|kernels_test|serve_test|obs_test|index_test|router_test' \
     --output-on-failure -j

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The repo's one FNV-1a 64 implementation. Three subsystems grew
+ * their own copies of the same hash — the container format's
+ * payload checksum (index/container.cc), the simulator's golden
+ * fingerprint (sim/pipeline.cc), and the metrics registry's shard
+ * choice (obs/metrics.cc) — and the serving tier's result cache
+ * needs a fourth for its query digest. This header is the single
+ * definition they all share.
+ *
+ * Two forms:
+ *  - fnv1a64(data, bytes, seed): one-shot hash over a byte range;
+ *  - Fnv1a: incremental hasher with update(bytes) and update64(v),
+ *    where update64 mixes the eight little-endian bytes of v —
+ *    byte-for-byte what hashing the value's LE memory image does,
+ *    expressed with shifts so the digest is endian-independent.
+ *
+ * Both use the standard 64-bit FNV offset basis and prime, so every
+ * digest produced before the extraction — container checksums on
+ * disk, pinned golden fingerprints — is unchanged.
+ */
+
+#ifndef BIOARCH_CORE_DIGEST_HH
+#define BIOARCH_CORE_DIGEST_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bioarch::core
+{
+
+inline constexpr std::uint64_t fnvOffsetBasis =
+    0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t fnvPrime = 0x100000001b3ULL;
+
+/** Incremental FNV-1a 64. */
+class Fnv1a
+{
+  public:
+    explicit Fnv1a(std::uint64_t seed = fnvOffsetBasis) : _h(seed)
+    {
+    }
+
+    void
+    update(const void *data, std::size_t bytes)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < bytes; ++i) {
+            _h ^= p[i];
+            _h *= fnvPrime;
+        }
+    }
+
+    /** Mix the eight little-endian bytes of @p v. */
+    void
+    update64(std::uint64_t v)
+    {
+        for (int byte = 0; byte < 8; ++byte) {
+            _h ^= (v >> (byte * 8)) & 0xff;
+            _h *= fnvPrime;
+        }
+    }
+
+    std::uint64_t digest() const { return _h; }
+
+  private:
+    std::uint64_t _h;
+};
+
+/** One-shot FNV-1a 64 over @p bytes bytes of @p data. */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t bytes,
+        std::uint64_t seed = fnvOffsetBasis)
+{
+    Fnv1a h(seed);
+    h.update(data, bytes);
+    return h.digest();
+}
+
+} // namespace bioarch::core
+
+#endif // BIOARCH_CORE_DIGEST_HH

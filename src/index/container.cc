@@ -1,5 +1,7 @@
 #include "container.hh"
 
+#include "core/digest.hh"
+
 #include <bit>
 #include <cstring>
 #include <fstream>
@@ -71,13 +73,10 @@ buildStringTable(std::size_t n, GetString get,
 std::uint64_t
 fnv1a64(const void *data, std::size_t bytes, std::uint64_t seed)
 {
-    const auto *p = static_cast<const unsigned char *>(data);
-    std::uint64_t h = seed;
-    for (std::size_t i = 0; i < bytes; ++i) {
-        h ^= p[i];
-        h *= 0x100000001b3ULL;
-    }
-    return h;
+    // The container's checksum primitive is the shared FNV-1a
+    // (core/digest.hh); the wrapper stays so the on-disk format's
+    // header keeps documenting its own hash.
+    return core::fnv1a64(data, bytes, seed);
 }
 
 void

@@ -40,6 +40,7 @@
 #include <string_view>
 
 #include "bio/database.hh"
+#include "core/digest.hh"
 #include "seed_index.hh"
 
 namespace bioarch::index
@@ -91,7 +92,7 @@ struct FileHeader
 
 /** FNV-1a 64 (the container's checksum primitive). */
 std::uint64_t fnv1a64(const void *data, std::size_t bytes,
-                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+                      std::uint64_t seed = core::fnvOffsetBasis);
 
 /**
  * Serialize @p db (and @p index, when non-null) to @p path.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/digest.hh"
 #include "core/percentile.hh"
 
 namespace bioarch::obs
@@ -133,16 +134,12 @@ entryKey(std::string_view name, std::string_view labels)
     return key;
 }
 
-/** FNV-1a; cheap, stable shard choice. */
+/** FNV-1a (core/digest.hh); cheap, stable shard choice. */
 std::size_t
 hashName(std::string_view name)
 {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const char c : name) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ULL;
-    }
-    return static_cast<std::size_t>(h);
+    return static_cast<std::size_t>(
+        core::fnv1a64(name.data(), name.size()));
 }
 
 } // namespace

@@ -1,6 +1,7 @@
 #include "loop.hh"
 
 #include <algorithm>
+#include <string>
 
 namespace bioarch::serve
 {
@@ -56,6 +57,7 @@ ServeLoop::ServeLoop(BatchServer &engine, LoopConfig config,
     _mServed = &m.counter("loop_served_total");
     _mShedQueueFull = &m.counter("loop_shed_queue_full_total");
     _mShedDeadline = &m.counter("loop_shed_deadline_total");
+    _mShedQuota = &m.counter("loop_shed_quota_total");
     _mShedShutdown = &m.counter("loop_shed_shutdown_total");
     _mDeadlineExpired = &m.counter("loop_deadline_expired_total");
     _mDropped = &m.counter("loop_dropped_total");
@@ -78,8 +80,38 @@ ServeLoop::estimatedWaitUsLocked(Priority priority) const
     std::size_t ahead = _inFlight;
     for (std::size_t c = 0;
          c <= static_cast<std::size_t>(priority); ++c)
-        ahead += _classes[c].size();
+        ahead += _classDepth[c];
     return _ewmaServiceUs * static_cast<double>(ahead);
+}
+
+ServeLoop::TenantState &
+ServeLoop::tenantLocked(std::uint32_t tenant, double now)
+{
+    const auto found = _tenants.find(tenant);
+    if (found != _tenants.end())
+        return found->second;
+    TenantState &t = _tenants[tenant];
+    for (const TenantQuota &quota : _cfg.tenants) {
+        if (quota.tenant != tenant)
+            continue;
+        t.rateQps = quota.rateQps;
+        t.burst = std::max(quota.burst, 1.0);
+        t.weight = std::max(quota.weight, 0.01);
+        break;
+    }
+    t.tokens = t.burst; // a fresh tenant may burst immediately
+    t.lastRefillUs = now;
+    obs::Registry &m = _engine->metrics();
+    const std::string label =
+        "tenant=\"" + std::to_string(tenant) + "\"";
+    t.mOffered = &m.counter("serve_tenant_offered_total", label);
+    t.mAdmitted = &m.counter("serve_tenant_admitted_total", label);
+    t.mServed = &m.counter("serve_tenant_served_total", label);
+    t.mShed = &m.counter("serve_tenant_shed_total", label);
+    t.mDeadlineExpired =
+        &m.counter("serve_tenant_deadline_expired_total", label);
+    t.mDropped = &m.counter("serve_tenant_dropped_total", label);
+    return t;
 }
 
 Submission
@@ -90,6 +122,9 @@ ServeLoop::submit(Request request, Priority priority,
     std::lock_guard lock(_mutex);
     _mOffered->inc();
     const double now = _clock->nowUs();
+    const std::uint32_t tenantId = request.tenant;
+    TenantState &tenant = tenantLocked(tenantId, now);
+    tenant.mOffered->inc();
     const double deadline = deadlineUs >= 0.0
         ? deadlineUs
         : (_cfg.defaultDeadlineUs > 0.0
@@ -100,11 +135,13 @@ ServeLoop::submit(Request request, Priority priority,
     LoopResult result;
     result.id = request.id;
     result.priority = priority;
+    result.tenant = tenantId;
     result.arrivalUs = now;
 
     const auto shed = [&](obs::Counter *reason,
                           double retry_after) {
         reason->inc();
+        tenant.mShed->inc();
         out.admitted = false;
         out.retryAfterUs =
             std::max(retry_after, _cfg.minRetryAfterUs);
@@ -116,6 +153,24 @@ ServeLoop::submit(Request request, Priority priority,
     if (!_admitting) {
         shed(_mShedShutdown, _cfg.minRetryAfterUs);
         return out;
+    }
+    if (tenant.rateQps > 0.0) {
+        // Lazy bucket refill on the loop clock (deterministic
+        // under a ManualClock).
+        tenant.tokens = std::min(
+            tenant.burst,
+            tenant.tokens
+                + (now - tenant.lastRefillUs) * tenant.rateQps
+                    / 1e6);
+        tenant.lastRefillUs = now;
+        if (tenant.tokens < 1.0) {
+            // The hint must cover the *bucket's* recovery, not
+            // the engine's service time: retrying any sooner is
+            // guaranteed another quota shed.
+            shed(_mShedQuota,
+                 (1.0 - tenant.tokens) / tenant.rateQps * 1e6);
+            return out;
+        }
     }
     if (_depth >= _cfg.queueCapacity) {
         // Hint: roughly the time for the backlog to drain.
@@ -133,16 +188,24 @@ ServeLoop::submit(Request request, Priority priority,
     }
 
     out.admitted = true;
+    if (tenant.rateQps > 0.0)
+        tenant.tokens -= 1.0; // charge only on admission
     _results.push_back(std::move(result));
+    const std::size_t c = static_cast<std::size_t>(priority);
     Queued q;
     q.request = std::move(request);
     q.priority = priority;
     q.ticket = out.ticket;
     q.deadlineUs = deadline;
-    _classes[static_cast<std::size_t>(priority)].push_back(
-        std::move(q));
+    tenant.queues[c].push_back(std::move(q));
+    if (!tenant.inRing[c]) {
+        _ring[c].push_back(tenantId);
+        tenant.inRing[c] = true;
+    }
     ++_depth;
+    ++_classDepth[c];
     _mAdmitted->inc();
+    tenant.mAdmitted->inc();
     _mQueueDepth->set(static_cast<double>(_depth));
     _work.notify_one();
     return out;
@@ -155,15 +218,36 @@ ServeLoop::popBatchLocked()
     const double now = _clock->nowUs();
     for (std::size_t c = 0;
          c < numPriorities && batch.size() < _cfg.batch; ++c) {
-        std::deque<Queued> &q = _classes[c];
-        while (!q.empty() && batch.size() < _cfg.batch) {
+        // Weighted deficit round-robin over the class's active
+        // tenants: the head tenant spends 1 deficit per popped
+        // request; when broke, it earns `weight` and rotates to
+        // the back. Over a backlogged window each tenant gets
+        // dispatch slots in proportion to its weight; a lone
+        // tenant degenerates to plain FIFO.
+        std::deque<std::uint32_t> &ring = _ring[c];
+        while (!ring.empty() && batch.size() < _cfg.batch) {
+            TenantState &t = _tenants.at(ring.front());
+            std::deque<Queued> &q = t.queues[c];
+            if (t.deficit[c] < 1.0) {
+                t.deficit[c] += t.weight;
+                ring.push_back(ring.front());
+                ring.pop_front();
+                continue;
+            }
+            t.deficit[c] -= 1.0;
             Queued item = std::move(q.front());
             q.pop_front();
             --_depth;
+            --_classDepth[c];
             LoopResult &r = _results[item.ticket];
             r.dispatchUs = now;
             r.dispatchOrder = _dispatchSeq++;
             batch.push_back(std::move(item));
+            if (q.empty()) {
+                t.inRing[c] = false;
+                t.deficit[c] = 0.0; // no credit hoarding while idle
+                ring.pop_front();
+            }
         }
     }
     _inFlight += batch.size();
@@ -192,6 +276,8 @@ ServeLoop::processBatch(std::vector<Queued> batch)
                 r.status = LoopStatus::Deadline;
                 r.doneUs = dispatched;
                 _mDeadlineExpired->inc();
+                _tenants.at(q.request.tenant)
+                    .mDeadlineExpired->inc();
                 --_inFlight;
                 continue;
             }
@@ -226,6 +312,8 @@ ServeLoop::processBatch(std::vector<Queued> batch)
             : 0.75 * _ewmaServiceUs + 0.25 * per_request;
         for (std::size_t i = 0; i < run.size(); ++i) {
             LoopResult &r = _results[run[i].ticket];
+            TenantState &t =
+                _tenants.at(run[i].request.tenant);
             r.doneUs = done;
             r.response = std::move(responses[i]);
             // A miss is a miss whether the engine cancelled shard
@@ -236,9 +324,11 @@ ServeLoop::processBatch(std::vector<Queued> batch)
                     && done >= run[i].deadlineUs)) {
                 r.status = LoopStatus::Deadline;
                 _mDeadlineExpired->inc();
+                t.mDeadlineExpired->inc();
             } else {
                 r.status = LoopStatus::Served;
                 _mServed->inc();
+                t.mServed->inc();
                 _mLatencyUs->record(r.latencyUs());
             }
         }
@@ -299,15 +389,23 @@ void
 ServeLoop::dropQueuedLocked()
 {
     const double now = _clock->nowUs();
-    for (std::deque<Queued> &q : _classes) {
-        for (Queued &item : q) {
-            LoopResult &r = _results[item.ticket];
-            r.status = LoopStatus::Dropped;
-            r.doneUs = now;
-            _mDropped->inc();
+    for (auto &[id, t] : _tenants) {
+        for (std::size_t c = 0; c < numPriorities; ++c) {
+            for (Queued &item : t.queues[c]) {
+                LoopResult &r = _results[item.ticket];
+                r.status = LoopStatus::Dropped;
+                r.doneUs = now;
+                _mDropped->inc();
+                t.mDropped->inc();
+            }
+            t.queues[c].clear();
+            t.deficit[c] = 0.0;
+            t.inRing[c] = false;
         }
-        q.clear();
     }
+    for (std::deque<std::uint32_t> &ring : _ring)
+        ring.clear();
+    _classDepth.fill(0);
     _depth = 0;
     _mQueueDepth->set(0.0);
 }

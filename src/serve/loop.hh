@@ -18,13 +18,30 @@
  *
  * Admission is a bounded multi-producer queue with three priority
  * classes (Interactive > Normal > Bulk); dispatch pops strictly by
- * class, FIFO within a class, and groups up to the engine batch
- * size per engine call. Deadlines are absolute timestamps on the
- * loop's Clock and are enforced twice: at dispatch (an expired
- * request never reaches the engine) and at shard-scan granularity
- * inside the engine (Engine::BatchControl), so a request that
- * expires mid-batch stops consuming scan time at the next shard
- * boundary.
+ * class and groups up to the engine batch size per engine call.
+ * Deadlines are absolute timestamps on the loop's Clock and are
+ * enforced twice: at dispatch (an expired request never reaches
+ * the engine) and at shard-scan granularity inside the engine
+ * (Engine::BatchControl), so a request that expires mid-batch
+ * stops consuming scan time at the next shard boundary.
+ *
+ * Multi-tenancy. Every request is billed to Request::tenant:
+ *  - Admission charges the tenant's token bucket (TenantQuota:
+ *    rateQps tokens/s up to burst). An empty bucket sheds with
+ *    loop_shed_quota_total and a retry-after hint equal to the
+ *    bucket's actual refill time — not the EWMA service time,
+ *    which says nothing about when the quota recovers.
+ *  - Within each priority class, dequeue is weighted deficit
+ *    round-robin across the tenants with queued work: a tenant
+ *    earns `weight` deficit per round and spends 1 per dispatched
+ *    request, so over any backlogged window tenants split the
+ *    class's dispatch slots in weight ratio and no tenant is
+ *    starved by another's offered load. FIFO within a tenant.
+ *  - Tenants not named in LoopConfig::tenants get the default
+ *    quota (unlimited rate, weight 1); with a single tenant the
+ *    schedule degenerates to exactly the old strict-priority FIFO.
+ *  - Per-tenant serve_tenant_* counters satisfy the same identity
+ *    as the global loop_* family, per tenant.
  *
  * Determinism: the loop itself never reads the wall clock — all
  * timing goes through the Clock — so under a ManualClock every
@@ -48,6 +65,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string_view>
 #include <thread>
@@ -84,6 +102,22 @@ enum class LoopStatus : std::uint8_t
 
 std::string_view loopStatusName(LoopStatus s);
 
+/**
+ * Admission quota and fair-share weight of one tenant. Tenants
+ * without an entry get the defaults below: unlimited rate,
+ * weight 1 — i.e. multi-tenancy is opt-in per tenant.
+ */
+struct TenantQuota
+{
+    std::uint32_t tenant = 0;
+    /** Sustained admissions/s; <= 0 = unlimited (no bucket). */
+    double rateQps = 0.0;
+    /** Bucket capacity: admissions that may burst at once. */
+    double burst = 1.0;
+    /** Relative WDRR share within each priority class (> 0). */
+    double weight = 1.0;
+};
+
 /** Loop tunables. */
 struct LoopConfig
 {
@@ -98,6 +132,8 @@ struct LoopConfig
     double defaultDeadlineUs = 0.0;
     /** Floor of the retry-after hint returned with a shed. */
     double minRetryAfterUs = 1000.0;
+    /** Per-tenant quotas/weights (absent tenants: defaults). */
+    std::vector<TenantQuota> tenants;
 };
 
 /** Outcome of submit(): admitted with a ticket, or shed. */
@@ -116,6 +152,7 @@ struct LoopResult
     std::uint64_t id = 0; ///< Request::id
     LoopStatus status = LoopStatus::Pending;
     Priority priority = Priority::Normal;
+    std::uint32_t tenant = 0; ///< Request::tenant
     double arrivalUs = 0.0;  ///< loop-clock submit time
     double dispatchUs = 0.0; ///< loop-clock dispatch time
     double doneUs = 0.0;     ///< loop-clock completion time
@@ -212,13 +249,37 @@ class ServeLoop
         std::uint64_t ticket = 0;
         double deadlineUs = 0.0;
     };
+    /** One tenant's bucket, per-class queues, and counters. */
+    struct TenantState
+    {
+        double rateQps = 0.0; ///< <= 0: no bucket
+        double burst = 1.0;
+        double weight = 1.0;
+        double tokens = 0.0;
+        double lastRefillUs = 0.0;
+        std::array<std::deque<Queued>, numPriorities> queues;
+        /** WDRR credit per class: earn weight, spend 1/request. */
+        std::array<double, numPriorities> deficit{};
+        /** Whether the tenant sits in _ring[c]. */
+        std::array<bool, numPriorities> inRing{};
+        obs::Counter *mOffered = nullptr;
+        obs::Counter *mAdmitted = nullptr;
+        obs::Counter *mServed = nullptr;
+        obs::Counter *mShed = nullptr;
+        obs::Counter *mDeadlineExpired = nullptr;
+        obs::Counter *mDropped = nullptr;
+    };
 
     void dispatcherLoop();
-    /** Pop up to one batch, priority-strict. Lock must be held. */
+    /** Pop up to one batch: strict priority across classes, WDRR
+     * across tenants within a class. Lock must be held. */
     std::vector<Queued> popBatchLocked();
     std::size_t processBatch(std::vector<Queued> batch);
     void dropQueuedLocked();
     double estimatedWaitUsLocked(Priority priority) const;
+    /** Find-or-create the tenant's state (registers counters and
+     * fills the bucket on first sight). Lock must be held. */
+    TenantState &tenantLocked(std::uint32_t tenant, double now);
 
     BatchServer *_engine;
     LoopConfig _cfg;
@@ -227,7 +288,11 @@ class ServeLoop
 
     mutable std::mutex _mutex;
     std::condition_variable _work;
-    std::array<std::deque<Queued>, numPriorities> _classes;
+    /** Tenant states; ordered so drops walk a stable order. */
+    std::map<std::uint32_t, TenantState> _tenants;
+    /** Per class: tenants with queued work, activation order. */
+    std::array<std::deque<std::uint32_t>, numPriorities> _ring;
+    std::array<std::size_t, numPriorities> _classDepth{};
     std::size_t _depth = 0;
     /** Requests dispatched but not yet completed. */
     std::size_t _inFlight = 0;
@@ -247,6 +312,7 @@ class ServeLoop
     obs::Counter *_mServed;
     obs::Counter *_mShedQueueFull;
     obs::Counter *_mShedDeadline;
+    obs::Counter *_mShedQuota;
     obs::Counter *_mShedShutdown;
     obs::Counter *_mDeadlineExpired;
     obs::Counter *_mDropped;

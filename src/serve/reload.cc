@@ -83,9 +83,19 @@ std::vector<Response>
 ReloadableEngine::serveBatch(const std::vector<Request> &requests,
                              const BatchControl &control)
 {
+    return serveBatchPinned(requests, control, nullptr);
+}
+
+std::vector<Response>
+ReloadableEngine::serveBatchPinned(
+    const std::vector<Request> &requests,
+    const BatchControl &control, std::uint64_t *epochOut)
+{
     // Pin the epoch for the whole batch: a reload landing mid-batch
     // swaps the *next* batch's database, never this one's.
     const std::shared_ptr<const Bound> bound = current();
+    if (epochOut != nullptr)
+        *epochOut = bound->epoch->epoch;
     return bound->engine->serveBatch(requests, control);
 }
 

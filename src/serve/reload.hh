@@ -65,6 +65,18 @@ class ReloadableEngine final : public BatchServer
     serveBatch(const std::vector<Request> &requests,
                const BatchControl &control) override;
 
+    /**
+     * serveBatch that additionally reports, via @p epochOut (may
+     * be null), the epoch number the batch actually ran against.
+     * The ReplicaRouter needs this so result-cache inserts are
+     * keyed by the epoch that produced the hits, not the epoch
+     * that happened to be published when the insert ran.
+     */
+    std::vector<Response>
+    serveBatchPinned(const std::vector<Request> &requests,
+                     const BatchControl &control,
+                     std::uint64_t *epochOut);
+
     obs::Registry &metrics() override { return *_metrics; }
     std::size_t defaultBatch() const override;
     void refreshPoolMetrics() override;

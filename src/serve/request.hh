@@ -40,6 +40,14 @@ struct Request
     bio::Sequence query;
     /** Hits wanted; 0 falls back to the engine's configured top-K. */
     std::size_t topK = 0;
+    /**
+     * Tenant the request is billed to. Admission charges this
+     * tenant's token bucket and dequeue is weighted-fair across
+     * tenants (serve/loop.hh); tenants absent from the loop's
+     * quota table get the default (unlimited) quota, so
+     * single-tenant callers can ignore the field entirely.
+     */
+    std::uint32_t tenant = 0;
 };
 
 /** Ranked answer to one Request. */
@@ -71,6 +79,14 @@ struct Response
      * with a Deadline status.
      */
     std::uint64_t shardsSkipped = 0;
+    /**
+     * True when the ranked hits came out of the ReplicaRouter's
+     * result cache instead of a database scan. The hits are
+     * bit-identical either way (the cache stores full scan
+     * results, keyed by epoch); the flag only explains the
+     * microsecond-scale serviceUs.
+     */
+    bool fromCache = false;
 
     /** True when at least one shard scan was deadline-cancelled. */
     bool deadlineExpired() const { return shardsSkipped > 0; }

@@ -4,6 +4,7 @@
 #include <bit>
 #include <type_traits>
 
+#include "core/digest.hh"
 #include "ring_buffer.hh"
 
 namespace bioarch::sim
@@ -24,13 +25,11 @@ SimStats::meanOccupancy(const std::vector<std::uint64_t> &h)
 std::uint64_t
 SimStats::fingerprint() const
 {
-    std::uint64_t h = 14695981039346656037ull; // FNV offset basis
-    const auto mix = [&h](std::uint64_t v) {
-        for (int byte = 0; byte < 8; ++byte) {
-            h ^= (v >> (byte * 8)) & 0xff;
-            h *= 1099511628211ull; // FNV prime
-        }
-    };
+    // Shared FNV-1a (core/digest.hh); same offset basis, prime,
+    // and little-endian u64 mixing as the hand-rolled original, so
+    // every pinned golden fingerprint is unchanged.
+    core::Fnv1a fnv;
+    const auto mix = [&fnv](std::uint64_t v) { fnv.update64(v); };
     const auto mixHist = [&mix](const std::vector<std::uint64_t> &v) {
         mix(v.size());
         for (std::uint64_t x : v)
@@ -55,7 +54,7 @@ SimStats::fingerprint() const
         mixHist(q);
     mixHist(inflightOccupancy);
     mixHist(retireQueueOccupancy);
-    return h;
+    return fnv.digest();
 }
 
 namespace

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Tests for the scatter-gather serving fleet (serve/router.hh,
+ * serve/cache.hh) and the multi-tenant admission layer
+ * (serve/loop.hh tenants).
+ *
+ * The load-bearing contract extends serve_test.cc's: the ranked
+ * top-K hit list of every request is bit-for-bit identical to a
+ * serial single-engine scan across the full replicas {1,2,4} x
+ * cache {on,off} x jobs {1,2,8} matrix — the fleet layers
+ * (replica dispatch, result cache, WDRR) decide *when and where* a
+ * scan runs or whether it runs at all, never *what* it computes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bio/synthetic.hh"
+#include "index/epoch.hh"
+#include "obs/metrics.hh"
+#include "serve/cache.hh"
+#include "serve/clock.hh"
+#include "serve/engine.hh"
+#include "serve/hit_list.hh"
+#include "serve/loop.hh"
+#include "serve/router.hh"
+
+namespace
+{
+
+using namespace bioarch;
+
+const bio::SequenceDatabase &
+testDb()
+{
+    static const bio::SequenceDatabase db =
+        bio::makeDefaultDatabase(48);
+    return db;
+}
+
+const std::vector<bio::Sequence> &
+queryPool()
+{
+    static const std::vector<bio::Sequence> pool =
+        bio::makeQuerySet();
+    return pool;
+}
+
+/** Serial whole-database scan: the hit list everything must match. */
+std::vector<align::SearchHit>
+serialReference(const serve::Request &request,
+                const bio::SequenceDatabase &db,
+                const serve::EngineConfig &cfg, std::size_t top_k)
+{
+    const serve::PreparedQuery prepared(
+        request, bio::blosum62(), cfg.gaps, cfg.fasta, cfg.blast);
+    const align::KarlinParams &ka = align::blosum62Karlin();
+    const double total = static_cast<double>(db.totalResidues());
+    const double m =
+        static_cast<double>(request.query.length());
+
+    std::vector<align::SearchHit> hits;
+    std::uint64_t cells = 0;
+    for (std::size_t idx = 0; idx < db.size(); ++idx) {
+        const align::LocalScore ls =
+            prepared.scan(db[idx], &cells);
+        if (ls.score <= 0)
+            continue;
+        align::SearchHit hit;
+        hit.dbIndex = idx;
+        hit.score = ls.score;
+        hit.queryEnd = ls.queryEnd;
+        hit.subjectEnd = ls.subjectEnd;
+        hit.bitScore = ka.bitScore(ls.score);
+        hit.evalue = ka.evalue(ls.score, m, total);
+        hits.push_back(hit);
+    }
+    std::sort(hits.begin(), hits.end(), serve::hitRanksBefore);
+    if (hits.size() > top_k)
+        hits.resize(top_k);
+    return hits;
+}
+
+void
+expectSameHits(const std::vector<align::SearchHit> &got,
+               const std::vector<align::SearchHit> &want,
+               const std::string &context)
+{
+    ASSERT_EQ(got.size(), want.size()) << context;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].dbIndex, want[i].dbIndex)
+            << context << " hit " << i;
+        EXPECT_EQ(got[i].score, want[i].score)
+            << context << " hit " << i;
+        EXPECT_EQ(got[i].bitScore, want[i].bitScore)
+            << context << " hit " << i;
+        EXPECT_EQ(got[i].evalue, want[i].evalue)
+            << context << " hit " << i;
+        EXPECT_EQ(got[i].queryEnd, want[i].queryEnd)
+            << context << " hit " << i;
+        EXPECT_EQ(got[i].subjectEnd, want[i].subjectEnd)
+            << context << " hit " << i;
+    }
+}
+
+/**
+ * A 12-request stream over three kinds with repeated queries, so
+ * a second pass (and even the tail of the first) can hit the
+ * cache.
+ */
+std::vector<serve::Request>
+fleetStream()
+{
+    const std::array<kernels::Workload, 3> kinds = {
+        kernels::Workload::Ssearch34, kernels::Workload::Fasta34,
+        kernels::Workload::Blast};
+    std::vector<serve::Request> stream;
+    for (std::size_t i = 0; i < 12; ++i) {
+        serve::Request r;
+        r.id = i;
+        r.kind = kinds[i % kinds.size()];
+        r.query = queryPool()[i % 4 % queryPool().size()];
+        stream.push_back(std::move(r));
+    }
+    return stream;
+}
+
+serve::Request
+cacheRequest(std::uint64_t id, std::size_t query)
+{
+    serve::Request r;
+    r.id = id;
+    r.kind = kernels::Workload::Ssearch34;
+    r.query = queryPool()[query % queryPool().size()];
+    return r;
+}
+
+TEST(RouterDeterminism, MatrixMatchesSerialReference)
+{
+    const std::vector<serve::Request> stream = fleetStream();
+    serve::EngineConfig ref_cfg;
+    std::vector<std::vector<align::SearchHit>> reference;
+    for (const serve::Request &r : stream)
+        reference.push_back(serialReference(
+            r, testDb(), ref_cfg, ref_cfg.topK));
+
+    for (const std::size_t replicas : {1u, 2u, 4u}) {
+        for (const bool cache_on : {false, true}) {
+            for (const unsigned jobs : {1u, 2u, 8u}) {
+                serve::RouterConfig cfg;
+                cfg.replicas = replicas;
+                cfg.engine.jobs = jobs;
+                cfg.engine.shards = 4;
+                cfg.minChunk = 2;
+                cfg.cache.capacityBytes =
+                    cache_on ? 1u << 20 : 0u;
+                serve::ReplicaRouter router(
+                    index::makeEpoch(testDb(), false, 1), cfg);
+                const std::string ctx = "replicas="
+                    + std::to_string(replicas) + " cache="
+                    + std::to_string(cache_on) + " jobs="
+                    + std::to_string(jobs);
+
+                // Two passes: pass 2 is served from the cache
+                // when it is on, and must be bit-identical.
+                for (const int pass : {1, 2}) {
+                    const std::vector<serve::Response> out =
+                        router.serveBatch(stream, {});
+                    ASSERT_EQ(out.size(), stream.size()) << ctx;
+                    for (std::size_t i = 0; i < out.size(); ++i)
+                        expectSameHits(
+                            out[i].hits, reference[i],
+                            ctx + " pass "
+                                + std::to_string(pass)
+                                + " request "
+                                + std::to_string(i));
+                }
+                if (cache_on) {
+                    EXPECT_GT(router.metrics().counterValue(
+                                  "serve_cache_hits_total"),
+                              0u)
+                        << ctx;
+                }
+            }
+        }
+    }
+}
+
+TEST(RouterCache, HitMissAccountingIsDeterministic)
+{
+    serve::RouterConfig cfg;
+    cfg.replicas = 1;
+    cfg.engine.jobs = 2;
+    cfg.cache.capacityBytes = 1u << 20;
+    serve::ReplicaRouter router(
+        index::makeEpoch(testDb(), false, 1), cfg);
+    const obs::Registry &m = router.metrics();
+
+    // 4 distinct queries, each repeated twice within one batch.
+    std::vector<serve::Request> batch;
+    for (std::uint64_t i = 0; i < 8; ++i)
+        batch.push_back(cacheRequest(i, i % 4));
+
+    const std::vector<serve::Response> first =
+        router.serveBatch(batch, {});
+    // Pass 1: the first occurrence of each query misses; whether
+    // its duplicate hits depends only on batch order (inserts
+    // happen after the whole batch), so all 8 miss here.
+    EXPECT_EQ(m.counterValue("serve_cache_misses_total"), 8u);
+    EXPECT_EQ(m.counterValue("serve_cache_hits_total"), 0u);
+    EXPECT_EQ(m.counterValue("serve_cache_inserts_total"), 8u);
+    EXPECT_EQ(router.cache().entries(), 4u); // dup insert replaces
+    for (const serve::Response &r : first)
+        EXPECT_FALSE(r.fromCache);
+
+    const std::vector<serve::Response> second =
+        router.serveBatch(batch, {});
+    EXPECT_EQ(m.counterValue("serve_cache_hits_total"), 8u);
+    EXPECT_EQ(m.counterValue("serve_cache_misses_total"), 8u);
+    for (std::size_t i = 0; i < second.size(); ++i) {
+        EXPECT_TRUE(second[i].fromCache) << i;
+        expectSameHits(second[i].hits, first[i].hits,
+                       "cached pass request "
+                           + std::to_string(i));
+    }
+}
+
+TEST(RouterCache, EpochBumpInvalidatesStaleHits)
+{
+    serve::RouterConfig cfg;
+    cfg.replicas = 2;
+    cfg.engine.jobs = 2;
+    cfg.cache.capacityBytes = 1u << 20;
+    serve::ReplicaRouter router(
+        index::makeEpoch(testDb(), false, 1), cfg);
+    const obs::Registry &m = router.metrics();
+
+    std::vector<serve::Request> batch;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        batch.push_back(cacheRequest(i, i));
+    (void)router.serveBatch(batch, {});
+    const std::vector<serve::Response> warm =
+        router.serveBatch(batch, {});
+    for (const serve::Response &r : warm)
+        EXPECT_TRUE(r.fromCache);
+
+    // Hot-swap a different database. The cache still holds the
+    // epoch-1 entries, but lookups now key on epoch 2 — nothing
+    // may be served from the old database's results.
+    const bio::SequenceDatabase db2 =
+        bio::makeDefaultDatabase(48, 0xDBDBDBDC);
+    router.reload(index::makeEpoch(db2, false, 2));
+    EXPECT_EQ(router.epochNumber(), 2u);
+
+    const std::uint64_t hits_before =
+        m.counterValue("serve_cache_hits_total");
+    const std::vector<serve::Response> fresh =
+        router.serveBatch(batch, {});
+    EXPECT_EQ(m.counterValue("serve_cache_hits_total"),
+              hits_before);
+    serve::EngineConfig ref_cfg;
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_FALSE(fresh[i].fromCache) << i;
+        expectSameHits(fresh[i].hits,
+                       serialReference(batch[i], db2, ref_cfg,
+                                       ref_cfg.topK),
+                       "post-reload request "
+                           + std::to_string(i));
+    }
+
+    // And the new epoch's results cache normally.
+    const std::vector<serve::Response> rewarm =
+        router.serveBatch(batch, {});
+    for (std::size_t i = 0; i < rewarm.size(); ++i) {
+        EXPECT_TRUE(rewarm[i].fromCache) << i;
+        expectSameHits(rewarm[i].hits, fresh[i].hits,
+                       "rewarmed request " + std::to_string(i));
+    }
+}
+
+TEST(RouterCache, CapacityBoundIsNeverExceeded)
+{
+    obs::Registry metrics;
+    serve::CacheConfig ccfg;
+    ccfg.capacityBytes = 4096;
+    ccfg.shards = 2;
+    serve::ResultCache cache(ccfg, metrics);
+
+    // Insert far more than fits; the byte bound must hold after
+    // every insert and evictions must account for the overflow.
+    for (std::uint64_t i = 0; i < 256; ++i) {
+        serve::ResultCache::Key key;
+        key.kind = 0;
+        key.topK = 10;
+        key.epoch = 1;
+        key.query.assign(32 + i % 7, bio::Residue(i % 20));
+        key.query.push_back(bio::Residue(i % 23));
+        auto result =
+            std::make_shared<serve::ResultCache::Result>();
+        result->hits.resize(10);
+        const std::uint64_t digest =
+            serve::ResultCache::digest(key);
+        cache.insert(std::move(key), digest, std::move(result));
+        EXPECT_LE(cache.bytes(), ccfg.capacityBytes) << i;
+    }
+    EXPECT_GT(metrics.counterValue("serve_cache_evictions_total"),
+              0u);
+    EXPECT_EQ(metrics.counterValue("serve_cache_inserts_total"),
+              256u);
+    // Gauges mirror the totals.
+    EXPECT_EQ(metrics.gaugeValue("serve_cache_bytes"),
+              static_cast<double>(cache.bytes()));
+    EXPECT_EQ(metrics.gaugeValue("serve_cache_entries"),
+              static_cast<double>(cache.entries()));
+
+    // An entry bigger than a whole shard is refused outright.
+    serve::ResultCache::Key big;
+    big.query.assign(8192, bio::Residue(1));
+    auto huge = std::make_shared<serve::ResultCache::Result>();
+    const std::uint64_t big_digest =
+        serve::ResultCache::digest(big);
+    const std::size_t entries_before = cache.entries();
+    cache.insert(std::move(big), big_digest, std::move(huge));
+    EXPECT_EQ(cache.entries(), entries_before);
+    EXPECT_LE(cache.bytes(), ccfg.capacityBytes);
+}
+
+TEST(RouterCache, PartialResponsesAreNeverCached)
+{
+    serve::RouterConfig cfg;
+    cfg.replicas = 1;
+    cfg.engine.jobs = 1;
+    cfg.engine.shards = 4;
+    cfg.cache.capacityBytes = 1u << 20;
+    serve::ReplicaRouter router(
+        index::makeEpoch(testDb(), false, 1), cfg);
+    const obs::Registry &m = router.metrics();
+
+    // Serve with an already-expired deadline: every shard scan is
+    // cancelled, the response is partial (shardsSkipped > 0), and
+    // nothing may enter the cache.
+    serve::ManualClock clock;
+    clock.set(1000.0);
+    const std::vector<serve::Request> batch = {
+        cacheRequest(0, 0)};
+    const double deadlines[] = {500.0};
+    serve::BatchControl control;
+    control.deadlinesUs = deadlines;
+    control.clock = &clock;
+    const std::vector<serve::Response> out =
+        router.serveBatch(batch, control);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].deadlineExpired());
+    EXPECT_EQ(m.counterValue("serve_cache_inserts_total"), 0u);
+    EXPECT_EQ(router.cache().entries(), 0u);
+
+    // The same request without a deadline is a miss (not a stale
+    // partial hit) and serves the full ranked list.
+    const std::vector<serve::Response> full =
+        router.serveBatch(batch, {});
+    EXPECT_FALSE(full[0].fromCache);
+    serve::EngineConfig ref_cfg;
+    expectSameHits(full[0].hits,
+                   serialReference(batch[0], testDb(), ref_cfg,
+                                   ref_cfg.topK),
+                   "after partial");
+}
+
+TEST(RouterAccounting, PerReplicaCountersBalance)
+{
+    serve::RouterConfig cfg;
+    cfg.replicas = 2;
+    cfg.engine.jobs = 2;
+    cfg.minChunk = 2;
+    serve::ReplicaRouter router(
+        index::makeEpoch(testDb(), false, 1), cfg);
+    const obs::Registry &m = router.metrics();
+
+    const std::vector<serve::Request> stream = fleetStream();
+    (void)router.serveBatch(stream, {});
+
+    std::uint64_t routed = 0;
+    for (const std::size_t r : {0u, 1u}) {
+        const std::string label =
+            "replica=\"" + std::to_string(r) + "\"";
+        routed += m.counterValue("serve_replica_requests_total",
+                                 label);
+        // All chunks finished: depth gauges are back to zero.
+        EXPECT_EQ(m.gaugeValue("serve_replica_depth", label), 0.0)
+            << label;
+    }
+    EXPECT_EQ(routed, stream.size());
+    // A 12-request batch with minChunk 2 scatters to both
+    // replicas.
+    EXPECT_GT(m.counterValue("serve_replica_batches_total",
+                             "replica=\"0\""),
+              0u);
+    EXPECT_GT(m.counterValue("serve_replica_batches_total",
+                             "replica=\"1\""),
+              0u);
+}
+
+/**
+ * TSAN coverage: hammer one sharded-LRU cache from concurrent
+ * threads (the fleet's gather threads and dispatcher do exactly
+ * this). Run under jobs {2, 8} thread counts.
+ */
+void
+hammerCache(unsigned threads)
+{
+    obs::Registry metrics;
+    serve::CacheConfig ccfg;
+    ccfg.capacityBytes = 1u << 14; // small: constant eviction
+    ccfg.shards = 4;
+    serve::ResultCache cache(ccfg, metrics);
+
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&cache, t] {
+            for (std::uint64_t i = 0; i < 400; ++i) {
+                serve::ResultCache::Key key;
+                key.kind = static_cast<std::uint16_t>(i % 3);
+                key.topK = 10;
+                key.epoch = 1;
+                // Overlapping key space across threads: the same
+                // keys are looked up, inserted, replaced, and
+                // evicted concurrently.
+                key.query.assign(16 + (i + t) % 9,
+                                 bio::Residue((i + t) % 20));
+                const std::uint64_t digest =
+                    serve::ResultCache::digest(key);
+                if (cache.lookup(key, digest) != nullptr)
+                    continue;
+                auto result = std::make_shared<
+                    serve::ResultCache::Result>();
+                result->hits.resize(1 + i % 10);
+                cache.insert(std::move(key), digest,
+                             std::move(result));
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_LE(cache.bytes(), ccfg.capacityBytes);
+    EXPECT_EQ(metrics.gaugeValue("serve_cache_bytes"),
+              static_cast<double>(cache.bytes()));
+}
+
+TEST(RouterConcurrency, ShardedLruUnderTwoThreads)
+{
+    hammerCache(2);
+}
+
+TEST(RouterConcurrency, ShardedLruUnderEightThreads)
+{
+    hammerCache(8);
+}
+
+} // namespace

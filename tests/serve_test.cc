@@ -952,6 +952,178 @@ TEST(ServeLoop, ThreadedDrainServesEverythingAdmitted)
     EXPECT_EQ(served, admitted);
 }
 
+serve::Request
+tenantRequest(std::uint64_t id, std::uint32_t tenant)
+{
+    serve::Request r = loopRequest(id);
+    r.tenant = tenant;
+    return r;
+}
+
+std::string
+tenantLabel(std::uint32_t tenant)
+{
+    return "tenant=\"" + std::to_string(tenant) + "\"";
+}
+
+TEST(ServeLoopTenants, QuotaShedAndRefillHint)
+{
+    serve::Engine engine(testDb());
+    serve::ManualClock clock;
+    serve::LoopConfig lcfg;
+    serve::TenantQuota quota;
+    quota.tenant = 7;
+    quota.rateQps = 10.0; // one token per 100 ms
+    quota.burst = 2.0;
+    lcfg.tenants.push_back(quota);
+    serve::ServeLoop loop(engine, lcfg, &clock);
+    const obs::Registry &m = engine.metrics();
+
+    // The fresh bucket holds `burst` tokens: two admissions.
+    EXPECT_TRUE(loop.submit(tenantRequest(0, 7)).admitted);
+    EXPECT_TRUE(loop.submit(tenantRequest(1, 7)).admitted);
+
+    // Empty bucket: shed, and the hint is the bucket's actual
+    // refill time (1 token at 10 qps = 100 ms), not the generic
+    // minRetryAfterUs floor.
+    const serve::Submission shed = loop.submit(tenantRequest(2, 7));
+    EXPECT_FALSE(shed.admitted);
+    EXPECT_DOUBLE_EQ(shed.retryAfterUs, 100000.0);
+    EXPECT_EQ(m.counterValue("loop_shed_quota_total"), 1u);
+
+    // Retrying exactly when the hint says is admitted.
+    clock.advance(shed.retryAfterUs);
+    EXPECT_TRUE(loop.submit(tenantRequest(3, 7)).admitted);
+
+    // An unconfigured tenant is never quota-shed.
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(loop.submit(tenantRequest(10 + i, 9)).admitted)
+            << i;
+
+    EXPECT_EQ(loop.pumpAll(), 11u);
+    EXPECT_EQ(m.counterValue("serve_tenant_offered_total",
+                             tenantLabel(7)),
+              4u);
+    EXPECT_EQ(m.counterValue("serve_tenant_served_total",
+                             tenantLabel(7)),
+              3u);
+    EXPECT_EQ(m.counterValue("serve_tenant_shed_total",
+                             tenantLabel(7)),
+              1u);
+    EXPECT_EQ(m.counterValue("serve_tenant_shed_total",
+                             tenantLabel(9)),
+              0u);
+}
+
+TEST(ServeLoopTenants, WeightedFairDispatch)
+{
+    // Two backlogged tenants with weights 3:1 split a batch of 4
+    // as [A, A, A, B] — weighted deficit round-robin, FIFO within
+    // each tenant, regardless of arrival interleaving.
+    serve::Engine engine(testDb());
+    serve::ManualClock clock;
+    serve::LoopConfig lcfg;
+    lcfg.batch = 4;
+    lcfg.queueCapacity = 16;
+    serve::TenantQuota a;
+    a.tenant = 1;
+    a.weight = 3.0;
+    serve::TenantQuota b;
+    b.tenant = 2;
+    b.weight = 1.0;
+    lcfg.tenants = {a, b};
+    serve::ServeLoop loop(engine, lcfg, &clock);
+
+    // 8 requests, alternating tenants; tenant 1 activates first.
+    for (std::uint64_t i = 0; i < 8; ++i)
+        ASSERT_TRUE(loop.submit(tenantRequest(
+                                    i, i % 2 == 0 ? 1u : 2u))
+                        .admitted)
+            << i;
+
+    EXPECT_EQ(loop.pumpOne(), 4u);
+    EXPECT_EQ(loop.pumpAll(), 4u);
+
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+    for (const serve::LoopResult &r : loop.results())
+        order.emplace_back(r.dispatchOrder, r.tenant);
+    std::sort(order.begin(), order.end());
+    const std::vector<std::uint32_t> want = {
+        1, 1, 1, 2,  // batch 1: weight-3 tenant gets 3 slots
+        1, 2, 2, 2}; // batch 2: tenant 1 drains, 2 gets the rest
+    ASSERT_EQ(order.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(order[i].second, want[i]) << "slot " << i;
+}
+
+TEST(ServeLoopTenants, PerTenantIdentityWithDrops)
+{
+    // Per-tenant counters satisfy the same identity as the global
+    // family even through a mid-run stop():
+    //   served + shed + deadline_expired + dropped == offered.
+    serve::Engine engine(testDb());
+    serve::ManualClock clock;
+    serve::LoopConfig lcfg;
+    lcfg.batch = 2;
+    lcfg.queueCapacity = 6;
+    serve::TenantQuota quota;
+    quota.tenant = 2;
+    quota.rateQps = 5.0;
+    quota.burst = 2.0;
+    lcfg.tenants.push_back(quota);
+    serve::ServeLoop loop(engine, lcfg, &clock);
+    const obs::Registry &m = engine.metrics();
+
+    // Tenant 1 unlimited, tenant 2 quota-limited: 4 + 4 offered,
+    // tenant 2 sheds half. Tenant 1's first request carries a
+    // deadline that goes stale before the pump, so it expires at
+    // dispatch (WDRR puts one request per tenant in the first
+    // batch, so it must be the tenant's queue head to dispatch).
+    clock.set(1000.0);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        loop.submit(tenantRequest(i, 1), serve::Priority::Normal,
+                    i == 0 ? 1500.0 : 0.0);
+    for (std::uint64_t i = 4; i < 8; ++i)
+        loop.submit(tenantRequest(i, 2));
+
+    clock.set(2000.0);       // past ticket 0's deadline
+    EXPECT_EQ(loop.pumpOne(), 2u); // one in-flight batch
+    loop.stop();             // rest dropped in ticket order
+
+    for (const std::uint32_t t : {1u, 2u}) {
+        const std::string label = tenantLabel(t);
+        const std::uint64_t offered =
+            m.counterValue("serve_tenant_offered_total", label);
+        EXPECT_EQ(offered, 4u) << label;
+        EXPECT_EQ(
+            m.counterValue("serve_tenant_served_total", label)
+                + m.counterValue("serve_tenant_shed_total", label)
+                + m.counterValue(
+                    "serve_tenant_deadline_expired_total", label)
+                + m.counterValue("serve_tenant_dropped_total",
+                                 label),
+            offered)
+            << label;
+    }
+    EXPECT_EQ(m.counterValue("serve_tenant_shed_total",
+                             tenantLabel(2)),
+              2u);
+    EXPECT_EQ(m.counterValue("serve_tenant_deadline_expired_total",
+                             tenantLabel(1)),
+              1u);
+    EXPECT_GT(m.counterValue("serve_tenant_dropped_total",
+                             tenantLabel(1))
+                  + m.counterValue("serve_tenant_dropped_total",
+                                   tenantLabel(2)),
+              0u);
+    // The global identity still holds too.
+    EXPECT_EQ(m.counterValue("loop_served_total")
+                  + m.counterValue("loop_shed_quota_total")
+                  + m.counterValue("loop_deadline_expired_total")
+                  + m.counterValue("loop_dropped_total"),
+              m.counterValue("loop_offered_total"));
+}
+
 TEST(RequestStream, DeterministicAndWellFormed)
 {
     serve::StreamSpec spec;

@@ -42,7 +42,7 @@
 #include "obs/snapshot.hh"
 #include "serve/engine.hh"
 #include "serve/loop.hh"
-#include "serve/reload.hh"
+#include "serve/router.hh"
 
 using namespace bioarch;
 
@@ -110,6 +110,24 @@ usage(std::ostream &out)
            "                    none)\n"
            "  --queue-cap N     admission queue bound (default 64)\n"
            "\n"
+           "fleet (open loop):\n"
+           "  --replicas N      engine replicas behind the\n"
+           "                    scatter-gather router (default 1;\n"
+           "                    each replica has its own thread\n"
+           "                    pool and epoch pin)\n"
+           "  --cache-mb M      result-cache capacity in MiB\n"
+           "                    (default 0 = cache off)\n"
+           "  --tenants SPEC    comma-separated per-tenant specs\n"
+           "                    qps:burst:weight:share — token-\n"
+           "                    bucket rate (0 = unlimited) and\n"
+           "                    burst, WDRR weight, and the\n"
+           "                    fraction of offered arrivals this\n"
+           "                    tenant generates (shares are\n"
+           "                    normalized). Tenant ids are the\n"
+           "                    list positions. Example:\n"
+           "                    --tenants 100:10:3:0.5,50:5:1:0.25,\n"
+           "                    50:5:1:0.25\n"
+           "\n"
            "output:\n"
            "  --csv             machine-readable output\n"
            "  --metrics-out F   write the JSON metrics snapshot to\n"
@@ -149,6 +167,46 @@ writeMetricsFiles(serve::BatchServer &engine,
     }
 }
 
+/** One --tenants entry: quota spec + offered-traffic share. */
+struct TenantSpec
+{
+    double qps = 0.0;
+    double burst = 1.0;
+    double weight = 1.0;
+    double share = 1.0;
+};
+
+/** Parse "qps:burst:weight:share,..." (exit 2 on malformed). */
+std::vector<TenantSpec>
+parseTenants(const std::string &spec)
+{
+    std::vector<TenantSpec> tenants;
+    std::istringstream list(spec);
+    std::string item;
+    while (std::getline(list, item, ',')) {
+        TenantSpec t;
+        double *fields[4] = {&t.qps, &t.burst, &t.weight,
+                             &t.share};
+        std::istringstream parts(item);
+        std::string field;
+        std::size_t k = 0;
+        while (std::getline(parts, field, ':') && k < 4)
+            *fields[k++] = std::atof(field.c_str());
+        if (k != 4 || t.burst <= 0.0 || t.weight <= 0.0
+            || t.share <= 0.0) {
+            std::cerr << "bad --tenants entry '" << item
+                      << "' (want qps:burst:weight:share)\n";
+            std::exit(2);
+        }
+        tenants.push_back(t);
+    }
+    if (tenants.empty()) {
+        std::cerr << "--tenants: empty spec\n";
+        std::exit(2);
+    }
+    return tenants;
+}
+
 /**
  * The deterministic part of the open-loop run: arrival offsets (us
  * from run start) with exponential inter-arrival gaps at @p qps,
@@ -178,23 +236,59 @@ runOpenLoop(const bio::SequenceDatabase &db,
             double duration_s, double deadline_ms,
             std::size_t queue_cap, const std::string &metrics_out,
             const std::string &metrics_prom, bool use_index,
-            bool hot_reload, int db_seqs, bool zipf)
+            bool hot_reload, int db_seqs, bool zipf,
+            std::size_t replicas, std::size_t cache_mb,
+            const std::vector<TenantSpec> &tenants)
 {
     const std::vector<double> arrivals =
         arrivalSchedule(qps, duration_s, stream_spec.seed);
     serve::StreamSpec spec = stream_spec;
     spec.requests = arrivals.size();
-    const std::vector<serve::Request> requests =
+    std::vector<serve::Request> requests =
         serve::makeRequestStream(spec, bio::makeQuerySet());
 
-    // The open loop always fronts a ReloadableEngine: with
-    // --hot-reload a second epoch slides in mid-run while the loop
-    // keeps dispatching; without it the engine simply never
-    // reloads.
-    serve::ReloadableEngine engine(
-        index::makeEpoch(db, use_index, 1), cfg);
+    // Bill each arrival to a tenant by a seeded weighted draw over
+    // the configured shares (deterministic, like the schedule).
+    if (!tenants.empty()) {
+        double total_share = 0.0;
+        for (const TenantSpec &t : tenants)
+            total_share += t.share;
+        bio::Rng rng(stream_spec.seed ^ 0x7E2A27ULL);
+        for (serve::Request &r : requests) {
+            double draw = rng.uniform() * total_share;
+            std::uint32_t id = 0;
+            for (const TenantSpec &t : tenants) {
+                draw -= t.share;
+                if (draw < 0.0)
+                    break;
+                ++id;
+            }
+            r.tenant = std::min(
+                id,
+                static_cast<std::uint32_t>(tenants.size() - 1));
+        }
+    }
+
+    // The open loop always fronts the replica router: with one
+    // replica and the cache off it degenerates to a single
+    // reloadable engine. --hot-reload slides a second epoch in
+    // mid-run while the loop keeps dispatching.
+    serve::RouterConfig rcfg;
+    rcfg.replicas = replicas;
+    rcfg.engine = cfg;
+    rcfg.cache.capacityBytes = cache_mb * (1u << 20);
+    serve::ReplicaRouter engine(
+        index::makeEpoch(db, use_index, 1), rcfg);
     serve::LoopConfig lcfg;
     lcfg.queueCapacity = queue_cap;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        serve::TenantQuota quota;
+        quota.tenant = static_cast<std::uint32_t>(i);
+        quota.rateQps = tenants[i].qps;
+        quota.burst = tenants[i].burst;
+        quota.weight = tenants[i].weight;
+        lcfg.tenants.push_back(quota);
+    }
     serve::ServeLoop loop(engine, lcfg);
     const serve::Clock &clock = loop.clock();
     loop.start();
@@ -229,7 +323,7 @@ runOpenLoop(const bio::SequenceDatabase &db,
     loop.drain();
     writeMetricsFiles(engine, metrics_out, metrics_prom);
 
-    const obs::Registry &m = engine.metrics();
+    obs::Registry &m = engine.metrics();
     const auto counter = [&m](std::string_view name) {
         return m.counterValue(name);
     };
@@ -239,6 +333,8 @@ runOpenLoop(const bio::SequenceDatabase &db,
         counter("loop_shed_queue_full_total");
     const std::uint64_t shed_deadline =
         counter("loop_shed_deadline_total");
+    const std::uint64_t shed_quota =
+        counter("loop_shed_quota_total");
     const std::uint64_t shed_shutdown =
         counter("loop_shed_shutdown_total");
     const std::uint64_t deadline_expired =
@@ -247,12 +343,17 @@ runOpenLoop(const bio::SequenceDatabase &db,
 
     std::vector<double> latencies;
     std::vector<double> queue_waits;
+    std::vector<double> cached_latencies;
     for (const serve::LoopResult &r : loop.results()) {
         if (r.status != serve::LoopStatus::Served)
             continue;
         latencies.push_back(r.latencyUs());
         queue_waits.push_back(r.queueWaitUs());
+        if (r.response.fromCache)
+            cached_latencies.push_back(r.latencyUs());
     }
+    const obs::HistogramSummary cache_hit_us =
+        m.histogram("serve_cache_hit_us").summary();
 
     std::ostringstream footer;
     footer.setf(std::ios::fixed);
@@ -261,17 +362,33 @@ runOpenLoop(const bio::SequenceDatabase &db,
            << ",\"duration_s\":" << duration_s
            << ",\"deadline_ms\":" << deadline_ms
            << ",\"queue_cap\":" << queue_cap
-           << ",\"jobs\":" << engine.config().jobs
+           << ",\"jobs\":" << engine.config().engine.jobs
            << ",\"offered\":" << offered
            << ",\"admitted\":" << counter("loop_admitted_total")
            << ",\"served\":" << served
            << ",\"shed_queue_full\":" << shed_queue_full
            << ",\"shed_deadline\":" << shed_deadline
+           << ",\"shed_quota\":" << shed_quota
            << ",\"shed_shutdown\":" << shed_shutdown
            << ",\"shed_total\":"
-           << shed_queue_full + shed_deadline + shed_shutdown
+           << shed_queue_full + shed_deadline + shed_quota
+                  + shed_shutdown
            << ",\"deadline_expired\":" << deadline_expired
            << ",\"dropped\":" << dropped
+           << ",\"replicas\":" << engine.replicas()
+           << ",\"cache_mb\":" << cache_mb
+           << ",\"cache_hits\":"
+           << counter("serve_cache_hits_total")
+           << ",\"cache_misses\":"
+           << counter("serve_cache_misses_total")
+           << ",\"cache_evictions\":"
+           << counter("serve_cache_evictions_total")
+           << ",\"cache_bytes\":"
+           << m.gaugeValue("serve_cache_bytes")
+           << ",\"cache_hit_p99_us\":" << cache_hit_us.p99
+           << ",\"cached_served\":" << cached_latencies.size()
+           << ",\"cached_p99_ms\":"
+           << core::percentile(cached_latencies, 99.0) / 1000.0
            << ",\"index\":" << (use_index ? "true" : "false")
            << ",\"hot_reload\":"
            << (hot_reload ? "true" : "false")
@@ -289,15 +406,56 @@ runOpenLoop(const bio::SequenceDatabase &db,
            << ",\"queue_wait_p50_ms\":"
            << core::percentile(queue_waits, 50.0) / 1000.0
            << ",\"queue_wait_p99_ms\":"
-           << core::percentile(queue_waits, 99.0) / 1000.0 << "}";
+           << core::percentile(queue_waits, 99.0) / 1000.0;
+
+    // Per-tenant slice + identity: the books must balance for
+    // every tenant, not just in aggregate.
+    bool tenant_identity_ok = true;
+    const std::size_t num_tenants =
+        tenants.empty() ? 1 : tenants.size();
+    footer << ",\"tenants\":[";
+    for (std::size_t t = 0; t < num_tenants; ++t) {
+        const std::string label =
+            "tenant=\"" + std::to_string(t) + "\"";
+        const auto tcounter = [&m, &label](std::string_view name) {
+            return m.counterValue(name, label);
+        };
+        const std::uint64_t t_offered =
+            tcounter("serve_tenant_offered_total");
+        const std::uint64_t t_served =
+            tcounter("serve_tenant_served_total");
+        const std::uint64_t t_shed =
+            tcounter("serve_tenant_shed_total");
+        const std::uint64_t t_deadline =
+            tcounter("serve_tenant_deadline_expired_total");
+        const std::uint64_t t_dropped =
+            tcounter("serve_tenant_dropped_total");
+        if (t_served + t_shed + t_deadline + t_dropped
+            != t_offered)
+            tenant_identity_ok = false;
+        footer << (t == 0 ? "" : ",") << "{\"tenant\":" << t
+               << ",\"offered\":" << t_offered
+               << ",\"admitted\":"
+               << tcounter("serve_tenant_admitted_total")
+               << ",\"served\":" << t_served
+               << ",\"shed\":" << t_shed
+               << ",\"deadline_expired\":" << t_deadline
+               << ",\"dropped\":" << t_dropped << "}";
+    }
+    footer << "],\"tenant_identity_ok\":"
+           << (tenant_identity_ok ? "true" : "false") << "}";
     std::cout << footer.str() << "\n";
 
     // The loop's books must balance: every offered request ends in
-    // exactly one terminal state.
-    if (served + shed_queue_full + shed_deadline + shed_shutdown
-            + deadline_expired + dropped
+    // exactly one terminal state — globally and per tenant.
+    if (served + shed_queue_full + shed_deadline + shed_quota
+            + shed_shutdown + deadline_expired + dropped
         != offered) {
         std::cerr << "counter identity violated\n";
+        return 1;
+    }
+    if (!tenant_identity_ok) {
+        std::cerr << "per-tenant counter identity violated\n";
         return 1;
     }
     return 0;
@@ -319,6 +477,9 @@ main(int argc, char **argv)
     double duration_s = 2.0;
     double deadline_ms = 0.0;
     std::size_t queue_cap = 64;
+    std::size_t replicas = 1;
+    std::size_t cache_mb = 0;
+    std::vector<TenantSpec> tenants;
     std::string metrics_out;
     std::string metrics_prom;
 
@@ -400,6 +561,14 @@ main(int argc, char **argv)
         } else if (arg == "--queue-cap") {
             queue_cap =
                 static_cast<std::size_t>(positive(value()));
+        } else if (arg == "--replicas") {
+            replicas =
+                static_cast<std::size_t>(positive(value()));
+        } else if (arg == "--cache-mb") {
+            cache_mb =
+                static_cast<std::size_t>(positive(value()));
+        } else if (arg == "--tenants") {
+            tenants = parseTenants(value());
         } else if (arg == "--metrics-out") {
             metrics_out = value();
         } else if (arg == "--metrics-prom") {
@@ -420,9 +589,12 @@ main(int argc, char **argv)
         return runOpenLoop(db, cfg, stream, qps, duration_s,
                            deadline_ms, queue_cap, metrics_out,
                            metrics_prom, use_index, hot_reload,
-                           db_seqs, zipf);
-    if (hot_reload) {
-        std::cerr << "--hot-reload needs the open loop (--qps)\n";
+                           db_seqs, zipf, replicas, cache_mb,
+                           tenants);
+    if (hot_reload || replicas > 1 || cache_mb > 0
+        || !tenants.empty()) {
+        std::cerr << "--hot-reload/--replicas/--cache-mb/"
+                     "--tenants need the open loop (--qps)\n";
         return 2;
     }
 
