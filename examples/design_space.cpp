@@ -57,7 +57,7 @@ main()
     std::vector<core::SweepPoint> points;
     for (const kernels::Workload w : apps)
         for (const sim::SimConfig &cfg : variants)
-            points.push_back({w, cfg, {}});
+            points.push_back({w, cfg, {}, {}});
 
     core::SweepRunner runner(suite);
     const core::SweepResult sweep = runner.run(points);

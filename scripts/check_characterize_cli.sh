@@ -32,6 +32,16 @@ check_rejects "--workload + --trace (reversed)" \
     --workload ssearch34 --trace whatever.trc
 check_rejects "--sweep + --trace conflict" \
     --sweep --trace whatever.trc
+check_rejects "zero sample window" \
+    --workload blast --sample-window 0
+check_rejects "zero sample period" \
+    --workload blast --sample-period 0
+check_rejects "negative sample warmup" \
+    --workload blast --sample-warmup -5
+check_rejects "sample window exceeding period" \
+    --workload blast --sample-window 1000 --sample-period 100
+check_rejects "missing sample flag value" \
+    --workload blast --sample-window
 check_rejects "unknown option" --frobnicate
 check_rejects "unknown workload" --workload nope
 check_rejects "missing option value" --workload

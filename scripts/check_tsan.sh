@@ -4,9 +4,9 @@
 # kernels the sweep replays concurrently, the query-serving
 # engine's batched fan-out, the online serving loop, the indexed
 # serving route with its hot-reload epoch swaps, the replica
-# router's scatter-gather threads and sharded result cache, and
-# the metrics registry). Keeps the pool, loop, cache, and registry
-# race-free.
+# router's scatter-gather threads and sharded result cache, the
+# metrics registry, and the sampled-simulation window fan-out).
+# Keeps the pool, loop, cache, registry, and sampler race-free.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -15,7 +15,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." -DBIOARCH_TSAN=ON
 cmake --build "$BUILD_DIR" -j --target sweep_test kernels_test \
-    serve_test obs_test index_test router_test
+    serve_test obs_test index_test router_test sim_sample_test
 ctest --test-dir "$BUILD_DIR" \
-    -L 'sweep_test|kernels_test|serve_test|obs_test|index_test|router_test' \
+    -L 'sweep_test|kernels_test|serve_test|obs_test|index_test|router_test|sim_sample_test' \
     --output-on-failure -j

@@ -44,8 +44,22 @@ SweepRunner::run(const std::vector<SweepPoint> &points)
             SweepPointResult &slot = result.points[i];
             slot.point = points[i];
             const Clock::time_point start = Clock::now();
-            slot.stats = simulate(_suite.trace(points[i].workload),
-                                  points[i].config);
+            if (points[i].sample) {
+                // Windows run serially inside this pool task: a
+                // task waiting on a nested pool from within the
+                // sweep's own pool would deadlock, and the sweep's
+                // fan-out is already the parallelism.
+                sim::SampleConfig cfg = *points[i].sample;
+                cfg.jobs = 1;
+                slot.sampled = sim::sampleTrace(
+                    _suite.trace(points[i].workload),
+                    points[i].config, cfg);
+                slot.stats = slot.sampled->measured;
+            } else {
+                slot.stats =
+                    simulate(_suite.trace(points[i].workload),
+                             points[i].config);
+            }
             slot.elapsedMs = msSince(start);
         });
     }

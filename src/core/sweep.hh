@@ -18,9 +18,11 @@
 #define BIOARCH_CORE_SWEEP_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "sim/sample.hh"
 #include "suite.hh"
 #include "thread_pool.hh"
 
@@ -34,13 +36,24 @@ struct SweepPoint
     sim::SimConfig config;
     /** Free-form tag echoed into the result (e.g. "me2/8-way"). */
     std::string label;
+    /**
+     * When set, the point is sampled instead of fully simulated
+     * (sim::sampleTrace). Windows run serially inside the point's
+     * pool task — the sweep's own fan-out is the parallelism — so
+     * the jobs field here is ignored.
+     */
+    std::optional<sim::SampleConfig> sample;
 };
 
 /** One simulated point, in submission order. */
 struct SweepPointResult
 {
     SweepPoint point;
+    /** Full-run stats, or the sampled measurement (sampled->
+     * measured) when the point was sampled. */
     sim::SimStats stats;
+    /** Present iff the point requested sampling. */
+    std::optional<sim::SampledStats> sampled;
     /** Wall-clock cost of this point's simulation. */
     double elapsedMs = 0.0;
 };

@@ -2,11 +2,28 @@
 
 #include <bit>
 
+#include "core/digest.hh"
+
 namespace bioarch::sim
 {
 
 namespace
 {
+
+/** Digest of a byte table plus this predictor's base counters. */
+std::uint64_t
+tableDigest(const DirectionPredictor &p,
+            const std::vector<std::uint8_t> &table,
+            std::uint64_t extra = 0)
+{
+    core::Fnv1a fnv;
+    fnv.update64(table.size());
+    fnv.update(table.data(), table.size());
+    fnv.update64(extra);
+    fnv.update64(p.predictions());
+    fnv.update64(p.mispredictions());
+    return fnv.digest();
+}
 
 /** Round up to a power of two, minimum 2. */
 std::uint64_t
@@ -49,6 +66,12 @@ BimodalPredictor::update(std::uint64_t pc, bool taken)
     c = counterUpdate(c, taken);
 }
 
+std::uint64_t
+BimodalPredictor::stateDigest() const
+{
+    return tableDigest(*this, _table);
+}
+
 GsharePredictor::GsharePredictor(int entries)
     : _table(ceilPow2(entries), 1), _mask(ceilPow2(entries) - 1),
       _historyBits(std::countr_zero(ceilPow2(entries)))
@@ -76,6 +99,12 @@ GsharePredictor::update(std::uint64_t pc, bool taken)
         & ((std::uint64_t{1} << _historyBits) - 1);
 }
 
+std::uint64_t
+GsharePredictor::stateDigest() const
+{
+    return tableDigest(*this, _table, _history);
+}
+
 CombinedPredictor::CombinedPredictor(int entries)
     : _bimodal(entries), _gshare(entries),
       _selector(ceilPow2(entries), 1), _mask(ceilPow2(entries) - 1)
@@ -101,6 +130,26 @@ CombinedPredictor::update(std::uint64_t pc, bool taken)
     }
     _bimodal.update(pc, taken);
     _gshare.update(pc, taken);
+}
+
+std::uint64_t
+CombinedPredictor::stateDigest() const
+{
+    core::Fnv1a fnv;
+    fnv.update64(_bimodal.stateDigest());
+    fnv.update64(_gshare.stateDigest());
+    fnv.update64(tableDigest(*this, _selector,
+                             (_lastBimodal ? 1u : 0u)
+                                 | (_lastGshare ? 2u : 0u)));
+    return fnv.digest();
+}
+
+std::uint64_t
+PerfectPredictor::stateDigest() const
+{
+    core::Fnv1a fnv;
+    fnv.update64(_next ? 1 : 0);
+    return fnv.digest();
 }
 
 std::unique_ptr<DirectionPredictor>
@@ -158,6 +207,21 @@ Btb::lookup(std::uint64_t pc)
     _tags[base + victim] = tag;
     _stamps[base + victim] = _clock;
     return false;
+}
+
+std::uint64_t
+Btb::stateDigest() const
+{
+    core::Fnv1a fnv;
+    fnv.update64(_tags.size());
+    for (const std::uint64_t t : _tags)
+        fnv.update64(t);
+    for (const std::uint64_t s : _stamps)
+        fnv.update64(s);
+    fnv.update64(_clock);
+    fnv.update64(_hits);
+    fnv.update64(_misses);
+    return fnv.digest();
 }
 
 } // namespace bioarch::sim

@@ -52,6 +52,13 @@ class DirectionPredictor
 
     std::uint64_t predictions() const { return _predictions; }
     std::uint64_t mispredictions() const { return _mispredictions; }
+
+    /**
+     * FNV-1a digest over the predictor's complete training state
+     * (tables, history, selector) plus the prediction counters —
+     * the snapshot/restore equality check, as in Cache/Tlb.
+     */
+    virtual std::uint64_t stateDigest() const = 0;
     /** Fraction of correct predictions (1.0 when no branches). */
     double
     accuracy() const
@@ -75,6 +82,7 @@ class BimodalPredictor final : public DirectionPredictor
     explicit BimodalPredictor(int entries);
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken) override;
+    std::uint64_t stateDigest() const override;
 
   private:
     std::vector<std::uint8_t> _table;
@@ -88,6 +96,7 @@ class GsharePredictor final : public DirectionPredictor
     explicit GsharePredictor(int entries);
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken) override;
+    std::uint64_t stateDigest() const override;
 
   private:
     std::size_t index(std::uint64_t pc) const;
@@ -109,6 +118,7 @@ class CombinedPredictor final : public DirectionPredictor
     explicit CombinedPredictor(int entries);
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken) override;
+    std::uint64_t stateDigest() const override;
 
   private:
     BimodalPredictor _bimodal;
@@ -137,6 +147,7 @@ class PerfectPredictor final : public DirectionPredictor
     }
     /** The oracle peeks at the outcome before predicting. */
     void setOutcome(bool taken) { _next = taken; }
+    std::uint64_t stateDigest() const override;
 
   private:
     bool _next = false;
@@ -161,6 +172,9 @@ class Btb
 
     std::uint64_t hits() const { return _hits; }
     std::uint64_t misses() const { return _misses; }
+
+    /** FNV-1a digest over tags, stamps, clock and statistics. */
+    std::uint64_t stateDigest() const;
 
   private:
     int _sets;

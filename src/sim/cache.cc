@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "core/digest.hh"
+
 namespace bioarch::sim
 {
 
@@ -104,6 +106,21 @@ Cache::fill(std::uint64_t addr)
     _misses = saved_misses;
 }
 
+std::uint64_t
+Cache::stateDigest() const
+{
+    core::Fnv1a fnv;
+    fnv.update64(_tags.size());
+    for (const std::uint64_t t : _tags)
+        fnv.update64(t);
+    for (const std::uint64_t s : _stamps)
+        fnv.update64(s);
+    fnv.update64(_clock);
+    fnv.update64(_accesses);
+    fnv.update64(_misses);
+    return fnv.digest();
+}
+
 void
 Cache::reset()
 {
@@ -153,6 +170,17 @@ DataHierarchy::access(std::uint64_t addr, bool write)
     return out;
 }
 
+std::uint64_t
+DataHierarchy::stateDigest() const
+{
+    core::Fnv1a fnv;
+    fnv.update64(_dl1.stateDigest());
+    fnv.update64(_l2.stateDigest());
+    fnv.update64(_tlb.stateDigest());
+    fnv.update64(_prefetches);
+    return fnv.digest();
+}
+
 InstrHierarchy::InstrHierarchy(const MemoryConfig &config)
     : _config(config), _il1(config.il1), _l2(config.l2),
       _tlb(config.instrTranslation)
@@ -180,6 +208,16 @@ InstrHierarchy::fetch(std::uint64_t pc_byte_addr)
         + _config.memLatency + tr.latency;
     out.level = MemLevel::Memory;
     return out;
+}
+
+std::uint64_t
+InstrHierarchy::stateDigest() const
+{
+    core::Fnv1a fnv;
+    fnv.update64(_il1.stateDigest());
+    fnv.update64(_l2.stateDigest());
+    fnv.update64(_tlb.stateDigest());
+    return fnv.digest();
 }
 
 } // namespace bioarch::sim

@@ -58,6 +58,14 @@ class Cache
     /** Drop all contents and statistics. */
     void reset();
 
+    /**
+     * Order-sensitive FNV-1a digest over the complete replacement
+     * state (tags, LRU stamps, clock) and statistics. Snapshot /
+     * restore round-trips are verified by digest equality: a copy
+     * digests equal, and stays equal under the same access stream.
+     */
+    std::uint64_t stateDigest() const;
+
   private:
     CacheConfig _config;
     int _numSets = 0;
@@ -109,6 +117,9 @@ class DataHierarchy
     const TranslationUnit &tlb() const { return _tlb; }
     std::uint64_t prefetches() const { return _prefetches; }
 
+    /** Digest over every level's state (see Cache::stateDigest). */
+    std::uint64_t stateDigest() const;
+
   private:
     MemoryConfig _config;
     Cache _dl1;
@@ -131,6 +142,9 @@ class InstrHierarchy
 
     const Cache &il1() const { return _il1; }
     const TranslationUnit &tlb() const { return _tlb; }
+
+    /** Digest over every level's state (see Cache::stateDigest). */
+    std::uint64_t stateDigest() const;
 
   private:
     MemoryConfig _config;

@@ -57,6 +57,120 @@ SimStats::fingerprint() const
     return fnv.digest();
 }
 
+void
+SimStats::accumulate(const SimStats &other)
+{
+    cycles += other.cycles;
+    instructions += other.instructions;
+    for (int t = 0; t < numTraumas; ++t)
+        traumas.cycles[static_cast<std::size_t>(t)] +=
+            other.traumas.cycles[static_cast<std::size_t>(t)];
+    dl1Accesses += other.dl1Accesses;
+    dl1Misses += other.dl1Misses;
+    l2Accesses += other.l2Accesses;
+    l2Misses += other.l2Misses;
+    il1Misses += other.il1Misses;
+    dtlb1Misses += other.dtlb1Misses;
+    dtlb2Misses += other.dtlb2Misses;
+    branchPredictions += other.branchPredictions;
+    branchMispredictions += other.branchMispredictions;
+    btbMisses += other.btbMisses;
+
+    const auto add_hist = [](std::vector<std::uint64_t> &into,
+                             const std::vector<std::uint64_t> &from) {
+        if (into.size() < from.size())
+            into.resize(from.size(), 0);
+        for (std::size_t n = 0; n < from.size(); ++n)
+            into[n] += from[n];
+    };
+    for (int c = 0; c < numFuClasses; ++c)
+        add_hist(queueOccupancy[static_cast<std::size_t>(c)],
+                 other.queueOccupancy[static_cast<std::size_t>(c)]);
+    add_hist(inflightOccupancy, other.inflightOccupancy);
+    add_hist(retireQueueOccupancy, other.retireQueueOccupancy);
+}
+
+MachineState::MachineState(const SimConfig &config)
+    : _dmem(config.memory), _imem(config.memory),
+      _btb(config.bpred.btbEntries, config.bpred.btbAssociativity),
+      _predictor([&config]()
+                     -> std::variant<BimodalPredictor,
+                                     GsharePredictor,
+                                     CombinedPredictor,
+                                     PerfectPredictor> {
+          const BranchPredictorConfig &bp = config.bpred;
+          switch (bp.kind) {
+            case PredictorKind::Bimodal:
+              return BimodalPredictor(bp.tableEntries);
+            case PredictorKind::Gshare:
+              return GsharePredictor(bp.tableEntries);
+            case PredictorKind::Combined:
+              return CombinedPredictor(bp.tableEntries);
+            case PredictorKind::Perfect:
+              return PerfectPredictor();
+          }
+          return CombinedPredictor(bp.tableEntries);
+      }()),
+      _il1LineShift(std::countr_zero(static_cast<unsigned>(
+          std::max(1, config.memory.il1.lineBytes))))
+{
+}
+
+void
+MachineState::warm(const trace::TraceView &window)
+{
+    // The same structural touches the detailed loop makes, minus
+    // all timing: one I-side fetch per new line, predict+train per
+    // conditional branch, a BTB probe per taken branch, and a
+    // D-side hierarchy access per memory op. Warmup accesses land
+    // on the state's own statistics counters; runWindow() measures
+    // against a baseline, so they never leak into window stats.
+    std::uint64_t last_line = ~std::uint64_t{0};
+    std::visit(
+        [&](auto &predictor) {
+            using P = std::decay_t<decltype(predictor)>;
+            for (const isa::Inst &inst : window) {
+                // Line bytes are a power of two (the cache model
+                // indexes by shift), so this stays off the
+                // integer divider — warm() runs this per
+                // instruction and it is the sampler's speed limit.
+                const std::uint64_t line =
+                    inst.byteAddress() >> _il1LineShift;
+                if (line != last_line) {
+                    _imem.fetch(inst.byteAddress());
+                    last_line = line;
+                }
+                if (inst.isBranch()) {
+                    if (inst.conditional) {
+                        if constexpr (std::is_same_v<
+                                          P, PerfectPredictor>)
+                            predictor.setOutcome(inst.taken);
+                        predictor.predict(inst.pc);
+                        predictor.update(inst.pc, inst.taken);
+                    }
+                    if (inst.taken)
+                        _btb.lookup(inst.pc);
+                } else if (inst.isMemory()) {
+                    _dmem.access(inst.addr, inst.isStore());
+                }
+            }
+        },
+        _predictor);
+}
+
+std::uint64_t
+MachineState::stateDigest() const
+{
+    core::Fnv1a fnv;
+    fnv.update64(_dmem.stateDigest());
+    fnv.update64(_imem.stateDigest());
+    fnv.update64(_btb.stateDigest());
+    fnv.update64(static_cast<std::uint64_t>(_predictor.index()));
+    fnv.update64(std::visit(
+        [](const auto &p) { return p.stateDigest(); }, _predictor));
+    return fnv.digest();
+}
+
 namespace
 {
 
@@ -322,36 +436,32 @@ Simulator::Simulator(const SimConfig &config) : _config(config)
 SimStats
 Simulator::run(const trace::Trace &tr)
 {
+    // A full run is the degenerate sampled case: one window over
+    // the whole trace, from cold state. Bit-for-bit identical to
+    // the historical all-in-one loop (the golden tests pin this).
+    MachineState state(_config);
+    return runWindow(tr.view(), state);
+}
+
+SimStats
+Simulator::runWindow(const trace::TraceView &window,
+                     MachineState &state)
+{
     // Hoist the predictor dispatch out of the simulation loop: one
-    // switch here instead of a virtual call per fetched branch. The
+    // visit here instead of a virtual call per fetched branch. The
     // concrete predictor types are final, so the instantiated loop
     // calls (and typically inlines) predict/update directly.
-    const BranchPredictorConfig &bp = _config.bpred;
-    switch (bp.kind) {
-      case PredictorKind::Bimodal: {
-          BimodalPredictor p(bp.tableEntries);
-          return runImpl(tr, p);
-      }
-      case PredictorKind::Gshare: {
-          GsharePredictor p(bp.tableEntries);
-          return runImpl(tr, p);
-      }
-      case PredictorKind::Combined: {
-          CombinedPredictor p(bp.tableEntries);
-          return runImpl(tr, p);
-      }
-      case PredictorKind::Perfect: {
-          PerfectPredictor p;
-          return runImpl(tr, p);
-      }
-    }
-    CombinedPredictor p(bp.tableEntries);
-    return runImpl(tr, p);
+    return std::visit(
+        [&](auto &predictor) {
+            return runImpl(window, predictor, state);
+        },
+        state._predictor);
 }
 
 template <class Predictor>
 SimStats
-Simulator::runImpl(const trace::Trace &tr, Predictor &predictor)
+Simulator::runImpl(const trace::TraceView &tr, Predictor &predictor,
+                   MachineState &state)
 {
     SimStats stats;
     const CoreConfig &core = _config.core;
@@ -382,15 +492,26 @@ Simulator::runImpl(const trace::Trace &tr, Predictor &predictor)
 
     if (tr.empty())
         return stats;
-    // The intrusive waiter/wheel links store trace indices in 32
-    // bits (31 in the packed scan queues); a trace that large is
-    // far beyond physical memory.
+    // The intrusive waiter/wheel links store window-relative trace
+    // indices in 32 bits (31 in the packed scan queues); a window
+    // that large is far beyond physical memory.
     assert(tr.size() < (std::uint64_t{noLink} >> 1));
 
-
-    DataHierarchy dmem(_config.memory);
-    InstrHierarchy imem(_config.memory);
-    Btb btb(bp.btbEntries, bp.btbAssociativity);
+    // The machine state is warm when a sampling driver calls in
+    // (cold from run()); statistics are measured against these
+    // baselines so a window reports only its own events.
+    DataHierarchy &dmem = state._dmem;
+    InstrHierarchy &imem = state._imem;
+    Btb &btb = state._btb;
+    const std::uint64_t base_dl1_accesses = dmem.dl1().accesses();
+    const std::uint64_t base_dl1_misses = dmem.dl1().misses();
+    const std::uint64_t base_l2_accesses = dmem.l2().accesses();
+    const std::uint64_t base_l2_misses = dmem.l2().misses();
+    const std::uint64_t base_dtlb1_misses =
+        dmem.tlb().tlb1().misses();
+    const std::uint64_t base_dtlb2_misses =
+        dmem.tlb().tlb2().misses();
+    const std::uint64_t base_btb_misses = btb.misses();
     std::uint64_t branch_predictions = 0;
     std::uint64_t branch_mispredictions = 0;
 
@@ -1235,15 +1356,17 @@ Simulator::runImpl(const trace::Trace &tr, Predictor &predictor)
             occupied += h[n];
         h[0] = now - occupied;
     }
-    stats.dl1Accesses = dmem.dl1().accesses();
-    stats.dl1Misses = dmem.dl1().misses();
-    stats.l2Accesses = dmem.l2().accesses();
-    stats.l2Misses = dmem.l2().misses();
-    stats.dtlb1Misses = dmem.tlb().tlb1().misses();
-    stats.dtlb2Misses = dmem.tlb().tlb2().misses();
+    stats.dl1Accesses = dmem.dl1().accesses() - base_dl1_accesses;
+    stats.dl1Misses = dmem.dl1().misses() - base_dl1_misses;
+    stats.l2Accesses = dmem.l2().accesses() - base_l2_accesses;
+    stats.l2Misses = dmem.l2().misses() - base_l2_misses;
+    stats.dtlb1Misses =
+        dmem.tlb().tlb1().misses() - base_dtlb1_misses;
+    stats.dtlb2Misses =
+        dmem.tlb().tlb2().misses() - base_dtlb2_misses;
     stats.branchPredictions = branch_predictions;
     stats.branchMispredictions = branch_mispredictions;
-    stats.btbMisses = btb.misses();
+    stats.btbMisses = btb.misses() - base_btb_misses;
     return stats;
 }
 

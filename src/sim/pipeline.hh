@@ -24,6 +24,7 @@
 
 #include <array>
 #include <cstdint>
+#include <variant>
 #include <vector>
 
 #include "bpred.hh"
@@ -109,6 +110,75 @@ struct SimStats
     /** Every counter and histogram equal — the bit-for-bit
      * determinism contract the parallel sweep is tested against. */
     bool operator==(const SimStats &) const = default;
+
+    /**
+     * Add @p other's counters and histograms into this one (the
+     * sampled-simulation merge: per-window stats summed in window
+     * order are one deterministic aggregate whatever the execution
+     * schedule was). Histograms grow to the larger length.
+     */
+    void accumulate(const SimStats &other);
+};
+
+/**
+ * The checkpointable micro-architectural state that survives
+ * between simulation windows: the cache and TLB tag arrays on both
+ * sides, the BTB, and the direction predictor's tables. This is
+ * exactly the state functional warmup trains and a measurement
+ * window consumes; the pipeline's transient state (ROB, issue
+ * queues, in-flight instructions) is drained at window boundaries
+ * and never checkpointed.
+ *
+ * The class is copyable, and a copy IS a snapshot: restoring means
+ * copying back (or running from the copy). Equality of two states
+ * is checked through stateDigest().
+ */
+class MachineState
+{
+  public:
+    /** Cold state for @p config (what a full run starts from). */
+    explicit MachineState(const SimConfig &config);
+
+    /** An independent snapshot of the complete state. */
+    MachineState snapshot() const { return *this; }
+
+    /** Restore this state from a snapshot. */
+    void restore(const MachineState &snap) { *this = snap; }
+
+    /**
+     * Functional warmup: stream @p window through the caches,
+     * TLBs, BTB and direction predictor — the same structural
+     * updates the detailed loop performs, with no timing model.
+     * This is what makes measurement windows independent: a
+     * window's state is trained by a bounded warmup prefix instead
+     * of by detailed-simulating everything before it.
+     */
+    void warm(const trace::TraceView &window);
+
+    /** Order-sensitive FNV-1a digest over the complete state. */
+    std::uint64_t stateDigest() const;
+
+    DataHierarchy &dataHierarchy() { return _dmem; }
+    InstrHierarchy &instrHierarchy() { return _imem; }
+    Btb &btb() { return _btb; }
+    const DataHierarchy &dataHierarchy() const { return _dmem; }
+    const InstrHierarchy &instrHierarchy() const { return _imem; }
+    const Btb &btb() const { return _btb; }
+
+  private:
+    friend class Simulator;
+
+    DataHierarchy _dmem;
+    InstrHierarchy _imem;
+    Btb _btb;
+    /** Concrete predictor (selected once from the config), so the
+     * detailed loop keeps its devirtualized instantiation. */
+    std::variant<BimodalPredictor, GsharePredictor,
+                 CombinedPredictor, PerfectPredictor>
+        _predictor;
+    /** log2 of the IL1 line size (power of two), so the per-
+     * instruction line check in warm() is a shift. */
+    int _il1LineShift = 7;
 };
 
 /**
@@ -123,17 +193,31 @@ class Simulator
     /** Simulate @p trace to completion and return the statistics. */
     SimStats run(const trace::Trace &trace);
 
+    /**
+     * Detailed-simulate one window of a trace, starting from (and
+     * updating in place) the warm machine state @p state. The
+     * pipeline starts empty and drains at the window's end — the
+     * contract a sampling driver needs: windows are independent
+     * given their warm state, and statistics cover only this
+     * window's instructions (warmup accesses to @p state before
+     * the call are excluded).
+     *
+     * run(trace) is exactly runWindow(trace.view(), cold state).
+     */
+    SimStats runWindow(const trace::TraceView &window,
+                       MachineState &state);
+
     const SimConfig &config() const { return _config; }
 
   private:
     /**
      * The simulation loop, instantiated per concrete predictor
-     * type (run() switches on PredictorKind once, hoisting the
-     * dispatch out of the per-branch hot path).
+     * type (runWindow() visits the state's variant once, hoisting
+     * the dispatch out of the per-branch hot path).
      */
     template <class Predictor>
-    SimStats runImpl(const trace::Trace &trace,
-                     Predictor &predictor);
+    SimStats runImpl(const trace::TraceView &window,
+                     Predictor &predictor, MachineState &state);
 
     SimConfig _config;
 };

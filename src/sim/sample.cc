@@ -1,0 +1,298 @@
+#include "sample.hh"
+
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "core/digest.hh"
+#include "core/thread_pool.hh"
+
+namespace bioarch::sim
+{
+
+std::string
+SampleConfig::validate() const
+{
+    if (windowInsts == 0)
+        return "sample window must be a positive instruction count";
+    if (periodInsts == 0)
+        return "sample period must be a positive instruction count";
+    if (windowInsts > periodInsts)
+        return "sample window (" + std::to_string(windowInsts)
+            + ") must not exceed the sample period ("
+            + std::to_string(periodInsts) + ")";
+    if (chunkWindows == 0)
+        return "sample chunk must hold at least one window";
+    if (jobs == 0)
+        return "sample jobs must be at least 1";
+    return "";
+}
+
+namespace
+{
+
+/** splitmix64: the offset scrambler for window placement. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::vector<SampleWindow>
+planWindows(std::uint64_t traceInsts, const SampleConfig &config)
+{
+    std::vector<SampleWindow> windows;
+    if (traceInsts == 0)
+        return windows;
+
+    // One window per period. The window sits at a *pseudo-random
+    // offset* within its period (deterministic — a fixed hash of
+    // the period index — so plans never depend on anything but the
+    // config): strict period-start placement resonates with loopy
+    // programs whose phase structure divides the period, and the
+    // aliased estimate can be off by 10x the jittered one. Each
+    // window stands for exactly its period's instructions, so the
+    // represents counts partition the trace.
+    std::uint64_t index = 0;
+    for (std::uint64_t periodBegin = 0; periodBegin < traceInsts;
+         periodBegin += config.periodInsts, ++index) {
+        const std::uint64_t span =
+            std::min(config.periodInsts, traceInsts - periodBegin);
+        SampleWindow w;
+        w.count = std::min(config.windowInsts, span);
+        const std::uint64_t slack = span - w.count;
+        w.begin = periodBegin
+            + (slack == 0 ? 0 : mix64(index) % (slack + 1));
+        w.represents = span;
+        w.warmupBegin = w.begin >= config.warmupInsts
+            ? w.begin - config.warmupInsts
+            : 0;
+        windows.push_back(w);
+    }
+    return windows;
+}
+
+double
+SampledStats::traumaShare(Trauma t) const
+{
+    const std::uint64_t total = measured.traumas.total();
+    return total == 0
+        ? 0.0
+        : static_cast<double>(measured.traumas.get(t))
+            / static_cast<double>(total);
+}
+
+std::uint64_t
+SampledStats::fingerprint() const
+{
+    core::Fnv1a fnv;
+    fnv.update64(measured.fingerprint());
+    fnv.update64(windows);
+    fnv.update64(traceInstructions);
+    fnv.update64(measuredInstructions);
+    fnv.update64(warmupInstructions);
+    fnv.update64(dl1Accesses);
+    fnv.update64(dl1Misses);
+    fnv.update64(l2Accesses);
+    fnv.update64(l2Misses);
+    fnv.update64(std::bit_cast<std::uint64_t>(estimatedCycles));
+    return fnv.digest();
+}
+
+namespace
+{
+
+/** Relative error in percent; absolute (scaled) when the reference
+ * is effectively zero, so empty counters do not divide by zero. */
+double
+relErrorPct(double sampled, double full)
+{
+    const double diff =
+        sampled >= full ? sampled - full : full - sampled;
+    if (full > 1e-9 || full < -1e-9)
+        return 100.0 * diff / (full < 0 ? -full : full);
+    return 100.0 * diff;
+}
+
+} // namespace
+
+SampleError
+compareSampled(const SampledStats &sampled, const SimStats &full)
+{
+    SampleError err;
+    err.ipcPct = relErrorPct(sampled.ipc(), full.ipc());
+    err.dl1MissRatePct =
+        relErrorPct(sampled.dl1MissRate(), full.dl1MissRate());
+    const double fullL2 = full.l2Accesses == 0
+        ? 0.0
+        : static_cast<double>(full.l2Misses)
+            / static_cast<double>(full.l2Accesses);
+    err.l2MissRatePct = relErrorPct(sampled.l2MissRate(), fullL2);
+
+    const std::uint64_t fullTotal = full.traumas.total();
+    for (int t = 0; t < numTraumas; ++t) {
+        const Trauma trauma = static_cast<Trauma>(t);
+        const double fullShare = fullTotal == 0
+            ? 0.0
+            : static_cast<double>(full.traumas.get(trauma))
+                / static_cast<double>(fullTotal);
+        const double diff =
+            100.0 * (sampled.traumaShare(trauma) - fullShare);
+        const double pts = diff < 0 ? -diff : diff;
+        if (pts > err.traumaSharePts)
+            err.traumaSharePts = pts;
+    }
+    return err;
+}
+
+SampledStats
+sampleTrace(const trace::Trace &trace, const SimConfig &machine,
+            const SampleConfig &config)
+{
+    const std::string problem = config.validate();
+    if (!problem.empty())
+        throw std::invalid_argument(problem);
+
+    const std::vector<SampleWindow> windows =
+        planWindows(trace.size(), config);
+
+    // Chunks are the parallel unit. Each chunk trains a cold
+    // MachineState over its first window's warmup prefix, then
+    // alternates detailed measurement (runWindow) with functional
+    // warming of the inter-window gaps, so every window after a
+    // chunk's first carries *continuous* state history — the
+    // bounded-warmup error is paid once per chunk, not once per
+    // window. The chunk partition depends only on the config, and
+    // results land in index-ordered slots merged after the pool
+    // drains, so the aggregate is bit-identical whatever the
+    // execution schedule was.
+    //
+    // Cache miss rates are never extrapolated from windows: the
+    // functional stream covers the complete trace and the
+    // whole-trace dl1/l2 counters are read off the machine state.
+    // Whenever the last chunk's warmup reaches back to the trace's
+    // head (always true for a lone chunk, whose first window warms
+    // the full prefix regardless of warmupInsts; true for any
+    // chunk when warmupInsts exceeds the trace) that chunk's own
+    // walk [0, lastWindowEnd) plus a warmed tail IS the coverage
+    // stream, for free. Only a multi-chunk run with bounded
+    // warmups needs a dedicated coverage pass as one extra
+    // parallel task.
+    std::vector<SimStats> results(windows.size());
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            config.chunkWindows, windows.size()));
+    const std::size_t chunks =
+        chunk == 0 ? 0 : (windows.size() + chunk - 1) / chunk;
+    const bool lastCovers = chunks == 1
+        || (chunks > 1
+            && windows[(chunks - 1) * chunk].warmupBegin == 0);
+    std::uint64_t dl1_accesses = 0;
+    std::uint64_t dl1_misses = 0;
+    std::uint64_t l2_accesses = 0;
+    std::uint64_t l2_misses = 0;
+    const auto harvest = [&](const MachineState &state) {
+        dl1_accesses = state.dataHierarchy().dl1().accesses();
+        dl1_misses = state.dataHierarchy().dl1().misses();
+        l2_accesses = state.dataHierarchy().l2().accesses();
+        l2_misses = state.dataHierarchy().l2().misses();
+    };
+    const auto runChunk = [&](std::size_t c) {
+        if (c == chunks) {
+            // Dedicated coverage pass (bounded-warmup multi-chunk
+            // runs only): one pure functional walk of the whole
+            // trace for the exact miss-rate counters.
+            MachineState state(machine);
+            state.warm(trace.view());
+            harvest(state);
+            return;
+        }
+        const std::size_t first = c * chunk;
+        const std::size_t last =
+            std::min(first + chunk, windows.size());
+        const std::uint64_t warm_begin = chunks == 1
+            ? 0
+            : windows[first].warmupBegin;
+        MachineState state(machine);
+        Simulator sim(machine);
+        if (windows[first].begin > warm_begin)
+            state.warm(trace.subspan(
+                warm_begin, windows[first].begin - warm_begin));
+        for (std::size_t i = first; i < last; ++i) {
+            const SampleWindow &w = windows[i];
+            results[i] = sim.runWindow(
+                trace.subspan(w.begin, w.count), state);
+            if (i + 1 < last) {
+                const std::uint64_t gap_begin = w.begin + w.count;
+                state.warm(trace.subspan(
+                    gap_begin, windows[i + 1].begin - gap_begin));
+            }
+        }
+        if (lastCovers && c == chunks - 1) {
+            const SampleWindow &w = windows.back();
+            const std::uint64_t end = w.begin + w.count;
+            if (end < trace.size())
+                state.warm(
+                    trace.subspan(end, trace.size() - end));
+            harvest(state);
+        }
+    };
+
+    // One extra task when the coverage pass is separate.
+    const std::size_t tasks =
+        chunks == 0 ? 0 : (lastCovers ? chunks : chunks + 1);
+    if (config.jobs <= 1 || tasks <= 1) {
+        // Serial path doubles as the nested-pool escape hatch: a
+        // sweep point already running inside a ThreadPool task must
+        // not wait() on a pool from within it.
+        for (std::size_t t = 0; t < tasks; ++t)
+            runChunk(t);
+    } else {
+        core::ThreadPool pool(config.jobs);
+        pool.parallelFor(tasks, runChunk);
+    }
+
+    SampledStats out;
+    out.windows = windows.size();
+    out.traceInstructions = trace.size();
+    out.dl1Accesses = dl1_accesses;
+    out.dl1Misses = dl1_misses;
+    out.l2Accesses = l2_accesses;
+    out.l2Misses = l2_misses;
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        const SampleWindow &w = windows[i];
+        out.measured.accumulate(results[i]);
+        out.measuredInstructions += w.count;
+        // Fixed accumulation order keeps the double deterministic.
+        out.estimatedCycles +=
+            static_cast<double>(results[i].cycles)
+            * (static_cast<double>(w.represents)
+               / static_cast<double>(w.count));
+    }
+    // Functionally-warmed instructions: each chunk's prefix and
+    // gaps, plus the tail or the dedicated coverage pass.
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        const SampleWindow &w = windows[i];
+        if (i % chunk == 0)
+            out.warmupInstructions += chunks == 1
+                ? w.begin
+                : w.begin - w.warmupBegin;
+        else
+            out.warmupInstructions += w.begin
+                - (windows[i - 1].begin + windows[i - 1].count);
+    }
+    if (chunks > 0) {
+        const SampleWindow &w = windows.back();
+        out.warmupInstructions += lastCovers
+            ? trace.size() - (w.begin + w.count)
+            : trace.size();
+    }
+    return out;
+}
+
+} // namespace bioarch::sim

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "core/digest.hh"
+
 namespace bioarch::sim
 {
 
@@ -61,6 +63,21 @@ Tlb::access(std::uint64_t page)
     return false;
 }
 
+std::uint64_t
+Tlb::stateDigest() const
+{
+    core::Fnv1a fnv;
+    fnv.update64(_tags.size());
+    for (const std::uint64_t t : _tags)
+        fnv.update64(t);
+    for (const std::uint64_t s : _stamps)
+        fnv.update64(s);
+    fnv.update64(_clock);
+    fnv.update64(_accesses);
+    fnv.update64(_misses);
+    return fnv.digest();
+}
+
 TranslationUnit::TranslationUnit(const TranslationConfig &config)
     : _config(config), _tlb1(config.tlb1), _tlb2(config.tlb2)
 {
@@ -87,6 +104,15 @@ TranslationUnit::translate(std::uint64_t addr)
     out.latency = _config.tlb2Latency + _config.walkLatency;
     out.level = TlbLevel::Walk;
     return out;
+}
+
+std::uint64_t
+TranslationUnit::stateDigest() const
+{
+    core::Fnv1a fnv;
+    fnv.update64(_tlb1.stateDigest());
+    fnv.update64(_tlb2.stateDigest());
+    return fnv.digest();
 }
 
 } // namespace bioarch::sim

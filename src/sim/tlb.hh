@@ -56,6 +56,10 @@ class Tlb
     std::uint64_t accesses() const { return _accesses; }
     std::uint64_t misses() const { return _misses; }
 
+    /** FNV-1a digest over tags, stamps, clock and statistics (the
+     * snapshot/restore equality check, as in Cache). */
+    std::uint64_t stateDigest() const;
+
   private:
     TlbConfig _config;
     int _sets = 1;
@@ -87,6 +91,9 @@ class TranslationUnit
 
     const Tlb &tlb1() const { return _tlb1; }
     const Tlb &tlb2() const { return _tlb2; }
+
+    /** Digest over both levels (see Tlb::stateDigest). */
+    std::uint64_t stateDigest() const;
 
   private:
     TranslationConfig _config;

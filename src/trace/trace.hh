@@ -6,6 +6,7 @@
 #ifndef BIOARCH_TRACE_TRACE_HH
 #define BIOARCH_TRACE_TRACE_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
@@ -64,6 +65,43 @@ struct InstructionMix
 };
 
 /**
+ * A zero-copy view over a contiguous run of trace instructions —
+ * the unit the sampled-simulation driver hands to the detailed
+ * pipeline. Indices are view-relative (0 .. size()); baseIndex()
+ * records where the window sits in the owning trace. Views never
+ * own or copy instruction records, so splitting a multi-million-
+ * instruction trace into measurement windows costs nothing.
+ */
+class TraceView
+{
+  public:
+    TraceView() = default;
+    TraceView(const isa::Inst *data, std::size_t size,
+              std::uint64_t base_index = 0)
+        : _data(data), _size(size), _baseIndex(base_index)
+    {
+    }
+
+    std::size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+    /** Index of this window's first instruction in the full trace. */
+    std::uint64_t baseIndex() const { return _baseIndex; }
+
+    const isa::Inst &operator[](std::size_t i) const
+    {
+        return _data[i];
+    }
+
+    const isa::Inst *begin() const { return _data; }
+    const isa::Inst *end() const { return _data + _size; }
+
+  private:
+    const isa::Inst *_data = nullptr;
+    std::size_t _size = 0;
+    std::uint64_t _baseIndex = 0;
+};
+
+/**
  * A named dynamic instruction trace: the unit of work the simulator
  * consumes. Owns the instruction records and aggregate statistics.
  */
@@ -105,6 +143,35 @@ class Trace
     shrinkToFit()
     {
         _insts.shrink_to_fit();
+    }
+
+    /** View over the whole trace. */
+    TraceView
+    view() const
+    {
+        return TraceView(_insts.data(), _insts.size(), 0);
+    }
+
+    /**
+     * Zero-copy window [begin, begin + count), clamped to the
+     * trace's end. A @p begin past the end yields an empty view.
+     */
+    TraceView
+    subspan(std::size_t begin, std::size_t count) const
+    {
+        if (begin >= _insts.size())
+            return TraceView(nullptr, 0, begin);
+        const std::size_t n =
+            std::min(count, _insts.size() - begin);
+        return TraceView(_insts.data() + begin, n, begin);
+    }
+
+    /** Bytes held by the instruction records (capacity, i.e. what
+     * the process actually pays, not just what is filled). */
+    std::size_t
+    memoryBytes() const
+    {
+        return _insts.capacity() * sizeof(isa::Inst);
     }
 
     /** Compute the per-class instruction mix. */

@@ -58,7 +58,7 @@ determinismPoints()
     std::vector<core::SweepPoint> points;
     for (const kernels::Workload w : kernels::allWorkloads)
         for (const sim::SimConfig &cfg : {narrow, wide, ideal})
-            points.push_back({w, cfg, {}});
+            points.push_back({w, cfg, {}, {}});
     return points;
 }
 

@@ -25,6 +25,7 @@
 #include "core/report.hh"
 #include "core/suite.hh"
 #include "core/sweep.hh"
+#include "sim/sample.hh"
 #include "trace/trace_io.hh"
 
 using namespace bioarch;
@@ -51,6 +52,14 @@ usage(std::ostream &out)
            "  --width W         4 | 8 | 16 (default 4)\n"
            "  --memory M        me1 | me2 | me3 | me4 | meinf\n"
            "  --bpred P         bimodal | gshare | gp | perfect\n"
+           "\n"
+           "sampled simulation (any flag enables sampling):\n"
+           "  --sample-window N measured instructions per window\n"
+           "                    (default 20000)\n"
+           "  --sample-period N distance between window starts\n"
+           "                    (default 250000; >= window)\n"
+           "  --sample-warmup N functional-warmup instructions per\n"
+           "                    window (default 50000)\n"
            "\n"
            "design-space sweep:\n"
            "  --sweep           simulate the full width x memory x\n"
@@ -109,7 +118,8 @@ parsePredictor(const std::string &name)
 int
 runFullSweep(const std::optional<kernels::Workload> &only,
              const kernels::TraceSpec &spec, unsigned jobs,
-             bool csv)
+             bool csv,
+             const std::optional<sim::SampleConfig> &sample)
 {
     core::WorkloadSuite suite(spec);
 
@@ -134,6 +144,7 @@ runFullSweep(const std::optional<kernels::Workload> &only,
                     p.config.core = core_cfg;
                     p.config.memory = mem;
                     p.config.bpred.kind = kind;
+                    p.sample = sample;
                     points.push_back(std::move(p));
                 }
 
@@ -144,15 +155,24 @@ runFullSweep(const std::optional<kernels::Workload> &only,
                    "IPC", "DL1 miss %", "BP acc %", "ms"});
     for (std::size_t i = 0; i < sweep.points.size(); ++i) {
         const core::SweepPointResult &r = sweep.points[i];
+        // Sampled points report whole-trace estimates; full points
+        // report exact counts. Either way the row shape is one.
+        const std::uint64_t cycles = r.sampled
+            ? static_cast<std::uint64_t>(r.sampled->estimatedCycles)
+            : r.stats.cycles;
+        const double ipc =
+            r.sampled ? r.sampled->ipc() : r.stats.ipc();
+        const double dl1 = r.sampled ? r.sampled->dl1MissRate()
+                                     : r.stats.dl1MissRate();
         t.row()
             .add(std::string(kernels::workloadName(r.point.workload)))
             .add(r.point.config.core.name)
             .add(r.point.config.memory.name)
             .add(std::string(
                 sim::predictorKindName(r.point.config.bpred.kind)))
-            .add(r.stats.cycles)
-            .add(r.stats.ipc(), 3)
-            .add(100.0 * r.stats.dl1MissRate(), 2)
+            .add(cycles)
+            .add(ipc, 3)
+            .add(100.0 * dl1, 2)
             .add(100.0 * r.stats.predictionAccuracy(), 2)
             .add(r.elapsedMs, 1);
     }
@@ -195,6 +215,8 @@ main(int argc, char **argv)
     sim::SimConfig cfg;
     bool csv = false;
     bool sweep = false;
+    bool sampling = false;
+    sim::SampleConfig sample_cfg;
     unsigned jobs = core::ThreadPool::defaultJobs();
 
     for (int i = 1; i < argc; ++i) {
@@ -253,6 +275,29 @@ main(int argc, char **argv)
                 return 2;
             }
             cfg.bpred.kind = *bp;
+        } else if (arg == "--sample-window"
+                   || arg == "--sample-period"
+                   || arg == "--sample-warmup") {
+            // Reject zero / negative / non-numeric up front: a zero
+            // window or period would plan no measurement at all,
+            // and negative counts are nonsense.
+            const long long n = std::atoll(value().c_str());
+            if (n <= 0) {
+                std::cerr << arg
+                          << " must be a positive instruction "
+                             "count\n";
+                return 2;
+            }
+            if (arg == "--sample-window")
+                sample_cfg.windowInsts =
+                    static_cast<std::uint64_t>(n);
+            else if (arg == "--sample-period")
+                sample_cfg.periodInsts =
+                    static_cast<std::uint64_t>(n);
+            else
+                sample_cfg.warmupInsts =
+                    static_cast<std::uint64_t>(n);
+            sampling = true;
         } else if (arg == "--sweep") {
             sweep = true;
         } else if (arg == "--jobs") {
@@ -276,13 +321,24 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (sampling) {
+        const std::string problem = sample_cfg.validate();
+        if (!problem.empty()) {
+            std::cerr << problem << "\n";
+            return 2;
+        }
+    }
+    const std::optional<sim::SampleConfig> sample =
+        sampling ? std::optional<sim::SampleConfig>(sample_cfg)
+                 : std::nullopt;
+
     if (sweep) {
         if (!trace_path.empty()) {
             std::cerr << "--sweep generates its own traces; it "
                          "cannot be combined with --trace\n";
             return 2;
         }
-        return runFullSweep(workload, spec, jobs, csv);
+        return runFullSweep(workload, spec, jobs, csv, sample);
     }
 
     if (!workload && trace_path.empty()) {
@@ -309,8 +365,15 @@ main(int argc, char **argv)
         return 1;
     }
 
-    // Simulate and report.
-    const sim::SimStats stats = core::simulate(tr, cfg);
+    // Simulate (fully, or sampled) and report.
+    std::optional<sim::SampledStats> sampled;
+    sim::SimStats stats;
+    if (sample)
+        sampled = sim::sampleTrace(tr, cfg, *sample);
+    else
+        stats = core::simulate(tr, cfg);
+    if (sampled)
+        stats = sampled->measured;
     const trace::InstructionMix mix = tr.mix();
 
     core::Table summary({"metric", "value"});
@@ -321,11 +384,30 @@ main(int argc, char **argv)
     summary.row().add("memory").add(cfg.memory.name);
     summary.row().add("predictor").add(
         std::string(sim::predictorKindName(cfg.bpred.kind)));
-    summary.row().add("cycles").add(stats.cycles);
-    summary.row().add("IPC").add(stats.ipc(), 3);
+    if (sampled) {
+        summary.row().add("sampling").add(
+            "window " + std::to_string(sample->windowInsts)
+            + " / period " + std::to_string(sample->periodInsts)
+            + " / warmup " + std::to_string(sample->warmupInsts));
+        summary.row().add("windows").add(sampled->windows);
+        summary.row().add("sampled insts %").add(
+            100.0 * sampled->sampledFraction(), 2);
+        summary.row().add("est. cycles").add(
+            static_cast<std::uint64_t>(sampled->estimatedCycles));
+        summary.row().add("est. IPC").add(sampled->ipc(), 3);
+    } else {
+        summary.row().add("cycles").add(stats.cycles);
+        summary.row().add("IPC").add(stats.ipc(), 3);
+    }
+    // Sampled runs report the exact whole-trace rates from the
+    // functional coverage stream, not the windowed counters.
     summary.row().add("DL1 miss rate %").add(
-        100.0 * stats.dl1MissRate(), 2);
-    summary.row().add("L2 misses").add(stats.l2Misses);
+        100.0
+            * (sampled ? sampled->dl1MissRate()
+                       : stats.dl1MissRate()),
+        2);
+    summary.row().add("L2 misses").add(
+        sampled ? sampled->l2Misses : stats.l2Misses);
     summary.row().add("BP accuracy %").add(
         100.0 * stats.predictionAccuracy(), 2);
     summary.row().add("ctrl %").add(100.0 * mix.ctrlFraction(), 1);
