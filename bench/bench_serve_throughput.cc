@@ -21,6 +21,12 @@
  * per-tenant counters must satisfy served + shed +
  * deadline_expired + dropped == offered.
  *
+ * The two-phase reporting segment replays the stream score-only
+ * and with CIGAR reporting against the reference Zipf database;
+ * the ranked hits must be bit-identical (reporting runs strictly
+ * after the merge) and the footer's report_overhead_pct is the
+ * end-to-end cost of the traceback phase.
+ *
  * Knobs: BIOARCH_JOBS (worker threads), BIOARCH_DB_SEQS (database
  * size, default 200 here), BIOARCH_SIMD_BACKEND (native backend
  * selection).
@@ -362,6 +368,49 @@ main()
         }
     }
 
+    // Two-phase reporting A/B (the reference Zipf workload): the
+    // same stream score-only and with --report-alignments
+    // semantics, in interleaved rounds. Reporting must not perturb
+    // the ranked hits — phase 2 runs strictly after the merge — and
+    // the wall-time delta is the end-to-end cost of the traceback
+    // phase at top-K = 10.
+    const bio::SequenceDatabase report_db =
+        bio::makeZipfDatabase(db_seqs);
+    std::vector<serve::Request> report_requests = requests;
+    for (serve::Request &r : report_requests)
+        r.reportAlignments = true;
+    serve::Engine score_engine(report_db, cfg);
+    serve::Engine report_engine(report_db, cfg);
+    double score_ms = std::numeric_limits<double>::infinity();
+    double report_ms = std::numeric_limits<double>::infinity();
+    std::vector<serve::Response> score_out;
+    std::vector<serve::Response> report_out;
+    for (int r = 0; r < rounds; ++r) {
+        score_ms = std::min(score_ms, wall_ms_of([&] {
+            score_out = score_engine.serveBatch(requests);
+        }));
+        report_ms = std::min(report_ms, wall_ms_of([&] {
+            report_out =
+                report_engine.serveBatch(report_requests);
+        }));
+    }
+    const double report_overhead_pct = score_ms <= 0.0
+        ? 0.0
+        : 100.0 * (report_ms - score_ms) / score_ms;
+    std::uint64_t report_alignments = 0;
+    std::uint64_t report_tb_cells = 0;
+    for (const serve::Response &r : report_out) {
+        report_alignments += r.alignments.size();
+        report_tb_cells += r.tracebackCells;
+    }
+    const bool report_identity_ok =
+        same_hits(score_out, report_out)
+        && report_alignments > 0;
+    if (!report_identity_ok)
+        std::cerr << "FAIL: reporting identity (ranked hits "
+                     "changed with --report-alignments, or no "
+                     "alignments came back)\n";
+
     core::Table t({"metric", "value"});
     t.row().add("requests").add(
         static_cast<std::uint64_t>(report.responses.size()));
@@ -395,6 +444,12 @@ main()
         std::string(fleet_identity_ok ? "yes" : "NO"));
     t.row().add("tenant identity ok").add(
         std::string(tenant_identity_ok ? "yes" : "NO"));
+    t.row().add("score-only wall ms").add(score_ms, 2);
+    t.row().add("reporting wall ms").add(report_ms, 2);
+    t.row().add("report overhead %").add(report_overhead_pct, 1);
+    t.row().add("traceback cells").add(report_tb_cells);
+    t.row().add("report identity ok").add(
+        std::string(report_identity_ok ? "yes" : "NO"));
     t.print(std::cout);
 
     std::vector<double> point_ms;
@@ -441,9 +496,19 @@ main()
          {"fleet_identity_ok",
           fleet_identity_ok ? "true" : "false"},
          {"tenant_identity_ok",
-          tenant_identity_ok ? "true" : "false"}},
+          tenant_identity_ok ? "true" : "false"},
+         {"score_only_ms", std::to_string(score_ms)},
+         {"report_ms", std::to_string(report_ms)},
+         {"report_overhead_pct",
+          std::to_string(report_overhead_pct)},
+         {"report_alignments",
+          std::to_string(report_alignments)},
+         {"traceback_cells", std::to_string(report_tb_cells)},
+         {"report_identity_ok",
+          report_identity_ok ? "true" : "false"}},
         point_ms);
     return hot_reload_ok && fleet_identity_ok && tenant_identity_ok
+            && report_identity_ok
         ? 0
         : 1;
 }

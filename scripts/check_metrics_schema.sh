@@ -19,10 +19,12 @@ trap 'rm -rf "$TMPDIR_SNAP"' EXIT
 SNAP="$TMPDIR_SNAP/metrics.json"
 
 # Fleet flags exercise every registered family: replicated
-# engines, the result cache, and per-tenant quota/WDRR counters.
+# engines, the result cache, per-tenant quota/WDRR counters, and
+# the two-phase traceback series.
 "$SERVE_BIN" --qps 300 --duration-s 1 --deadline-ms 50 \
     --db-seqs 48 --jobs 2 --replicas 2 --cache-mb 4 \
     --tenants 200:20:3:0.5,50:5:1:0.25,50:5:1:0.25 \
+    --report-alignments \
     --metrics-out "$SNAP" \
     --metrics-prom "$TMPDIR_SNAP/metrics.prom" > /dev/null
 

@@ -5,7 +5,8 @@
 # engine's batched fan-out, the online serving loop, the indexed
 # serving route with its hot-reload epoch swaps, the replica
 # router's scatter-gather threads and sharded result cache, the
-# metrics registry, and the sampled-simulation window fan-out).
+# metrics registry, the sampled-simulation window fan-out, and the
+# two-phase traceback fan-out with its cached alignments).
 # Keeps the pool, loop, cache, registry, and sampler race-free.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
@@ -15,7 +16,8 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S "$(dirname "$0")/.." -DBIOARCH_TSAN=ON
 cmake --build "$BUILD_DIR" -j --target sweep_test kernels_test \
-    serve_test obs_test index_test router_test sim_sample_test
+    serve_test obs_test index_test router_test sim_sample_test \
+    traceback_test serve_traceback_test
 ctest --test-dir "$BUILD_DIR" \
-    -L 'sweep_test|kernels_test|serve_test|obs_test|index_test|router_test|sim_sample_test' \
+    -L 'sweep_test|kernels_test|serve_test|obs_test|index_test|router_test|sim_sample_test|traceback_test|serve_traceback_test' \
     --output-on-failure -j

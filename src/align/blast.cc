@@ -4,6 +4,8 @@
 
 #include "banded.hh"
 #include "karlin.hh"
+#include "traceback/banded_extend.hh"
+#include "xdrop.hh"
 
 namespace bioarch::align
 {
@@ -137,38 +139,22 @@ ungappedExtend(const bio::Sequence &query, const bio::Sequence &subject,
     for (int k = 0; k < seed_len; ++k)
         seed += matrix.score(query[qpos + k], subject[spos + k]);
 
-    // Right extension from the end of the seed.
-    int best_right = 0;
-    int right_len = 0;
-    int run = 0;
-    for (int k = seed_len;
-         qpos + k < m && spos + k < n; ++k) {
-        run += matrix.score(query[qpos + k], subject[spos + k]);
-        if (run > best_right) {
-            best_right = run;
-            right_len = k - seed_len + 1;
-        }
-        if (run < best_right - x_drop)
-            break;
-    }
+    // Right extension from the end of the seed, then left extension
+    // from its start, both via the shared x-drop run scorer.
+    const XdropRun right = xdropRun(
+        std::min(m - qpos, n - spos) - seed_len, x_drop, [&](int k) {
+            return matrix.score(query[qpos + seed_len + k],
+                                subject[spos + seed_len + k]);
+        });
+    const XdropRun left =
+        xdropRun(std::min(qpos, spos), x_drop, [&](int k) {
+            return matrix.score(query[qpos - 1 - k],
+                                subject[spos - 1 - k]);
+        });
 
-    // Left extension from the start of the seed.
-    int best_left = 0;
-    int left_len = 0;
-    run = 0;
-    for (int k = 1; qpos - k >= 0 && spos - k >= 0; ++k) {
-        run += matrix.score(query[qpos - k], subject[spos - k]);
-        if (run > best_left) {
-            best_left = run;
-            left_len = k;
-        }
-        if (run < best_left - x_drop)
-            break;
-    }
-
-    out.score = seed + best_right + best_left;
-    out.queryStart = qpos - left_len;
-    out.queryEnd = qpos + seed_len - 1 + right_len;
+    out.score = seed + right.best + left.best;
+    out.queryStart = qpos - left.len;
+    out.queryEnd = qpos + seed_len - 1 + right.len;
     return out;
 }
 
@@ -200,20 +186,29 @@ window(const bio::Sequence &seq, int lo, int hi)
             res.begin() + lo, res.begin() + hi + 1));
 }
 
-} // namespace
-
-BlastScores
-blastScan(const NeighborhoodIndex &index, const bio::Sequence &query,
-          const bio::Sequence &subject, const bio::ScoringMatrix &matrix,
-          const bio::GapPenalties &gaps, const BlastParams &params,
-          std::uint64_t *cells)
+/** The word scan + ungapped stage, up to (but not including) the
+ * gapped extension: counters plus the best HSP and its diagonal.
+ * blastScan and blastAlign share this so the alignment a hit
+ * reports is derived from exactly the HSP its score came from. */
+struct HspScan
 {
-    BlastScores out;
+    BlastScores scores;       ///< gapped fields still zero
+    int bestDiag = 0;
+    UngappedExtension bestExt;
+};
+
+HspScan
+hspScan(const NeighborhoodIndex &index, const bio::Sequence &query,
+        const bio::Sequence &subject, const bio::ScoringMatrix &matrix,
+        const BlastParams &params, std::uint64_t *cells)
+{
+    HspScan hsp;
+    BlastScores &out = hsp.scores;
     const int m = static_cast<int>(query.length());
     const int n = static_cast<int>(subject.length());
     const int w = index.wordSize();
     if (m < w || n < w)
-        return out;
+        return hsp;
 
     // Per-diagonal state: subject position of the last unextended
     // hit, and the subject position up to which the diagonal has
@@ -232,8 +227,6 @@ blastScan(const NeighborhoodIndex &index, const bio::Sequence &query,
     // extension runs around its diagonal after the scan, mirroring
     // how NCBI BLAST gap-extends the preliminary HSP list rather
     // than every triggering seed.
-    int best_diag = 0;
-    UngappedExtension best_ext;
     const auto *sres = subject.residues().data();
 
     for (int j = 0; j + w <= n; ++j) {
@@ -277,11 +270,29 @@ blastScan(const NeighborhoodIndex &index, const bio::Sequence &query,
             ds.extendedTo = ext.queryEnd + (j - i);
             if (ext.score > out.bestUngapped) {
                 out.bestUngapped = ext.score;
-                best_diag = j - i;
-                best_ext = ext;
+                hsp.bestDiag = j - i;
+                hsp.bestExt = ext;
             }
         }
     }
+    return hsp;
+}
+
+} // namespace
+
+BlastScores
+blastScan(const NeighborhoodIndex &index, const bio::Sequence &query,
+          const bio::Sequence &subject, const bio::ScoringMatrix &matrix,
+          const bio::GapPenalties &gaps, const BlastParams &params,
+          std::uint64_t *cells)
+{
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject.length());
+    const HspScan hsp =
+        hspScan(index, query, subject, matrix, params, cells);
+    BlastScores out = hsp.scores;
+    if (m < index.wordSize() || n < index.wordSize())
+        return out;
 
     if (out.bestUngapped >= params.gapTrigger) {
         ++out.gappedExtensions;
@@ -289,7 +300,7 @@ blastScan(const NeighborhoodIndex &index, const bio::Sequence &query,
         // the whole subject (the real gapped extension's X-drop
         // keeps it local).
         const GappedWindow win =
-            gappedWindow(best_ext, best_diag, m, n,
+            gappedWindow(hsp.bestExt, hsp.bestDiag, m, n,
                          params.gappedWindowMargin);
         const bio::Sequence qw =
             window(query, win.queryLo, win.queryHi);
@@ -306,6 +317,47 @@ blastScan(const NeighborhoodIndex &index, const bio::Sequence &query,
         }
         out.score = std::max(gapped.score, 0);
     }
+    return out;
+}
+
+CigarAlignment
+blastAlign(const NeighborhoodIndex &index, const bio::Sequence &query,
+           const bio::Sequence &subject,
+           const bio::ScoringMatrix &matrix,
+           const bio::GapPenalties &gaps, const BlastParams &params,
+           std::uint64_t *cells, int x_drop_gapped,
+           TracebackStats *stats)
+{
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject.length());
+    const HspScan hsp =
+        hspScan(index, query, subject, matrix, params, cells);
+
+    CigarAlignment out;
+    if (m < index.wordSize() || n < index.wordSize()
+        || hsp.scores.bestUngapped < params.gapTrigger)
+        return out;
+    // Re-run the gapped stage of blastScan over the identical
+    // window and band, with traceback. A disabled X-drop keeps the
+    // banded sweep — and therefore the score — bit-identical to
+    // the score-only scan the hit was ranked by.
+    const GappedWindow win =
+        gappedWindow(hsp.bestExt, hsp.bestDiag, m, n,
+                     params.gappedWindowMargin);
+    const bio::Sequence qw = window(query, win.queryLo, win.queryHi);
+    const bio::Sequence sw =
+        window(subject, win.subjectLo, win.subjectHi);
+    out = bandedExtendAlign(qw, sw, matrix, gaps, win.center,
+                            params.bandHalfWidth, x_drop_gapped,
+                            stats);
+    if (cells && stats)
+        *cells += stats->totalCells;
+    if (out.empty())
+        return out;
+    out.qBegin += win.queryLo;
+    out.qEnd += win.queryLo;
+    out.sBegin += win.subjectLo;
+    out.sEnd += win.subjectLo;
     return out;
 }
 

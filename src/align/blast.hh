@@ -29,6 +29,8 @@
 #include "bio/database.hh"
 #include "bio/scoring.hh"
 #include "bio/sequence.hh"
+#include "traceback/cigar.hh"
+#include "traceback/hirschberg.hh"
 #include "types.hh"
 
 namespace bioarch::align
@@ -188,6 +190,30 @@ BlastScores blastScan(const NeighborhoodIndex &index,
                       const bio::GapPenalties &gaps,
                       const BlastParams &params,
                       std::uint64_t *cells = nullptr);
+
+/**
+ * Phase-2 reporting twin of blastScan: rerun the word scan and
+ * ungapped stage, then trace the gapped extension of the best HSP
+ * through the identical band and window. With @p x_drop_gapped
+ * negative (the serving default) the returned score is
+ * bit-identical to blastScan's — the CIGAR explains exactly the
+ * score the hit was ranked by. Returns an empty alignment when the
+ * gap trigger never fires (blastScan would have scored 0).
+ *
+ * @param x_drop_gapped column X-drop of the traced gapped
+ *        extension; negative sweeps the full band (score parity
+ *        with blastScan), non-negative values may stop early
+ * @param[out] stats traceback DP accounting (cells, peak space)
+ */
+CigarAlignment blastAlign(const NeighborhoodIndex &index,
+                          const bio::Sequence &query,
+                          const bio::Sequence &subject,
+                          const bio::ScoringMatrix &matrix,
+                          const bio::GapPenalties &gaps,
+                          const BlastParams &params,
+                          std::uint64_t *cells = nullptr,
+                          int x_drop_gapped = -1,
+                          TracebackStats *stats = nullptr);
 
 /** Full database search ranked by score / E-value. */
 SearchResults blastSearch(const bio::Sequence &query,

@@ -6,6 +6,8 @@
 #include "banded_impl.hh"
 #include "bio/scoring.hh"
 #include "blast.hh"
+#include "traceback/banded_extend.hh"
+#include "xdrop.hh"
 
 namespace bioarch::align
 {
@@ -90,32 +92,47 @@ DnaWordIndex::DnaWordIndex(const bio::PackedDna &query, int word_size)
             cursor[words[i]]++)] = static_cast<std::int32_t>(i);
 }
 
-BlastnScores
-blastnScan(const DnaWordIndex &index, const bio::PackedDna &query,
-           const bio::PackedDna &subject, const BlastnParams &params,
-           std::uint64_t *cells)
+namespace
 {
-    BlastnScores out;
+
+/** Counters plus the best ungapped HSP of one blastn word scan
+ * (the gapped stage runs afterwards, in the caller). */
+struct HspScanN
+{
+    BlastnScores scores;
+    int bestDiag = 0;
+    UngappedExtension bestExt;
+};
+
+/**
+ * The word scan + ungapped x-drop stage, shared — via the
+ * subject-base accessor @p sub — between the 2-bit packed subject
+ * path and the residue-array path the serving tier scans
+ * (identical arithmetic, bit-identical HSPs).
+ */
+template <typename SubjectAt>
+HspScanN
+hspScanN(const DnaWordIndex &index, const bio::PackedDna &query,
+         SubjectAt &&sub, int n, const BlastnParams &params,
+         std::uint64_t *cells)
+{
+    HspScanN hsp;
+    BlastnScores &out = hsp.scores;
     const int m = static_cast<int>(query.length());
-    const int n = static_cast<int>(subject.length());
     const int w = index.wordSize();
     if (m < w || n < w)
-        return out;
+        return hsp;
 
     const int num_diags = m + n - 1;
     const int diag_offset = m - 1;
     std::vector<std::int32_t> extended_to(
         static_cast<std::size_t>(num_diags), -1);
 
-    int best_diag = 0;
-    UngappedExtension best_ext;
-
     const std::uint32_t mask = static_cast<std::uint32_t>(
         (std::size_t{1} << (2 * w)) - 1);
     std::uint32_t word = 0;
     for (int j = 0; j < n; ++j) {
-        word = ((word << 2) | subject[static_cast<std::size_t>(j)])
-            & mask;
+        word = ((word << 2) | sub(j)) & mask;
         if (j + 1 < w)
             continue;
         const int start = j + 1 - w;
@@ -129,89 +146,184 @@ blastnScan(const DnaWordIndex &index, const bio::PackedDna &query,
             if (start <= extended_to[static_cast<std::size_t>(d)])
                 continue;
 
-            // One-hit seeding: extend immediately (classic blastn).
-            ++out.extensionsTried;
-            int seed = params.matchScore * w;
-
-            // Right extension, unpacking base by base (the
+            // One-hit seeding: extend immediately (classic
+            // blastn), unpacking base by base (the
             // READDB_UNPACK_BASE pattern).
-            int best_right = 0;
-            int right_len = 0;
-            int run = 0;
-            for (int k = w; i + k < m && start + k < n; ++k) {
-                run += query[static_cast<std::size_t>(i + k)]
-                        == subject[static_cast<std::size_t>(
-                            start + k)]
-                    ? params.matchScore
-                    : params.mismatchScore;
-                if (run > best_right) {
-                    best_right = run;
-                    right_len = k - w + 1;
-                }
-                if (run < best_right - params.xDropUngapped)
-                    break;
+            ++out.extensionsTried;
+            const int seed = params.matchScore * w;
+            const auto count_step = [&](int) {
                 if (cells)
                     ++*cells;
-            }
-            // Left extension.
-            int best_left = 0;
-            int left_len = 0;
-            run = 0;
-            for (int k = 1; i - k >= 0 && start - k >= 0; ++k) {
-                run += query[static_cast<std::size_t>(i - k)]
-                        == subject[static_cast<std::size_t>(
-                            start - k)]
-                    ? params.matchScore
-                    : params.mismatchScore;
-                if (run > best_left) {
-                    best_left = run;
-                    left_len = k;
-                }
-                if (run < best_left - params.xDropUngapped)
-                    break;
-                if (cells)
-                    ++*cells;
-            }
+            };
+            const XdropRun right = xdropRun(
+                std::min(m - i, n - start) - w,
+                params.xDropUngapped,
+                [&](int k) {
+                    return query[static_cast<std::size_t>(i + w
+                                                          + k)]
+                            == sub(start + w + k)
+                        ? params.matchScore
+                        : params.mismatchScore;
+                },
+                count_step);
+            const XdropRun left = xdropRun(
+                std::min(i, start), params.xDropUngapped,
+                [&](int k) {
+                    return query[static_cast<std::size_t>(i - 1
+                                                          - k)]
+                            == sub(start - 1 - k)
+                        ? params.matchScore
+                        : params.mismatchScore;
+                },
+                count_step);
 
-            const int score = seed + best_right + best_left;
+            const int score = seed + right.best + left.best;
             extended_to[static_cast<std::size_t>(d)] =
-                start + w - 1 + right_len;
+                start + w - 1 + right.len;
             if (score > out.bestUngapped) {
                 out.bestUngapped = score;
-                best_diag = start - i;
-                best_ext.score = score;
-                best_ext.queryStart = i - left_len;
-                best_ext.queryEnd = i + w - 1 + right_len;
+                hsp.bestDiag = start - i;
+                hsp.bestExt.score = score;
+                hsp.bestExt.queryStart = i - left.len;
+                hsp.bestExt.queryEnd = i + w - 1 + right.len;
             }
         }
     }
+    return hsp;
+}
 
-    if (out.bestUngapped >= params.gapTrigger) {
-        ++out.gappedExtensions;
-        const GappedWindow win =
-            gappedWindow(best_ext, best_diag, m, n,
-                         params.gappedWindowMargin);
+/** The gapped window of the best HSP (empty() when none fires). */
+GappedWindow
+gappedWindowN(const HspScanN &hsp, int m, int n,
+              const BlastnParams &params)
+{
+    if (hsp.scores.bestUngapped < params.gapTrigger)
+        return GappedWindow{};
+    return gappedWindow(hsp.bestExt, hsp.bestDiag, m, n,
+                        params.gappedWindowMargin);
+}
+
+/** Score-only gapped stage shared by both blastnScan overloads. */
+void
+gappedStageN(const GappedWindow &win, const bio::Sequence &qw,
+             const bio::Sequence &sw, const BlastnParams &params,
+             BlastnScores &out, std::uint64_t *cells)
+{
+    ++out.gappedExtensions;
+    const bio::ScoringMatrix mm = bio::makeMatchMismatch(
+        params.matchScore, params.mismatchScore);
+    const bio::GapPenalties gaps{params.gapOpen, params.gapExtend};
+    const LocalScore gapped = bandedSmithWatermanScan(
+        qw, sw, mm, gaps, win.center, params.bandHalfWidth,
+        [](int, int, int, int, int) {});
+    if (cells) {
+        *cells += static_cast<std::uint64_t>(
+                      2 * params.bandHalfWidth + 1)
+            * static_cast<std::uint64_t>(win.subjectHi
+                                         - win.subjectLo + 1);
+    }
+    out.score = std::max(gapped.score, 0);
+}
+
+/** Window of a residue-array subject (bases stored as residues). */
+bio::Sequence
+residueWindow(const bio::Residue *subject, int lo, int hi)
+{
+    return bio::Sequence(
+        "subject", "window",
+        std::vector<bio::Residue>(subject + lo, subject + hi + 1));
+}
+
+} // namespace
+
+BlastnScores
+blastnScan(const DnaWordIndex &index, const bio::PackedDna &query,
+           const bio::PackedDna &subject, const BlastnParams &params,
+           std::uint64_t *cells)
+{
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject.length());
+    const HspScanN hsp = hspScanN(
+        index, query,
+        [&](int k) { return subject[static_cast<std::size_t>(k)]; },
+        n, params, cells);
+    BlastnScores out = hsp.scores;
+    const GappedWindow win = gappedWindowN(hsp, m, n, params);
+    if (!win.empty()) {
         const bio::Sequence qw = decode(
             query, static_cast<std::size_t>(win.queryLo),
             static_cast<std::size_t>(win.queryHi));
         const bio::Sequence sw = decode(
             subject, static_cast<std::size_t>(win.subjectLo),
             static_cast<std::size_t>(win.subjectHi));
-        const bio::ScoringMatrix mm = bio::makeMatchMismatch(
-            params.matchScore, params.mismatchScore);
-        const bio::GapPenalties gaps{params.gapOpen,
-                                     params.gapExtend};
-        const LocalScore gapped = bandedSmithWatermanScan(
-            qw, sw, mm, gaps, win.center, params.bandHalfWidth,
-            [](int, int, int, int, int) {});
-        if (cells) {
-            *cells += static_cast<std::uint64_t>(
-                          2 * params.bandHalfWidth + 1)
-                * static_cast<std::uint64_t>(
-                          win.subjectHi - win.subjectLo + 1);
-        }
-        out.score = std::max(gapped.score, 0);
+        gappedStageN(win, qw, sw, params, out, cells);
     }
+    return out;
+}
+
+BlastnScores
+blastnScan(const DnaWordIndex &index, const bio::PackedDna &query,
+           const bio::Residue *subject, std::size_t subject_len,
+           const BlastnParams &params, std::uint64_t *cells)
+{
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject_len);
+    const HspScanN hsp = hspScanN(
+        index, query,
+        [&](int k) { return static_cast<unsigned>(subject[k]); }, n,
+        params, cells);
+    BlastnScores out = hsp.scores;
+    const GappedWindow win = gappedWindowN(hsp, m, n, params);
+    if (!win.empty()) {
+        const bio::Sequence qw = decode(
+            query, static_cast<std::size_t>(win.queryLo),
+            static_cast<std::size_t>(win.queryHi));
+        const bio::Sequence sw =
+            residueWindow(subject, win.subjectLo, win.subjectHi);
+        gappedStageN(win, qw, sw, params, out, cells);
+    }
+    return out;
+}
+
+CigarAlignment
+blastnAlign(const DnaWordIndex &index, const bio::PackedDna &query,
+            const bio::Residue *subject, std::size_t subject_len,
+            const BlastnParams &params, std::uint64_t *cells,
+            int x_drop_gapped, TracebackStats *stats)
+{
+    const int m = static_cast<int>(query.length());
+    const int n = static_cast<int>(subject_len);
+    const HspScanN hsp = hspScanN(
+        index, query,
+        [&](int k) { return static_cast<unsigned>(subject[k]); }, n,
+        params, cells);
+
+    CigarAlignment out;
+    const GappedWindow win = gappedWindowN(hsp, m, n, params);
+    if (win.empty())
+        return out;
+    // Same window, band and scoring as the score-only gapped
+    // stage; a disabled X-drop keeps the traced score
+    // bit-identical to blastnScan's.
+    const bio::Sequence qw =
+        decode(query, static_cast<std::size_t>(win.queryLo),
+               static_cast<std::size_t>(win.queryHi));
+    const bio::Sequence sw =
+        residueWindow(subject, win.subjectLo, win.subjectHi);
+    const bio::ScoringMatrix mm = bio::makeMatchMismatch(
+        params.matchScore, params.mismatchScore);
+    const bio::GapPenalties gaps{params.gapOpen, params.gapExtend};
+    out = bandedExtendAlign(qw, sw, mm, gaps, win.center,
+                            params.bandHalfWidth, x_drop_gapped,
+                            stats);
+    if (cells && stats)
+        *cells += stats->totalCells;
+    if (out.empty())
+        return out;
+    out.qBegin += win.queryLo;
+    out.qEnd += win.queryLo;
+    out.sBegin += win.subjectLo;
+    out.sEnd += win.subjectLo;
     return out;
 }
 

@@ -22,6 +22,9 @@
 #include <vector>
 
 #include "bio/nucleotide.hh"
+#include "bio/sequence.hh"
+#include "traceback/cigar.hh"
+#include "traceback/hirschberg.hh"
 #include "types.hh"
 
 namespace bioarch::align
@@ -85,6 +88,34 @@ BlastnScores blastnScan(const DnaWordIndex &index,
                         const bio::PackedDna &subject,
                         const BlastnParams &params,
                         std::uint64_t *cells = nullptr);
+
+/**
+ * Scan one subject stored as a residue array (bases 0..3, one per
+ * byte — the representation the serving tier shards). Bit-identical
+ * to the packed-subject overload on equal base strings.
+ */
+BlastnScores blastnScan(const DnaWordIndex &index,
+                        const bio::PackedDna &query,
+                        const bio::Residue *subject,
+                        std::size_t subject_len,
+                        const BlastnParams &params,
+                        std::uint64_t *cells = nullptr);
+
+/**
+ * Phase-2 reporting twin of blastnScan (see blastAlign): rerun the
+ * word scan and ungapped stage, then trace the gapped extension of
+ * the best HSP. With @p x_drop_gapped negative the score is
+ * bit-identical to blastnScan's. Empty when the gap trigger never
+ * fires.
+ */
+CigarAlignment blastnAlign(const DnaWordIndex &index,
+                           const bio::PackedDna &query,
+                           const bio::Residue *subject,
+                           std::size_t subject_len,
+                           const BlastnParams &params,
+                           std::uint64_t *cells = nullptr,
+                           int x_drop_gapped = -1,
+                           TracebackStats *stats = nullptr);
 
 /** Full database search, ranked by score / E-value. */
 SearchResults blastnSearch(const bio::PackedDna &query,

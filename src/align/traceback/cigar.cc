@@ -1,0 +1,132 @@
+#include "cigar.hh"
+
+#include <stdexcept>
+
+namespace bioarch::align
+{
+
+void
+cigarAppend(Cigar &cigar, char op, std::int32_t len)
+{
+    if (len <= 0)
+        return;
+    if (!cigar.empty() && cigar.back().op == op) {
+        cigar.back().len += len;
+        return;
+    }
+    cigar.push_back(CigarOp{op, len});
+}
+
+std::string
+cigarToString(const Cigar &cigar)
+{
+    std::string out;
+    for (const CigarOp &run : cigar) {
+        out += std::to_string(run.len);
+        out += run.op;
+    }
+    return out;
+}
+
+std::int64_t
+cigarQuerySpan(const Cigar &cigar)
+{
+    std::int64_t span = 0;
+    for (const CigarOp &run : cigar)
+        if (run.op == 'M' || run.op == 'I')
+            span += run.len;
+    return span;
+}
+
+std::int64_t
+cigarSubjectSpan(const Cigar &cigar)
+{
+    std::int64_t span = 0;
+    for (const CigarOp &run : cigar)
+        if (run.op == 'M' || run.op == 'D')
+            span += run.len;
+    return span;
+}
+
+int
+cigarScore(const CigarAlignment &alignment, const bio::Residue *query,
+           std::size_t query_len, const bio::Residue *subject,
+           std::size_t subject_len, const bio::ScoringMatrix &matrix,
+           const bio::GapPenalties &gaps)
+{
+    if (alignment.cigar.empty()) {
+        if (alignment.qEnd >= alignment.qBegin
+            || alignment.sEnd >= alignment.sBegin)
+            throw std::invalid_argument(
+                "cigarScore: empty CIGAR with non-empty spans");
+        return 0;
+    }
+    if (alignment.qBegin < 0 || alignment.sBegin < 0)
+        throw std::invalid_argument(
+            "cigarScore: negative begin coordinate");
+
+    std::int64_t qi = alignment.qBegin;
+    std::int64_t si = alignment.sBegin;
+    int score = 0;
+    char prev_op = '\0';
+    for (const CigarOp &run : alignment.cigar) {
+        if (run.len <= 0)
+            throw std::invalid_argument(
+                "cigarScore: non-positive run length");
+        switch (run.op) {
+        case 'M':
+            if (qi + run.len > static_cast<std::int64_t>(query_len)
+                || si + run.len
+                    > static_cast<std::int64_t>(subject_len))
+                throw std::invalid_argument(
+                    "cigarScore: M run out of bounds");
+            for (std::int32_t k = 0; k < run.len; ++k)
+                score += matrix.score(query[qi + k], subject[si + k]);
+            qi += run.len;
+            si += run.len;
+            break;
+        case 'I':
+            if (qi + run.len > static_cast<std::int64_t>(query_len))
+                throw std::invalid_argument(
+                    "cigarScore: I run out of bounds");
+            // A run adjacent to a same-op run is one gap: charge
+            // only the extensions, not a second open.
+            score -= prev_op == 'I'
+                ? gaps.extendCost() * run.len
+                : gaps.cost(run.len);
+            qi += run.len;
+            break;
+        case 'D':
+            if (si + run.len
+                > static_cast<std::int64_t>(subject_len))
+                throw std::invalid_argument(
+                    "cigarScore: D run out of bounds");
+            score -= prev_op == 'D'
+                ? gaps.extendCost() * run.len
+                : gaps.cost(run.len);
+            si += run.len;
+            break;
+        default:
+            throw std::invalid_argument(
+                "cigarScore: unknown CIGAR op");
+        }
+        prev_op = run.op;
+    }
+    if (qi != alignment.qEnd + 1 || si != alignment.sEnd + 1)
+        throw std::invalid_argument(
+            "cigarScore: CIGAR spans disagree with qEnd/sEnd");
+    return score;
+}
+
+int
+cigarScore(const CigarAlignment &alignment, const bio::Sequence &query,
+           const bio::Sequence &subject,
+           const bio::ScoringMatrix &matrix,
+           const bio::GapPenalties &gaps)
+{
+    return cigarScore(alignment, query.residues().data(),
+                      query.length(), subject.residues().data(),
+                      subject.length(), matrix, gaps);
+}
+
+} // namespace bioarch::align

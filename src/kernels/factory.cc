@@ -25,6 +25,7 @@ traceWorkload(Workload workload, const TraceInput &input)
             return traceFasta(input);
           case Workload::Blast:
             return traceBlast(input);
+          case Workload::Blastn: // served-only, never traced here
           case Workload::NumWorkloads:
             break;
         }

@@ -14,6 +14,7 @@ workloadName(Workload w)
       case Workload::SwVmx256: return "SW_vmx256";
       case Workload::Fasta34: return "FASTA34";
       case Workload::Blast: return "BLAST";
+      case Workload::Blastn: return "BLASTN";
       case Workload::NumWorkloads: break;
     }
     return "?";

@@ -28,7 +28,12 @@ enum class Workload
     SwVmx256,   ///< futuristic Altivec SW, 256-bit registers
     Fasta34,    ///< FASTA heuristic
     Blast,      ///< NCBI BLASTP heuristic
-    NumWorkloads
+    NumWorkloads,
+    /** Nucleotide BLAST. A served-only request kind: it sits after
+     * NumWorkloads because it is not one of the paper's five traced
+     * applications, so every simulator loop over
+     * [0, numWorkloads) is untouched. */
+    Blastn,
 };
 
 constexpr int numWorkloads = static_cast<int>(Workload::NumWorkloads);

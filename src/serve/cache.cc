@@ -28,6 +28,7 @@ ResultCache::digest(const Key &key)
     fnv.update64(key.kind);
     fnv.update64(key.backend);
     fnv.update64(key.topK);
+    fnv.update64(key.report);
     fnv.update64(key.epoch);
     fnv.update64(key.query.size());
     if (!key.query.empty())
@@ -38,9 +39,14 @@ ResultCache::digest(const Key &key)
 std::size_t
 ResultCache::entryBytes(const Key &key, const Result &result)
 {
-    return sizeof(Entry) + key.query.size() * sizeof(bio::Residue)
-        + sizeof(Result)
-        + result.hits.size() * sizeof(align::SearchHit);
+    std::size_t bytes = sizeof(Entry)
+        + key.query.size() * sizeof(bio::Residue) + sizeof(Result)
+        + result.hits.size() * sizeof(align::SearchHit)
+        + result.alignments.size()
+            * sizeof(align::CigarAlignment);
+    for (const align::CigarAlignment &aln : result.alignments)
+        bytes += aln.cigar.size() * sizeof(align::CigarOp);
+    return bytes;
 }
 
 ResultCache::ResultCache(const CacheConfig &config,

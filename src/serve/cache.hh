@@ -49,6 +49,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "align/traceback/cigar.hh"
 #include "align/types.hh"
 #include "bio/alphabet.hh"
 #include "obs/metrics.hh"
@@ -82,6 +83,10 @@ class ResultCache
         std::uint16_t kind = 0;    ///< kernels::Workload
         std::uint16_t backend = 0; ///< align::SimdBackend
         std::uint32_t topK = 0;    ///< effective (engine-resolved)
+        /** 1 when the answer carries phase-2 alignments. A
+         * score-only answer never satisfies a reporting request
+         * (and vice versa), exactly like a different top-K. */
+        std::uint8_t report = 0;
         std::uint64_t epoch = 0;   ///< database epoch number
         std::vector<bio::Residue> query;
 
@@ -89,8 +94,8 @@ class ResultCache
         operator==(const Key &o) const
         {
             return kind == o.kind && backend == o.backend
-                && topK == o.topK && epoch == o.epoch
-                && query == o.query;
+                && topK == o.topK && report == o.report
+                && epoch == o.epoch && query == o.query;
         }
     };
 
@@ -98,7 +103,12 @@ class ResultCache
     struct Result
     {
         std::vector<align::SearchHit> hits;
+        /** Phase-2 alignments, index-aligned with hits (empty for
+         * score-only answers). Cached with the hits under the same
+         * epoch key, so a hit returns both phases at once. */
+        std::vector<align::CigarAlignment> alignments;
         std::uint64_t cells = 0;
+        std::uint64_t tracebackCells = 0;
         std::uint64_t sequences = 0;
         std::uint64_t residues = 0;
     };

@@ -65,6 +65,11 @@ Engine::Engine(const bio::SequenceDatabase &db, EngineConfig config)
         &m.counter("native_intersequence_total", backend_label);
     _mNativeStriped =
         &m.counter("native_striped_total", backend_label);
+    _mTracebackCells = &m.counter("traceback_cells_total");
+    _mAlignments = &m.counter("serve_alignments_total");
+    _mTracebacksSkipped =
+        &m.counter("serve_tracebacks_skipped_total");
+    _mTracebackUs = &m.histogram("serve_traceback_us");
     _mScanUs = &m.histogram("serve_scan_us");
     _mBatchUs = &m.histogram("serve_batch_us");
     _mLatencyUs = &m.histogram("serve_latency_us");
@@ -146,7 +151,7 @@ Engine::runBatch(const Request *requests, std::size_t count,
             return;
         prepared[r] = std::make_unique<PreparedQuery>(
             requests[r], *_matrix, _cfg.gaps, _cfg.fasta,
-            _cfg.blast, _cfg.backend);
+            _cfg.blast, _cfg.backend, _cfg.blastn);
     });
 
     // Phase 1.5: probe the seed index once per distinct eligible
@@ -269,6 +274,65 @@ Engine::runBatch(const Request *requests, std::size_t count,
         }
         resp.hits = mergeRanked(lists, top_k);
     }
+
+    // Phase 4: traceback reporting. Strictly after the merge, so
+    // the ranked hit list (ids, scores, order) is already final —
+    // reporting can only attach alignments, never perturb phase 1.
+    // One task per (reporting request, surviving hit); each writes
+    // its preallocated alignments[h] slot, so the schedule cannot
+    // reorder anything. The deadline check sits before each
+    // traceback, mirroring the per-shard checks of phase 2.
+    struct TraceTask
+    {
+        std::size_t r;
+        std::size_t h;
+    };
+    std::vector<TraceTask> trace_tasks;
+    for (std::size_t r = 0; r < count; ++r) {
+        if (!requests[r].reportAlignments
+            || prepared[rep[r]] == nullptr)
+            continue;
+        out[r].alignments.resize(out[r].hits.size());
+        for (std::size_t h = 0; h < out[r].hits.size(); ++h)
+            trace_tasks.push_back(TraceTask{r, h});
+    }
+    std::uint64_t traceback_cells = 0;
+    std::uint64_t alignments_traced = 0;
+    std::uint64_t tracebacks_skipped = 0;
+    if (!trace_tasks.empty()) {
+        std::vector<align::TracebackStats> task_stats(
+            trace_tasks.size());
+        std::vector<double> task_us(trace_tasks.size(), 0.0);
+        std::vector<char> task_skipped(trace_tasks.size(), 0);
+        _pool.parallelFor(trace_tasks.size(), [&](std::size_t i) {
+            const TraceTask &task = trace_tasks[i];
+            if (control != nullptr && control->expired(task.r)) {
+                task_skipped[i] = 1;
+                return;
+            }
+            const align::SearchHit &hit =
+                out[task.r].hits[task.h];
+            const WallClock::time_point t0 = WallClock::now();
+            out[task.r].alignments[task.h] =
+                prepared[rep[task.r]]->traceback(
+                    (*_db)[hit.dbIndex], hit, &task_stats[i]);
+            task_us[i] = elapsedUs(t0, WallClock::now());
+            _mTracebackUs->record(task_us[i]);
+        });
+        for (std::size_t i = 0; i < trace_tasks.size(); ++i) {
+            Response &resp = out[trace_tasks[i].r];
+            if (task_skipped[i]) {
+                ++resp.tracebacksSkipped;
+                ++tracebacks_skipped;
+                continue;
+            }
+            ++alignments_traced;
+            resp.tracebackCells += task_stats[i].totalCells;
+            resp.tracebackUs += task_us[i];
+            traceback_cells += task_stats[i].totalCells;
+        }
+    }
+
     _mCells->inc(cells);
     _mKarlinFills->inc(karlin_fills);
     _mShardsScanned->inc(shards_scanned);
@@ -281,6 +345,9 @@ Engine::runBatch(const Request *requests, std::size_t count,
     _mNativeRescansScalar->inc(native.rescansScalar);
     _mNativeInterseq->inc(native.interSequence);
     _mNativeStriped->inc(native.striped);
+    _mTracebackCells->inc(traceback_cells);
+    _mAlignments->inc(alignments_traced);
+    _mTracebacksSkipped->inc(tracebacks_skipped);
     return out;
 }
 
@@ -345,7 +412,7 @@ Engine::serveStream(const std::vector<Request> &requests)
             report.latency.record(r.latencyUs());
             _mLatencyUs->record(r.latencyUs());
             report.totalCells += r.cellsComputed;
-            report.cpuMs += r.scanUs / 1000.0;
+            report.cpuMs += (r.scanUs + r.tracebackUs) / 1000.0;
             report.responses.push_back(std::move(r));
         }
         ++report.batches;

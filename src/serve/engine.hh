@@ -72,6 +72,14 @@ struct EngineConfig
     align::FastaParams fasta;
     align::BlastParams blast;
     /**
+     * Parameters of the served nucleotide kind
+     * (Workload::Blastn). Blastn requests rank by the raw gapped
+     * score; the Karlin bit scores / E-values attached to their
+     * hits use the engine's protein statistics and are nominal
+     * (deterministic, but not blastn's own lambda/K).
+     */
+    align::BlastnParams blastn;
+    /**
      * Database-side seed index for the indexed BLAST serving
      * route (nullptr = every scan is a full scan). Must outlive
      * the engine and must have been built over exactly the served
@@ -242,6 +250,10 @@ class Engine : public BatchServer
     obs::Counter *_mNativeRescansScalar;
     obs::Counter *_mNativeInterseq;
     obs::Counter *_mNativeStriped;
+    obs::Counter *_mTracebackCells;
+    obs::Counter *_mAlignments;
+    obs::Counter *_mTracebacksSkipped;
+    obs::Histogram *_mTracebackUs;
     obs::Histogram *_mScanUs;
     obs::Histogram *_mBatchUs;
     obs::Histogram *_mLatencyUs;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "align/traceback/hirschberg.hh"
+#include "bio/dna_workload.hh"
 #include "bio/random.hh"
 
 namespace bioarch::serve
@@ -13,13 +15,15 @@ PreparedQuery::PreparedQuery(const Request &request,
                              const bio::GapPenalties &gaps,
                              const align::FastaParams &fasta,
                              const align::BlastParams &blast,
-                             align::SimdBackend backend)
+                             align::SimdBackend backend,
+                             const align::BlastnParams &blastn)
     : _kind(request.kind),
       _query(&request.query),
       _matrix(&matrix),
       _gaps(gaps),
       _fasta(fasta),
-      _blast(blast)
+      _blast(blast),
+      _blastn(blastn)
 {
     // All three Smith-Waterman kinds rank by the exact SW score, so
     // any of them can be served by the native striped kernel; the
@@ -53,6 +57,14 @@ PreparedQuery::PreparedQuery(const Request &request,
     case kernels::Workload::Blast:
         _neighborhood = std::make_unique<align::NeighborhoodIndex>(
             *_query, matrix, _blast);
+        break;
+    case kernels::Workload::Blastn:
+        // The query rides in as a residue Sequence (bases 0..3);
+        // blastn's word machinery wants the 2-bit packing.
+        _dnaQuery = std::make_unique<bio::PackedDna>(
+            bio::packDnaSequence(*_query));
+        _dnaIndex = std::make_unique<align::DnaWordIndex>(
+            *_dnaQuery, _blastn.wordSize);
         break;
     default:
         throw std::invalid_argument("unknown workload kind");
@@ -90,8 +102,48 @@ PreparedQuery::scan(const bio::Sequence &subject,
         ls.score = std::max(bs.score, 0);
         return ls;
     }
+    case kernels::Workload::Blastn: {
+        const align::BlastnScores bs = align::blastnScan(
+            *_dnaIndex, *_dnaQuery, subject.residues().data(),
+            subject.length(), _blastn, cells);
+        ls.score = std::max(bs.score, 0);
+        return ls;
+    }
     default:
         return ls;
+    }
+}
+
+align::CigarAlignment
+PreparedQuery::traceback(const bio::Sequence &subject,
+                         const align::SearchHit &hit,
+                         align::TracebackStats *stats) const
+{
+    switch (_kind) {
+    case kernels::Workload::Blast:
+        return align::blastAlign(*_neighborhood, *_query, subject,
+                                 *_matrix, _gaps, _blast, nullptr,
+                                 -1, stats);
+    case kernels::Workload::Blastn:
+        return align::blastnAlign(*_dnaIndex, *_dnaQuery,
+                                  subject.residues().data(),
+                                  subject.length(), _blastn,
+                                  nullptr, -1, stats);
+    case kernels::Workload::Ssearch34:
+    case kernels::Workload::SwVmx128:
+    case kernels::Workload::SwVmx256:
+        // The scan already found the optimal end cell; anchor
+        // there and skip the forward end-pass.
+        return align::hirschbergAlignAnchored(
+            _query->residues().data(), _query->length(),
+            subject.residues().data(), subject.length(),
+            hit.queryEnd, hit.subjectEnd, *_matrix, _gaps, stats);
+    default:
+        // FASTA: the ranked endpoint belongs to the heuristic
+        // band scan, not an exact SW argmax — run the full
+        // three-pass optimal local alignment.
+        return align::hirschbergAlign(*_query, subject, *_matrix,
+                                      _gaps, stats);
     }
 }
 
@@ -135,6 +187,7 @@ makeRequestStream(const StreamSpec &spec,
         r.kind = spec.kinds[rng.below(spec.kinds.size())];
         r.query = query_pool[rng.below(query_pool.size())];
         r.topK = spec.topK;
+        r.reportAlignments = spec.reportAlignments;
         stream.push_back(std::move(r));
     }
     return stream;

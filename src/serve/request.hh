@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "align/blast.hh"
+#include "align/blastn.hh"
 #include "align/fasta.hh"
 #include "align/ssearch.hh"
 #include "align/sw_intersequence_native.hh"
@@ -48,6 +49,14 @@ struct Request
      * single-tenant callers can ignore the field entirely.
      */
     std::uint32_t tenant = 0;
+    /**
+     * Two-phase serving switch: when set, the engine follows the
+     * ranked score scan (phase 1, untouched) with a traceback pass
+     * (phase 2) that emits a CIGAR alignment for each surviving
+     * top-K hit. Ranked hits are bit-identical either way —
+     * reporting only adds Response::alignments.
+     */
+    bool reportAlignments = false;
 };
 
 /** Ranked answer to one Request. */
@@ -87,9 +96,27 @@ struct Response
      * microsecond-scale serviceUs.
      */
     bool fromCache = false;
+    /**
+     * Phase-2 alignments, index-aligned with hits. Empty unless
+     * the request set reportAlignments; an element may itself be
+     * empty when its traceback was deadline-skipped (counted in
+     * tracebacksSkipped).
+     */
+    std::vector<align::CigarAlignment> alignments;
+    /** DP cells evaluated by the traceback phase. */
+    std::uint64_t tracebackCells = 0;
+    /** Serial-equivalent traceback work of this request (us). */
+    double tracebackUs = 0.0;
+    /** Tracebacks cancelled because the deadline had expired. */
+    std::uint64_t tracebacksSkipped = 0;
 
-    /** True when at least one shard scan was deadline-cancelled. */
-    bool deadlineExpired() const { return shardsSkipped > 0; }
+    /** True when any shard scan or traceback was
+     * deadline-cancelled (the response is partial). */
+    bool
+    deadlineExpired() const
+    {
+        return shardsSkipped > 0 || tracebacksSkipped > 0;
+    }
 
     /** End-to-end latency: arrival to ranked hit list (us). */
     double latencyUs() const { return queueUs + serviceUs; }
@@ -120,7 +147,8 @@ class PreparedQuery
                   const align::FastaParams &fasta,
                   const align::BlastParams &blast,
                   align::SimdBackend backend =
-                      align::defaultScanBackend());
+                      align::defaultScanBackend(),
+                  const align::BlastnParams &blastn = {});
 
     kernels::Workload kind() const { return _kind; }
     const bio::Sequence &query() const { return *_query; }
@@ -183,6 +211,26 @@ class PreparedQuery
                     std::uint64_t *cells,
                     align::NativeScanStats *stats = nullptr) const;
 
+    /**
+     * Phase-2 traceback of one ranked subject: the CIGAR alignment
+     * behind @p hit. The Smith-Waterman kinds run the linear-space
+     * Hirschberg traceback anchored at the endpoint the score scan
+     * already reported — the forward end-pass is skipped and the
+     * score stays bit-identical to the ranked SW score (the anchor
+     * is an argmax cell of the same matrix). BLAST and BLASTN
+     * rerun their word scan and trace the banded gapped extension
+     * with the X-drop disabled (score bit-identical to their
+     * ranked gapped score). FASTA ranks by the heuristic
+     * max(opt, initn) but reports the optimal local alignment, so
+     * its alignment score may exceed the ranked score; the CIGAR
+     * still replays to exactly the alignment's own score. Never
+     * allocates a full DP matrix.
+     */
+    align::CigarAlignment
+    traceback(const bio::Sequence &subject,
+              const align::SearchHit &hit,
+              align::TracebackStats *stats = nullptr) const;
+
   private:
     kernels::Workload _kind;
     const bio::Sequence *_query;
@@ -190,6 +238,7 @@ class PreparedQuery
     bio::GapPenalties _gaps;
     align::FastaParams _fasta;
     align::BlastParams _blast;
+    align::BlastnParams _blastn;
 
     // Exactly one of these is built, depending on _kind (and, for
     // the Smith-Waterman kinds, on the backend).
@@ -199,6 +248,9 @@ class PreparedQuery
     std::unique_ptr<align::VectorProfile<16>> _vmx256;
     std::unique_ptr<align::KtupIndex> _ktup;
     std::unique_ptr<align::NeighborhoodIndex> _neighborhood;
+    // Blastn: the query re-packed to 2 bits plus its word index.
+    std::unique_ptr<bio::PackedDna> _dnaQuery;
+    std::unique_ptr<align::DnaWordIndex> _dnaIndex;
 };
 
 /** Knobs of the deterministic synthetic request stream. */
@@ -207,6 +259,10 @@ struct StreamSpec
     std::size_t requests = 64;
     /** Per-request top-K (0 = engine default). */
     std::size_t topK = 0;
+    /** Ask for phase-2 CIGAR reporting on every request. Does not
+     * consume RNG draws, so the (kind, query) stream is identical
+     * with reporting on or off. */
+    bool reportAlignments = false;
     /** RNG seed; fixed default for reproducible replays. */
     std::uint64_t seed = 0x5EedF00d;
     /** Application mix; each request draws uniformly from these. */

@@ -143,6 +143,7 @@ ReplicaRouter::serveBatch(const std::vector<Request> &requests,
             static_cast<std::uint16_t>(_cfg.engine.backend);
         key.topK = static_cast<std::uint32_t>(
             req.topK != 0 ? req.topK : _cfg.engine.topK);
+        key.report = req.reportAlignments ? 1 : 0;
         key.epoch = epoch;
         key.query = req.query.residues();
         digests[i] = ResultCache::digest(key);
@@ -158,7 +159,9 @@ ReplicaRouter::serveBatch(const std::vector<Request> &requests,
         resp.id = req.id;
         resp.kind = req.kind;
         resp.hits = hit->hits;
+        resp.alignments = hit->alignments;
         resp.cellsComputed = hit->cells;
+        resp.tracebackCells = hit->tracebackCells;
         resp.sequencesSearched = hit->sequences;
         resp.residuesScanned = hit->residues;
         resp.serviceUs = hitUs;
@@ -254,7 +257,9 @@ ReplicaRouter::serveBatch(const std::vector<Request> &requests,
         for (std::size_t j = 0; j < chunk.slots.size(); ++j) {
             const std::size_t slot = chunk.slots[j];
             Response &resp = chunk.responses[j];
-            if (cached && resp.shardsSkipped == 0) {
+            // Deadline-truncated answers — including a partial
+            // traceback phase — are never cached.
+            if (cached && !resp.deadlineExpired()) {
                 ResultCache::Key key = keys[slot];
                 std::uint64_t dig = digests[slot];
                 if (key.epoch != chunk.epoch) {
@@ -264,7 +269,9 @@ ReplicaRouter::serveBatch(const std::vector<Request> &requests,
                 auto result =
                     std::make_shared<ResultCache::Result>();
                 result->hits = resp.hits;
+                result->alignments = resp.alignments;
                 result->cells = resp.cellsComputed;
+                result->tracebackCells = resp.tracebackCells;
                 result->sequences = resp.sequencesSearched;
                 result->residues = resp.residuesScanned;
                 _cache->insert(std::move(key), dig,

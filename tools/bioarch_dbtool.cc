@@ -45,6 +45,15 @@ usage()
     return 2;
 }
 
+/** One-line rejection of an unrecognized option (exit code 2). */
+int
+badOption(const std::string &arg)
+{
+    std::cerr << "bioarch-dbtool: unknown option '" << arg
+              << "' (run with no arguments for usage)\n";
+    return 2;
+}
+
 bool
 parseUint(const char *s, std::uint64_t &out)
 {
@@ -80,7 +89,7 @@ runBuild(int argc, char **argv)
             if (!parseUint(argv[++i], word_size))
                 return usage();
         } else {
-            return usage();
+            return badOption(arg);
         }
     }
 
@@ -150,7 +159,7 @@ runVerify(int argc, char **argv)
         if (std::string(argv[i]) == "--deep")
             deep = true;
         else
-            return usage();
+            return badOption(argv[i]);
     }
     // load() runs the full structural verification; reaching this
     // line means magic/version/checksum/tables all held.
@@ -204,5 +213,7 @@ main(int argc, char **argv)
         std::cerr << "bioarch-dbtool: " << e.what() << "\n";
         return 1;
     }
-    return usage();
+    std::cerr << "bioarch-dbtool: unknown command '" << cmd
+              << "' (want build | inspect | verify)\n";
+    return 2;
 }

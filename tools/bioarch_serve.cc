@@ -33,6 +33,7 @@
 #include <string>
 #include <thread>
 
+#include "bio/dna_workload.hh"
 #include "bio/random.hh"
 #include "bio/synthetic.hh"
 #include "core/percentile.hh"
@@ -58,8 +59,15 @@ usage(std::ostream &out)
            "  --requests N      requests to replay (default 64)\n"
            "  --workload NAME   restrict the stream to one\n"
            "                    application: ssearch34 | sw_vmx128\n"
-           "                    | sw_vmx256 | fasta34 | blast\n"
-           "                    (default: uniform mix of all five)\n"
+           "                    | sw_vmx256 | fasta34 | blast |\n"
+           "                    blastn (default: uniform mix of\n"
+           "                    the five protein workloads; blastn\n"
+           "                    swaps in the synthetic long-read\n"
+           "                    nucleotide database)\n"
+           "  --report-alignments\n"
+           "                    two-phase serving: after the\n"
+           "                    ranked scan, trace back a CIGAR\n"
+           "                    alignment for every reported hit\n"
            "  --seed S          stream RNG seed\n"
            "\n"
            "engine:\n"
@@ -148,6 +156,10 @@ parseWorkload(const std::string &name)
         if (n == name)
             return w;
     }
+    // Served-only kind: not in allWorkloads (the simulator's five)
+    // but a first-class request kind for the serving tier.
+    if (name == "blastn")
+        return kernels::Workload::Blastn;
     return std::nullopt;
 }
 
@@ -231,6 +243,7 @@ arrivalSchedule(double qps, double duration_s, std::uint64_t seed)
 
 int
 runOpenLoop(const bio::SequenceDatabase &db,
+            const std::vector<bio::Sequence> &pool,
             const serve::EngineConfig &cfg,
             const serve::StreamSpec &stream_spec, double qps,
             double duration_s, double deadline_ms,
@@ -245,7 +258,7 @@ runOpenLoop(const bio::SequenceDatabase &db,
     serve::StreamSpec spec = stream_spec;
     spec.requests = arrivals.size();
     std::vector<serve::Request> requests =
-        serve::makeRequestStream(spec, bio::makeQuerySet());
+        serve::makeRequestStream(spec, pool);
 
     // Bill each arrival to a tenant by a seeded weighted draw over
     // the configured shares (deterministic, like the schedule).
@@ -311,13 +324,27 @@ runOpenLoop(const bio::SequenceDatabase &db,
             if (!metrics_out.empty())
                 writeMetricsFiles(engine, metrics_out + ".mid",
                                   "");
-            if (hot_reload)
-                engine.reload(index::makeEpoch(
-                    zipf ? bio::makeZipfDatabase(
-                               db_seqs, 0xDBDBDBDC)
-                         : bio::makeDefaultDatabase(
-                               db_seqs, 0xDBDBDBDC),
-                    use_index, 2));
+            if (hot_reload) {
+                const bool dna = stream_spec.kinds.size() == 1
+                    && stream_spec.kinds.front()
+                        == kernels::Workload::Blastn;
+                bio::SequenceDatabase next;
+                if (dna) {
+                    bio::DnaWorkloadSpec dspec;
+                    dspec.numReads =
+                        static_cast<std::size_t>(db_seqs);
+                    dspec.seed = 0xDBDBDBDC;
+                    next = bio::makeDnaReadDatabase(dspec, pool);
+                } else {
+                    next = zipf ? bio::makeZipfDatabase(
+                                      db_seqs, 0xDBDBDBDC)
+                                : bio::makeDefaultDatabase(
+                                      db_seqs, 0xDBDBDBDC);
+                }
+                engine.reload(
+                    index::makeEpoch(std::move(next), use_index,
+                                     2));
+            }
         }
     }
     loop.drain();
@@ -399,6 +426,16 @@ runOpenLoop(const bio::SequenceDatabase &db,
            << counter("index_candidates_total")
            << ",\"index_fallbacks\":"
            << counter("index_fallback_scan_total")
+           << ",\"report_alignments\":"
+           << (stream_spec.reportAlignments ? "true" : "false")
+           << ",\"alignments\":"
+           << counter("serve_alignments_total")
+           << ",\"traceback_cells\":"
+           << counter("traceback_cells_total")
+           << ",\"tracebacks_skipped\":"
+           << counter("serve_tracebacks_skipped_total")
+           << ",\"traceback_p99_us\":"
+           << m.histogram("serve_traceback_us").summary().p99
            << ",\"p50_ms\":"
            << core::percentile(latencies, 50.0) / 1000.0
            << ",\"p99_ms\":"
@@ -513,6 +550,8 @@ main(int argc, char **argv)
                 return 2;
             }
             stream.kinds = {*w};
+        } else if (arg == "--report-alignments") {
+            stream.reportAlignments = true;
         } else if (arg == "--seed") {
             stream.seed = std::strtoull(value().c_str(), nullptr, 0);
         } else if (arg == "--batch") {
@@ -581,12 +620,29 @@ main(int argc, char **argv)
         }
     }
 
-    const bio::SequenceDatabase db = zipf
-        ? bio::makeZipfDatabase(db_seqs)
-        : bio::makeDefaultDatabase(db_seqs);
+    // The blastn kind serves the synthetic long-read nucleotide
+    // workload instead of the SwissProt stand-in.
+    const bool dna = stream.kinds.size() == 1
+        && stream.kinds.front() == kernels::Workload::Blastn;
+    std::vector<bio::Sequence> pool;
+    bio::SequenceDatabase db;
+    if (dna) {
+        if (use_index) {
+            std::cerr << "--index is protein-only (not blastn)\n";
+            return 2;
+        }
+        pool = bio::makeDnaQueryPool(8, 800, stream.seed);
+        bio::DnaWorkloadSpec spec;
+        spec.numReads = static_cast<std::size_t>(db_seqs);
+        db = bio::makeDnaReadDatabase(spec, pool);
+    } else {
+        pool = bio::makeQuerySet();
+        db = zipf ? bio::makeZipfDatabase(db_seqs)
+                  : bio::makeDefaultDatabase(db_seqs);
+    }
 
     if (qps > 0.0)
-        return runOpenLoop(db, cfg, stream, qps, duration_s,
+        return runOpenLoop(db, pool, cfg, stream, qps, duration_s,
                            deadline_ms, queue_cap, metrics_out,
                            metrics_prom, use_index, hot_reload,
                            db_seqs, zipf, replicas, cache_mb,
@@ -598,7 +654,6 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const std::vector<bio::Sequence> pool = bio::makeQuerySet();
     const std::vector<serve::Request> requests =
         serve::makeRequestStream(stream, pool);
 
@@ -646,11 +701,26 @@ main(int argc, char **argv)
     summary.row().add("parallel efficiency").add(
         report.parallelEfficiency(), 2);
     summary.row().add("total cells").add(report.totalCells);
+    if (stream.reportAlignments) {
+        std::uint64_t aln = 0;
+        std::uint64_t tb_cells = 0;
+        for (const serve::Response &r : report.responses) {
+            aln += r.alignments.size();
+            tb_cells += r.tracebackCells;
+        }
+        summary.row().add("alignments").add(aln);
+        summary.row().add("traceback cells").add(tb_cells);
+    }
 
-    // Per-application slice of the stream.
+    // Per-application slice of the stream (the five simulator
+    // workloads plus the served-only blastn kind).
+    std::vector<kernels::Workload> kinds(
+        std::begin(kernels::allWorkloads),
+        std::end(kernels::allWorkloads));
+    kinds.push_back(kernels::Workload::Blastn);
     core::Table mix({"workload", "requests", "mean latency ms",
                      "mean hits"});
-    for (const kernels::Workload w : kernels::allWorkloads) {
+    for (const kernels::Workload w : kinds) {
         std::uint64_t n = 0;
         std::uint64_t hits = 0;
         double latency_us = 0.0;
